@@ -1,0 +1,36 @@
+"""Benchmark plumbing: artifact directory + result writer.
+
+Every benchmark regenerates its paper artifact (the table/series text)
+under ``results/`` so a ``pytest benchmarks/ --benchmark-only`` run
+leaves the full set of reproduced tables and figures on disk.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "results")
+
+
+@pytest.fixture(scope="session")
+def artifact_writer():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def write(name, text):
+        path = os.path.join(RESULTS_DIR, name)
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        return path
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def results_path():
+    """Absolute path builder into results/ (for CSV exports)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def build(name):
+        return os.path.join(RESULTS_DIR, name)
+
+    return build

@@ -1,0 +1,48 @@
+"""Design-choice ablations (DESIGN.md §6)."""
+
+from repro.experiments import ablations
+
+
+def _value(rows, name, variant_substring):
+    for row in rows:
+        if row.name == name and variant_substring in row.variant:
+            return row.value
+    raise AssertionError("missing {} / {}".format(name, variant_substring))
+
+
+def test_bench_ablation_escalation(benchmark, artifact_writer):
+    rows = benchmark.pedantic(ablations.ablate_escalation, rounds=1,
+                              iterations=1)
+    fixed = _value(rows, "escalation", "fixed")
+    escalating = _value(rows, "escalation", "escalating")
+    assert escalating > fixed + 5.0  # escalation buys the paper's ~98%
+    artifact_writer("ablation_escalation.txt", ablations.render(rows))
+
+
+def test_bench_ablation_adaptive_terms(benchmark, artifact_writer):
+    rows = benchmark.pedantic(ablations.ablate_adaptive_terms, rounds=1,
+                              iterations=1)
+    fixed = _value(rows, "adaptive terms", "fixed")
+    adaptive = _value(rows, "adaptive terms", "adaptive")
+    assert adaptive < fixed / 3.0  # far fewer stat updates
+    artifact_writer("ablation_adaptive_terms.txt", ablations.render(rows))
+
+
+def test_bench_ablation_custom_utility_guard(benchmark, artifact_writer):
+    rows = benchmark.pedantic(ablations.ablate_custom_utility_guard,
+                              rounds=1, iterations=1)
+    guarded = _value(rows, "custom-utility guard", "guard on")
+    unguarded = _value(rows, "custom-utility guard", "guard off")
+    assert guarded >= 1  # the lying app still gets deferred
+    assert unguarded == 0  # without the guard it whitewashes itself
+    artifact_writer("ablation_custom_guard.txt", ablations.render(rows))
+
+
+def test_bench_ablation_smoothing(benchmark, artifact_writer):
+    rows = benchmark.pedantic(ablations.ablate_smoothing, rounds=1,
+                              iterations=1)
+    rough = _value(rows, "utility smoothing", "no smoothing")
+    smoothed = _value(rows, "utility smoothing", "smoothing (12")
+    assert smoothed == 0  # no wrongful deferrals with smoothing
+    assert rough > smoothed
+    artifact_writer("ablation_smoothing.txt", ablations.render(rows))

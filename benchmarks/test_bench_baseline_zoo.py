@@ -1,0 +1,24 @@
+"""The mitigation zoo: every mechanism's blind spot in one table."""
+
+from repro.experiments import baseline_zoo
+
+
+def test_bench_baseline_zoo(benchmark, artifact_writer):
+    grid = benchmark.pedantic(baseline_zoo.run, rounds=1, iterations=1)
+
+    def reduction(case, name):
+        vanilla = grid[(case, "vanilla")]
+        return 100.0 * (1.0 - grid[(case, name)] / vanilla)
+
+    # LeaseOS contains every class.
+    for case in baseline_zoo.CASE_KEYS:
+        assert reduction(case, "LeaseOS") > 90.0, case
+    # Each other mechanism has its documented blind spot.
+    assert reduction("torch", "Amplify") < 5.0  # holds, not acquires
+    assert reduction("torch", "BatterySaver") < 5.0  # battery is full
+    assert reduction("connectbot-screen", "Doze*") < 5.0  # no screen
+    assert reduction("betterweather", "DefDroid") < 60.0  # gentle GPS
+    # TimedThrottle contains but (per 7.4) breaks legitimate apps.
+    assert reduction("torch", "TimedThrottle") > 50.0
+
+    artifact_writer("baseline_zoo.txt", baseline_zoo.render(grid))

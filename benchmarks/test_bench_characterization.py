@@ -1,0 +1,92 @@
+"""Figs. 1-4: the §2 characterization study, regenerated.
+
+Each benchmark runs the buggy app under the 60 s Trepn-style sampler and
+writes the per-minute series the figure plots.
+"""
+
+import statistics
+
+from repro.experiments.characterization import (
+    fig1_betterweather,
+    fig2_k9_bad_server,
+    fig3_kontalk,
+    fig4_k9_disconnected,
+    render_series,
+)
+
+MINUTES = 20.0
+
+
+def test_bench_fig1_betterweather(benchmark, artifact_writer,
+                                  results_path):
+    samples = benchmark.pedantic(
+        lambda: fig1_betterweather(minutes=MINUTES), rounds=1, iterations=1
+    )
+    assert sum(s.gps_fixes for s in samples) == 0
+    assert statistics.mean(s.gps_search_time for s in samples) > 36.0
+    artifact_writer(
+        "fig01_betterweather_gps_try.txt",
+        render_series(samples, ["gps_search_time", "gps_fixes"]),
+    )
+    from repro.experiments.export import samples_csv
+
+    samples_csv(results_path("fig01_betterweather_gps_try.csv"), samples,
+                ["gps_search_time", "gps_fixes"])
+
+
+def test_bench_fig2_k9_bad_server(benchmark, artifact_writer):
+    samples = benchmark.pedantic(
+        lambda: fig2_k9_bad_server(minutes=MINUTES), rounds=1, iterations=1
+    )
+    mean_hold = statistics.mean(s.wakelock_time for s in samples)
+    mean_cpu = statistics.mean(s.cpu_time for s in samples)
+    assert mean_hold > 10.0 and mean_cpu / mean_hold < 0.05
+    artifact_writer(
+        "fig02_k9_bad_server.txt",
+        render_series(samples, ["wakelock_time", "cpu_time"]),
+    )
+
+
+def test_bench_fig3_kontalk_two_phones(benchmark, artifact_writer):
+    results = benchmark.pedantic(
+        lambda: fig3_kontalk(minutes=MINUTES), rounds=1, iterations=1
+    )
+    text = []
+    for name, samples in results.items():
+        tail = samples[2:]
+        assert all(s.cpu_over_wakelock < 0.02 for s in tail), name
+        text.append(name)
+        text.append(render_series(samples, ["wakelock_time",
+                                            "cpu_over_wakelock"]))
+    artifact_writer("fig03_kontalk_two_phones.txt", "\n".join(text))
+
+
+def test_bench_five_phone_study(benchmark, artifact_writer):
+    from repro.experiments.characterization import (
+        five_phone_study,
+        render_five_phone,
+    )
+
+    results = benchmark.pedantic(
+        lambda: five_phone_study(minutes=15.0), rounds=1, iterations=1
+    )
+    assert len(results) == 5
+    ratios = {name: cpu / hold for name, (hold, cpu) in results.items()}
+    # Ultralow utilization everywhere (the pattern is ecosystem-
+    # independent), with absolute CPU time ~2x higher on the low end.
+    assert all(ratio < 0.05 for ratio in ratios.values())
+    assert ratios["Motorola Moto G"] > 1.5 * ratios["Google Pixel XL"]
+    artifact_writer("fig02b_five_phones.txt",
+                    render_five_phone(results))
+
+
+def test_bench_fig4_k9_disconnected(benchmark, artifact_writer):
+    samples = benchmark.pedantic(
+        lambda: fig4_k9_disconnected(minutes=12.0), rounds=1, iterations=1
+    )
+    assert all(s.cpu_over_wakelock > 1.0 for s in samples)
+    artifact_writer(
+        "fig04_k9_disconnected.txt",
+        render_series(samples, ["wakelock_time", "cpu_time",
+                                "cpu_over_wakelock"]),
+    )

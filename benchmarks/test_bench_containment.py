@@ -1,0 +1,19 @@
+"""Containment latency vs healthy-work preservation."""
+
+from repro.experiments import containment
+
+
+def test_bench_containment(benchmark, artifact_writer):
+    results = benchmark.pedantic(containment.run, rounds=1, iterations=1)
+    by_name = {r.mitigation: r for r in results}
+    vanilla_cpu = by_name["vanilla"].healthy_cpu_s
+
+    assert by_name["vanilla"].latency_s is None  # never contained
+    lease = by_name["leaseos"]
+    assert lease.latency_s is not None and lease.latency_s <= 120.0
+    assert lease.work_preserved(vanilla_cpu) > 0.95  # no healthy cost
+    # The blind baselines throttle the healthy phase too.
+    assert by_name["doze"].work_preserved(vanilla_cpu) < 0.5
+    assert by_name["defdroid"].work_preserved(vanilla_cpu) < 0.5
+    artifact_writer("containment_latency.txt",
+                    containment.render(results))

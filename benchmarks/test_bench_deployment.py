@@ -1,0 +1,14 @@
+"""Deployment estimate over a simulated device population."""
+
+from repro.experiments import deployment
+
+
+def test_bench_deployment_estimate(benchmark, artifact_writer):
+    estimate = benchmark.pedantic(deployment.run, rounds=1, iterations=1)
+    # Heavy-tailed: the p95 device saves far more than the mean, and a
+    # meaningful share of the population sees no change at all.
+    assert estimate.p95_savings_mw > 2.0 * estimate.mean_savings_mw
+    assert 0.2 < estimate.share_with_savings < 0.95
+    assert estimate.mean_savings_mw > 10.0
+    artifact_writer("deployment_estimate.txt",
+                    deployment.render(estimate))

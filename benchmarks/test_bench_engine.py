@@ -1,0 +1,39 @@
+"""Simulator throughput: how fast the substrate itself runs.
+
+Not a paper artifact; a health metric for the reproduction. A 30-minute
+Table 5 phone run must stay well under a second of wall clock, which
+requires the engine to push hundreds of thousands of events per second.
+"""
+
+from repro.apps.buggy.cpu_apps import K9Mail
+from repro.droid.phone import Phone
+from repro.mitigation import LeaseOS
+from repro.sim.engine import Simulator
+
+
+def test_bench_raw_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        for i in range(50000):
+            sim.schedule(i * 0.001, tick)
+        sim.run()
+        return count[0]
+
+    fired = benchmark.pedantic(run_events, rounds=3, iterations=1)
+    assert fired == 50000
+
+
+def test_bench_full_phone_run(benchmark):
+    def thirty_minutes():
+        phone = Phone(seed=3, mitigation=LeaseOS(), connected=False)
+        phone.install(K9Mail(scenario="disconnected"))
+        phone.run_for(minutes=30.0)
+        return phone.sim.now
+
+    now = benchmark.pedantic(thirty_minutes, rounds=3, iterations=1)
+    assert now == 1800.0

@@ -1,0 +1,23 @@
+"""The §8 future-work extensions, exercised end to end."""
+
+from repro.experiments import extensions
+
+
+def test_bench_dvfs_repricing(benchmark):
+    results = benchmark.pedantic(extensions.run_dvfs, rounds=1,
+                                 iterations=1)
+    assert results["energy-based"] > results["time-based"] * 1.5
+
+
+def test_bench_dynamic_policy(benchmark):
+    lengths = benchmark.pedantic(extensions.run_dynamic_policy, rounds=1,
+                                 iterations=1)
+    reputable = lengths["reputable (2 min clean)"]
+    chronic = lengths["chronic (bad from boot)"]
+    assert reputable < chronic
+
+
+def test_bench_extensions_report(benchmark, artifact_writer):
+    text = benchmark.pedantic(extensions.render, rounds=1, iterations=1)
+    assert "DVFS-aware" in text
+    artifact_writer("extensions_s8.txt", text)

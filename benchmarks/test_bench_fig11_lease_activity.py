@@ -1,0 +1,18 @@
+"""Fig. 11: active leases over one hour of normal usage."""
+
+from repro.experiments import lease_activity
+
+
+def test_bench_fig11(benchmark, artifact_writer, results_path):
+    result = benchmark.pedantic(lease_activity.run, rounds=1, iterations=1)
+    # Paper: 160 leases created; most short-lived; avg 4 terms.
+    assert 60 <= result.created_total <= 400
+    active_half = [c for t, c in result.samples if t <= 1800.0]
+    idle_half = [c for t, c in result.samples if t > 1800.0]
+    assert max(active_half) >= max(idle_half)
+    assert result.mean_terms >= 1.0
+    artifact_writer("fig11_lease_activity.txt",
+                    lease_activity.render(result))
+    from repro.experiments.export import lease_activity_csv
+
+    lease_activity_csv(results_path("fig11_lease_activity.csv"), result)

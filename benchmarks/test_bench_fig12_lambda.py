@@ -1,0 +1,20 @@
+"""Fig. 12: waste-reduction ratio vs lambda over intermittent traces."""
+
+import pytest
+
+from repro.experiments import lambda_sweep
+
+
+def test_bench_fig12(benchmark, artifact_writer, results_path):
+    results = benchmark.pedantic(
+        lambda: lambda_sweep.run(cases=200, slices_per_case=200),
+        rounds=1, iterations=1,
+    )
+    for lam, expected in lambda_sweep.PAPER_FIG12.items():
+        assert results[lam] == pytest.approx(expected, abs=0.04), lam
+    values = [results[lam] for lam in sorted(results)]
+    assert values == sorted(values)  # monotone in lambda
+    artifact_writer("fig12_lambda_sweep.txt", lambda_sweep.render(results))
+    from repro.experiments.export import lambda_csv
+
+    lambda_csv(results_path("fig12_lambda_sweep.csv"), results)

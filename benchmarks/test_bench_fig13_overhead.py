@@ -1,0 +1,14 @@
+"""Fig. 13: system power overhead of LeaseOS under five settings."""
+
+from repro.experiments import overhead
+
+
+def test_bench_fig13(benchmark, artifact_writer):
+    rows = benchmark.pedantic(
+        lambda: overhead.run(repeats=3), rounds=1, iterations=1
+    )
+    assert len(rows) == 5
+    for setting, base, lease in rows:
+        pct = 100.0 * (lease - base) / base if base else 0.0
+        assert abs(pct) < 1.0, (setting.key, pct)  # paper: < 1%
+    artifact_writer("fig13_overhead.txt", overhead.render(rows))

@@ -1,0 +1,14 @@
+"""Fig. 14: end-to-end interaction latency with and without leases."""
+
+from repro.experiments import latency
+
+
+def test_bench_fig14(benchmark, artifact_writer):
+    results = benchmark.pedantic(
+        lambda: latency.run(touches=12), rounds=1, iterations=1
+    )
+    for kind, (without, with_lease) in results.items():
+        assert without > 0, kind
+        overhead_pct = abs(with_lease - without) / without
+        assert overhead_pct < 0.02, kind  # leases off the critical path
+    artifact_writer("fig14_latency.txt", latency.render(results))

@@ -1,0 +1,23 @@
+"""Fig. 9: holding time of the Long-Holding test app vs lease term."""
+
+import pytest
+
+from repro.experiments.lease_term import (
+    PAPER_FIG9A,
+    PAPER_FIG9B,
+    render,
+    run_fig9a,
+    run_fig9b,
+)
+
+
+def test_bench_fig9(benchmark, artifact_writer):
+    def both():
+        return run_fig9a(), run_fig9b()
+
+    results_a, results_b = benchmark.pedantic(both, rounds=1, iterations=1)
+    for term, expected in PAPER_FIG9A.items():
+        assert results_a[term] == pytest.approx(expected, rel=0.05)
+    for term, expected in PAPER_FIG9B.items():
+        assert results_b[term] == pytest.approx(expected, rel=0.05)
+    artifact_writer("fig09_lease_term.txt", render(results_a, results_b))

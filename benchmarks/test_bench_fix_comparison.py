@@ -1,0 +1,22 @@
+"""The developer-fix vs OS-mechanism 2x2 (Case I)."""
+
+from repro.experiments import fix_comparison
+
+
+def test_bench_fix_comparison(benchmark, artifact_writer):
+    grid = benchmark.pedantic(fix_comparison.run, rounds=1, iterations=1)
+    for label, __, __, __ in fix_comparison.PAIRS:
+        blaze = grid[(label, "buggy", "vanilla")]
+        contained = grid[(label, "buggy", "leaseos")]
+        fixed = grid[(label, "fixed", "vanilla")]
+        fixed_leased = grid[(label, "fixed", "leaseos")]
+        # LeaseOS contains each bug to a small fraction of its blaze.
+        assert contained < 0.1 * blaze, label
+        # The fix is always cheaper than the unmitigated bug (by a lot);
+        # note it can legitimately exceed the contained-bug draw when
+        # the fixed app still uses the resource for real (Standup Timer
+        # keeps the screen on through its actual meeting).
+        assert fixed < 0.6 * blaze, label
+        # Leases never add cost to a fixed app (at most trim residue).
+        assert fixed_leased <= fixed + 0.5, label
+    artifact_writer("fix_comparison.txt", fix_comparison.render(grid))

@@ -1,0 +1,19 @@
+"""Seed and hardware robustness of the headline result."""
+
+from repro.experiments import robustness
+
+
+def test_bench_seed_robustness(benchmark, artifact_writer):
+    seed_results = benchmark.pedantic(robustness.seed_sweep, rounds=1,
+                                      iterations=1)
+    lease = [avg["leaseos"] for avg in seed_results.values()]
+    # The ordering holds for every seed, with small dispersion.
+    for seed, avg in seed_results.items():
+        assert avg["leaseos"] > avg["doze"], seed
+        assert avg["leaseos"] > avg["defdroid"], seed
+    assert max(lease) - min(lease) < 5.0
+    profile_results = robustness.profile_sweep()
+    values = list(profile_results.values())
+    assert max(values) - min(values) < 5.0  # hardware-invariant mechanism
+    artifact_writer("robustness.txt",
+                    robustness.render(seed_results, profile_results))

@@ -1,0 +1,18 @@
+"""Tables 1 and 2: taxonomy and the 109-case prevalence study."""
+
+from repro.study.cases import table2_counts
+from repro.experiments import study_tables
+
+
+def test_bench_table1_taxonomy(benchmark, artifact_writer):
+    text = benchmark(study_tables.render_table1)
+    assert "GPS" in text
+    artifact_writer("table1_taxonomy.txt", text)
+
+
+def test_bench_table2_prevalence(benchmark, artifact_writer):
+    counts = benchmark(table2_counts)
+    assert sum(row["total"] for row in counts.values()) == 109
+    assert counts["LUB"]["total"] == 28
+    artifact_writer("table2_prevalence.txt",
+                    study_tables.render_table2())

@@ -1,0 +1,71 @@
+"""Table 4: latency of the major lease operations.
+
+These use pytest-benchmark properly (many rounds) on the live manager
+entry points of a phone mid-simulation, reproducing the paper's
+create/check/update shape: checks are the cheapest, the per-term stat
+update costs several times more.
+"""
+
+from repro.experiments.microbench import (
+    build_bench_phone,
+    modelled_latencies_ms,
+    render,
+)
+
+_RESULTS = {}
+
+
+def _setup():
+    phone, manager, app = build_bench_phone()
+    lease = next(iter(manager.leases.values()))
+    return phone, manager, app, lease
+
+
+def test_bench_table4_check_accept(benchmark):
+    __, manager, __, lease = _setup()
+    benchmark(lambda: manager.check(lease.descriptor))
+    _RESULTS["check_accept"] = benchmark.stats.stats.mean * 1000.0
+
+
+def test_bench_table4_check_reject(benchmark):
+    __, manager, __, __ = _setup()
+    benchmark(lambda: manager.check(-1))
+    _RESULTS["check_reject"] = benchmark.stats.stats.mean * 1000.0
+
+
+def test_bench_table4_renew(benchmark):
+    __, manager, __, lease = _setup()
+    benchmark(lambda: manager.renew(lease.descriptor))
+    _RESULTS["renew"] = benchmark.stats.stats.mean * 1000.0
+
+
+def test_bench_table4_update(benchmark):
+    __, manager, __, lease = _setup()
+    benchmark(lambda: manager._collect(lease))
+    _RESULTS["update"] = benchmark.stats.stats.mean * 1000.0
+
+
+def test_bench_table4_create(benchmark):
+    __, manager, app, lease = _setup()
+    record = lease.record
+
+    def create_remove():
+        created = manager.create(record.rtype, app.uid, record,
+                                 lease.proxy)
+        manager.remove(created.descriptor)
+
+    benchmark(create_remove)
+    _RESULTS["create"] = benchmark.stats.stats.mean * 1000.0 / 2.0
+
+
+def test_bench_table4_report(benchmark, artifact_writer):
+    """Summarize (runs last within this module's execution order)."""
+    if {"check_accept", "update"} <= set(_RESULTS):
+        assert _RESULTS["update"] > _RESULTS["check_accept"]
+    text = benchmark.pedantic(
+        lambda: render(_RESULTS), rounds=1, iterations=1
+    )
+    text += "\n\nmodelled (paper) latencies ms: {}".format(
+        modelled_latencies_ms()
+    )
+    artifact_writer("table4_lease_ops.txt", text)

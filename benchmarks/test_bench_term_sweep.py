@@ -1,0 +1,25 @@
+"""Lease-term sensitivity sweep (the §5.1 trade-off, measured)."""
+
+import math
+
+import pytest
+
+from repro.experiments import term_sweep
+
+
+def test_bench_term_sweep(benchmark, artifact_writer):
+    rows = benchmark.pedantic(term_sweep.run, rounds=1, iterations=1)
+    # Reduction follows the closed form 1 - t/(t + tau) with tau = 25 s.
+    for row in rows:
+        expected = 100.0 * (1.0 - row.term_s / (row.term_s + 25.0))
+        assert row.reduction_pct == pytest.approx(expected, abs=3.0), \
+            row.term_s
+    # Overhead on a normal app is exactly one update per term.
+    for row in rows:
+        assert row.normal_updates == pytest.approx(
+            1800.0 / row.term_s, abs=2)
+    # Detection latency equals the term (the first check catches it).
+    for row in rows:
+        assert not math.isnan(row.first_deferral_s)
+        assert row.first_deferral_s == pytest.approx(row.term_s, abs=1.0)
+    artifact_writer("term_sweep.txt", term_sweep.render(rows))

@@ -1,0 +1,12 @@
+"""§7.4: usability of normal heavy apps, LeaseOS vs pure throttling."""
+
+from repro.experiments import usability
+
+
+def test_bench_usability(benchmark, artifact_writer):
+    rows = benchmark.pedantic(
+        lambda: usability.run(minutes=30.0), rounds=1, iterations=1
+    )
+    assert all(r.leaseos_disruptions == 0 for r in rows)  # paper claim
+    assert all(r.throttle_disruptions >= 1 for r in rows)
+    artifact_writer("usability_7_4.txt", usability.render(rows))

@@ -1,0 +1,14 @@
+"""The reproduction scorecard: every paper claim graded in one run."""
+
+from repro.experiments import verdict
+
+
+def test_bench_verdict_all_claims_pass(benchmark, artifact_writer):
+    claims = benchmark.pedantic(verdict.run, rounds=1, iterations=1)
+    text = verdict.render(claims)
+    artifact_writer("verdict.txt", text)
+    failed = [c for c in claims if not c.passed]
+    assert not failed, "failed claims: {}".format(
+        [(c.section, c.statement) for c in failed]
+    )
+    assert len(claims) >= 15

@@ -1,0 +1,59 @@
+"""Custom utility counters (paper Fig. 6): TapAndTurn.
+
+TapAndTurn shows a rotate icon when the orientation sensor fires; its
+custom counter reports ``100 * clicks / rotations``. This example runs
+the app in two worlds:
+
+1. phone in a pocket, screen off -- rotations produce nothing, the
+   counter (and the generic score) stay low, and LeaseOS defers the
+   sensor lease;
+2. an engaged user with the screen on who actually clicks the icon --
+   the counter exonerates the sensor and the lease keeps renewing.
+
+Run:  python examples/custom_utility.py
+"""
+
+from repro.apps.buggy.sensor_apps import TapAndTurn
+from repro.droid.phone import Phone
+from repro.mitigation import LeaseOS
+
+
+def run_scenario(engaged_user):
+    mitigation = LeaseOS()
+    phone = Phone(seed=7, mitigation=mitigation)
+    app = phone.install(TapAndTurn(use_custom_utility=True))
+    if engaged_user:
+        phone.screen_on()
+        phone.set_foreground(app.uid)
+    mark = phone.energy_mark()
+    phone.run_for(minutes=15.0)
+    lease = mitigation.manager.leases_for(app.uid)[0]
+    return {
+        "power_mw": phone.power_since(mark, app.uid),
+        "deferrals": lease.deferral_count,
+        "custom_score": app.utility.get_score(),
+        "events": len(app.utility.events),
+    }
+
+
+def main():
+    pocket = run_scenario(engaged_user=False)
+    engaged = run_scenario(engaged_user=True)
+
+    print("TapAndTurn with the Fig. 6 custom utility counter, 15 min:\n")
+    header = "{:28s} {:>14s} {:>14s}"
+    row = "{:28s} {:>14.2f} {:>14.2f}"
+    print(header.format("", "screen off", "engaged user"))
+    print(row.format("sensor power (mW)", pocket["power_mw"],
+                     engaged["power_mw"]))
+    print(row.format("custom utility score", pocket["custom_score"],
+                     engaged["custom_score"]))
+    print("{:28s} {:>14d} {:>14d}".format(
+        "lease deferrals", pocket["deferrals"], engaged["deferrals"]))
+    print("\nWith nobody clicking, the lease is deferred and the sensor "
+          "silenced;\nwith a real user, the custom counter keeps the lease "
+          "renewing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Mitigation shootout: LeaseOS vs Doze vs DefDroid on real bug classes.
+
+Picks one representative Table 5 case per resource class and runs it
+under every mitigation, printing the per-app power and reduction -- a
+miniature of the paper's Table 5 that finishes in a couple of seconds.
+
+Run:  python examples/mitigation_shootout.py
+"""
+
+from repro.apps.buggy import CASES_BY_KEY
+from repro.experiments.runner import format_table, run_case
+from repro.mitigation import DefDroid, Doze, LeaseOS
+
+CASE_KEYS = ("torch", "connectbot-screen", "connectbot-wifi",
+             "betterweather", "tapandturn")
+
+MITIGATIONS = [
+    ("vanilla", None),
+    ("LeaseOS", LeaseOS),
+    ("Doze*", lambda: Doze(aggressive=True)),
+    ("DefDroid", DefDroid),
+]
+
+
+def main():
+    rows = []
+    for key in CASE_KEYS:
+        case = CASES_BY_KEY[key]
+        powers = {}
+        for name, factory in MITIGATIONS:
+            result = run_case(case, factory, minutes=15.0, seed=3)
+            powers[name] = result.app_power_mw
+        vanilla = powers["vanilla"]
+        rows.append([
+            case.key,
+            case.resource.value,
+            case.behavior.value,
+            vanilla,
+            powers["LeaseOS"],
+            "{:.0f}%".format(100 * (1 - powers["LeaseOS"] / vanilla)),
+            "{:.0f}%".format(100 * (1 - powers["Doze*"] / vanilla)),
+            "{:.0f}%".format(100 * (1 - powers["DefDroid"] / vanilla)),
+        ])
+    print(format_table(
+        ["case", "resource", "behaviour", "vanilla mW", "LeaseOS mW",
+         "LeaseOS", "Doze*", "DefDroid"],
+        rows,
+        title="Reduction of wasted power, 15 simulated minutes per cell",
+    ))
+    print("\nNote Doze's blind spot on the screen case and DefDroid's "
+          "gentleness on GPS\n(both straight out of the paper's Table 5).")
+
+
+if __name__ == "__main__":
+    main()

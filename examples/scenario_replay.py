@@ -1,0 +1,62 @@
+"""Scenario replay: one timeline, every mitigation.
+
+Uses the declarative :class:`repro.scenario.Scenario` builder to script
+a day-in-the-life timeline -- K-9's mail server degrades at minute 5 and
+recovers at minute 20 -- and replays the *identical* timeline under
+vanilla Android, LeaseOS, Doze and DefDroid, comparing the power drawn
+during the outage window.
+
+Run:  python examples/scenario_replay.py
+"""
+
+from repro.apps.buggy.cpu_apps import K9Mail
+from repro.experiments.runner import format_table
+from repro.mitigation import DefDroid, Doze, LeaseOS
+from repro.scenario import Scenario
+
+
+def build_timeline():
+    return (
+        Scenario(seed=17, connected=True)
+        .install("k9", K9Mail, scenario="bad_server")
+        .at(minutes=5).server("mail-server", "error")
+        .at(minutes=20).server("mail-server", "ok")
+        .measure("healthy", start_min=0, end_min=5)
+        .measure("outage", start_min=5, end_min=20)
+        .measure("recovered", start_min=22, end_min=30)
+    )
+
+
+def main():
+    regimes = [
+        ("vanilla", None),
+        ("LeaseOS", LeaseOS()),
+        ("Doze*", Doze(aggressive=True)),
+        ("DefDroid", DefDroid()),
+    ]
+    rows = []
+    for name, mitigation in regimes:
+        result = build_timeline().run(minutes=30, mitigation=mitigation)
+        rows.append([
+            name,
+            result.power("healthy", "k9"),
+            result.power("outage", "k9"),
+            result.power("recovered", "k9"),
+            result.app("k9").synced,
+        ])
+    print(format_table(
+        ["regime", "healthy (mW)", "outage (mW)", "recovered (mW)",
+         "mail syncs"],
+        rows,
+        title="K-9 through a 15-minute mail-server outage "
+              "(same seeded timeline)",
+    ))
+    print("\nLeaseOS is invisible while the app behaves (healthy phase "
+          "matches vanilla),\ncontains the exception-handling holds "
+          "during the outage, and lets syncing\nresume afterwards. Doze "
+          "saves power by killing the syncs outright -- the\ndifference "
+          "between utilitarian leases and blanket deferral.")
+
+
+if __name__ == "__main__":
+    main()

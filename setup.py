@@ -1,0 +1,9 @@
+"""Setuptools shim; metadata lives in pyproject.toml.
+
+Kept so legacy editable installs (``python setup.py develop``) work in
+offline environments without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Reproduction of LeaseOS (ASPLOS '19): lease-based, utilitarian resource
+management on mobile devices, on top of a discrete-event device simulator.
+
+The public API is spread over the subpackages:
+
+- :mod:`repro.sim` -- discrete-event simulation engine.
+- :mod:`repro.device` -- device hardware, power model, battery.
+- :mod:`repro.droid` -- the Android-like OS substrate (services, IPC, apps).
+- :mod:`repro.core` -- the LeaseOS contribution (leases, utility, policy).
+- :mod:`repro.mitigation` -- vanilla/Doze/DefDroid/throttling baselines.
+- :mod:`repro.apps` -- the buggy and normal app workloads from the paper.
+- :mod:`repro.experiments` -- one harness per paper table/figure.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,15 @@
+"""Workload apps: the paper's evaluation subjects.
+
+- :mod:`repro.apps.buggy` -- behavioural re-implementations of the 20
+  real-world energy-bug cases of Table 5 (registry:
+  :data:`repro.apps.buggy.BUGGY_CASES`).
+- :mod:`repro.apps.normal` -- well-behaved apps: the §7.4 usability trio
+  (RunKeeper, Spotify, Haven), the Trepn profiler, and interactive
+  foreground apps for Figs. 11/13/14.
+- :mod:`repro.apps.synthetic` -- the §5.1 Long-Holding test app and the
+  §7.5 intermittent-misbehaviour generator.
+"""
+
+from repro.apps.spec import CaseSpec, build_phone_for
+
+__all__ = ["CaseSpec", "build_phone_for"]

@@ -1,0 +1,20 @@
+"""The 20 real-world energy-bug cases of Table 5, re-implemented.
+
+Each app module encodes the *documented defect* (from the paper's §2 case
+studies and the issue links in its bibliography) as app logic on the
+:mod:`repro.droid` framework; each :class:`~repro.apps.spec.CaseSpec`
+in :data:`BUGGY_CASES` carries the environment that triggers the bug and
+the paper's measured powers for comparison.
+"""
+
+from repro.apps.buggy.cpu_apps import CPU_CASES
+from repro.apps.buggy.gps_apps import GPS_CASES
+from repro.apps.buggy.screen_apps import SCREEN_CASES
+from repro.apps.buggy.sensor_apps import SENSOR_CASES
+
+#: All Table 5 rows, in the paper's order.
+BUGGY_CASES = CPU_CASES + SCREEN_CASES + GPS_CASES + SENSOR_CASES
+
+CASES_BY_KEY = {case.key: case for case in BUGGY_CASES}
+
+__all__ = ["BUGGY_CASES", "CASES_BY_KEY"]

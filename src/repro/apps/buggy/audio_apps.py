@@ -1,0 +1,61 @@
+"""Extension case: the paper's introduction example, on the audio class.
+
+§1 opens with the Facebook iOS release that "would leak the audio
+sessions in some scenarios, leaving the app doing nothing but staying
+awake in the background draining the battery", plus "long CPU spins
+without making any progress" in the network handling code. This module
+reproduces both halves on the simulated audio service: a session opened
+for a video in the feed is never closed when the user scrolls on, and a
+keepalive path occasionally spins.
+
+Not a Table 5 row (the paper's evaluation covers Android resources);
+this exercises the audio lease proxy end to end.
+"""
+
+from repro.apps.spec import CaseSpec
+from repro.core.behavior import BehaviorType
+from repro.droid.app import App
+from repro.droid.exceptions import NetworkException
+from repro.droid.resources import ResourceType
+
+
+class FacebookAudioLeak(App):
+    """Leaks an audio session and keeps the CPU awake behind it."""
+
+    app_name = "Facebook (audio leak)"
+    category = "social"
+
+    VIDEO_S = 20.0
+
+    def run(self):
+        # The user watches one feed video...
+        self.session = self.ctx.audio.open_session(self, "feed-video")
+        self.session.start_playback()
+        self.lock = self.ctx.power.new_wakelock(self, "fb-av")
+        self.lock.acquire()
+        yield self.sleep(self.VIDEO_S)
+        # ...then scrolls on. The buggy path stops the frames but leaks
+        # the session and the wakelock; the network keepalive spins.
+        self.session.stop_playback()
+        while True:
+            try:
+                yield from self.compute(0.3)
+                yield from self.http("facebook-av", payload_s=0.1)
+            except NetworkException as exc:
+                self.note_exception(exc)
+            yield self.sleep(2.0)
+
+
+AUDIO_EXTRA_CASES = [
+    CaseSpec(
+        key="facebook-audio",
+        app_factory=FacebookAudioLeak,
+        category="social",
+        resource=ResourceType.AUDIO,
+        behavior=BehaviorType.LHB,
+        description="Audio session leaked after playback (the 1 iOS "
+                    "example; extension case, not in Table 5)",
+        servers={"facebook-av": "error"},
+        paper_power={},
+    ),
+]

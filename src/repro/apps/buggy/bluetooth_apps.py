@@ -1,0 +1,56 @@
+"""Extension case: a leaked Bluetooth discovery scan.
+
+Not part of the paper's Table 5 (its evaluation covers wakelock, screen,
+Wi-Fi, GPS and sensors), but Table 1 explicitly lists Bluetooth among
+the lease-manageable resources with sensor-like semantics. This module
+exercises that row end to end: a Gadgetbridge-style companion app starts
+device discovery to find its watch, the watch is absent, and the
+discovery scan (the expensive Bluetooth mode) is never cancelled.
+"""
+
+from repro.apps.spec import CaseSpec
+from repro.core.behavior import BehaviorType
+from repro.droid.app import App
+from repro.droid.resources import ResourceType
+
+
+class WatchCompanion(App):
+    """Keeps Bluetooth discovery running for a watch that never appears."""
+
+    app_name = "WatchCompanion"
+    category = "wearable"
+
+    PAIRING_WINDOW_S = 25.0
+
+    def on_start(self):
+        self.found_watch = False
+        self.session = self.ctx.bluetooth.start_discovery(
+            self, self._on_result
+        )
+        # The intended flow cancels discovery when pairing times out; the
+        # buggy path only flips the UI state and leaks the scan.
+        self.ctx.alarms.set(self.uid, self.PAIRING_WINDOW_S,
+                            self._pairing_timeout)
+
+    def _on_result(self, result):
+        # Every discovered device is compared against the paired watch's
+        # address; the watch is away, so nothing ever matches.
+        pass
+
+    def _pairing_timeout(self):
+        # BUG: should call self.session.close(); instead just gives up.
+        self.session.set_consumer_active(False)
+
+
+EXTRA_CASES = [
+    CaseSpec(
+        key="watchcompanion-bt",
+        app_factory=WatchCompanion,
+        category="wearable",
+        resource=ResourceType.BLUETOOTH,
+        behavior=BehaviorType.LHB,
+        description="Bluetooth discovery scan leaked after pairing "
+                    "timeout (extension case, not in the paper's Table 5)",
+        paper_power={},
+    ),
+]

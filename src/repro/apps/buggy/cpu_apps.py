@@ -1,0 +1,271 @@
+"""CPU (wakelock) energy-bug cases: Table 5 rows 1-6.
+
+- Facebook: background service keeps the CPU awake with keepalive chatter
+  while doing almost no work (LHB).
+- Torch: wakelock acquired and simply never released (LHB).
+- Kontalk: wakelock acquired in onCreate, released only in onDestroy;
+  held long after authentication finished (§2, Case II; LHB).
+- K-9 Mail: exception-retry loop without backoff (§2, Case I). Two
+  triggers: a failing mail server (Fig. 2 pattern) and a disconnected
+  network, where the app spins at full CPU making no progress (Fig. 4
+  pattern; LUB -- utilization can exceed 100%, utility ~0).
+- ServalMesh: retries mesh connectivity forever when not attached to an
+  access point (LUB).
+- TextSecure: websocket reconnect loop against a broken endpoint (LUB).
+"""
+
+from repro.apps.spec import CaseSpec
+from repro.core.behavior import BehaviorType
+from repro.droid.app import App
+from repro.droid.exceptions import NetworkException
+from repro.droid.resources import ResourceType
+from repro.env.network import ServerMode
+
+
+class Facebook(App):
+    app_name = "Facebook"
+    category = "social"
+
+    KEEPALIVE_INTERVAL_S = 12.0
+    PREFETCH_EVERY = 5  # keepalives between feed prefetches
+
+    def run(self):
+        lock = self.ctx.power.new_wakelock(self, "fb-background")
+        lock.acquire()  # the buggy release path never runs
+        rounds = 0
+        while True:
+            try:
+                yield from self.http("facebook-push", payload_s=1.1)
+                rounds += 1
+                if rounds % self.PREFETCH_EVERY == 0:
+                    # Periodic feed/media prefetch nobody asked for.
+                    yield from self.http("facebook-cdn", payload_s=5.0)
+            except NetworkException as exc:
+                self.note_exception(exc)
+            yield from self.compute(0.3)
+            yield self.sleep(self.KEEPALIVE_INTERVAL_S)
+
+
+class Torch(App):
+    app_name = "Torch"
+    category = "tool"
+
+    def run(self):
+        # "FlashDevice: get the wakelock only if it isn't held already" --
+        # the release path was broken, so the lock is held forever while
+        # the app does nothing at all.
+        self.lock = self.ctx.power.new_wakelock(self, "torch-flash")
+        self.lock.acquire()
+        while True:
+            yield self.sleep(300.0)
+
+
+class Kontalk(App):
+    app_name = "Kontalk"
+    category = "messaging"
+
+    def run(self):
+        # Case II: acquire when the service is created, release only when
+        # the service is destroyed (never, in practice).
+        lock = self.ctx.power.new_wakelock(self, "kontalk-service")
+        lock.acquire()
+        try:
+            yield from self.http("kontalk-auth", payload_s=0.5)
+            yield from self.compute(0.4)  # XMPP session setup
+        except NetworkException as exc:
+            self.note_exception(exc)
+        # Authenticated; the fix would release here. The bug keeps the
+        # CPU forced on while the connection just idles.
+        while True:
+            yield self.sleep(120.0)
+
+
+class K9Mail(App):
+    app_name = "K-9 Mail"
+    category = "mail"
+
+    SYNC_PERIOD_S = 30.0
+
+    def __init__(self, scenario="disconnected"):
+        super().__init__()
+        if scenario not in ("disconnected", "bad_server"):
+            raise ValueError("unknown K-9 scenario {!r}".format(scenario))
+        self.scenario = scenario
+        self.synced = 0  # successful push rounds (mail delivered)
+        self._syncing = False
+
+    def on_start(self):
+        self.lock = self.ctx.power.new_wakelock(self, "k9-push")
+        if self.scenario == "bad_server":
+            self.ctx.alarms.set_repeating(
+                self.uid, self.SYNC_PERIOD_S, self._sync_alarm
+            )
+
+    def _sync_alarm(self):
+        if not self._syncing:
+            self._syncing = True
+            self.spawn(self._sync_once(), name="k9.sync")
+
+    def _sync_once(self):
+        # Fig. 2 trigger: the server answers with errors. Each alarm-driven
+        # sync acquires the wakelock, retries a few times, and -- the bug --
+        # keeps holding the lock through a long exception-handling path
+        # before a very late release. Holds are long, CPU is nearly idle.
+        self.lock.acquire()
+        had_error = False
+        try:
+            for __ in range(3):
+                try:
+                    yield from self.compute(0.08)
+                    yield from self.http("mail-server", payload_s=0.2)
+                    self.synced += 1
+                    break
+                except NetworkException as exc:
+                    had_error = True
+                    self.note_exception(exc)
+                    # waits on connection state, lock still held
+                    yield self.sleep(4.0 + 8.0 * self.rng.random())
+            if had_error:
+                # The buggy exception-handling path lingers with the
+                # lock held long after the last retry.
+                yield self.sleep(5.0 + 10.0 * self.rng.random())
+            else:
+                yield self.sleep(0.5 + self.rng.random())
+        finally:
+            self.lock.release()
+            self._syncing = False
+
+    def run(self):
+        if self.scenario != "disconnected":
+            return
+        # Case I / Fig. 8 / Fig. 4 trigger: EasPusher's start() acquires
+        # a wakelock, loops over folders + push request, and releases
+        # only at the *end* of start(). On exceptions it retries
+        # instantly with no backoff, spinning multiple cores while
+        # disconnected -- the release is never reached until the
+        # environment recovers.
+        while True:
+            self.lock.acquire()
+            while True:
+                try:
+                    # Serializer work per folder, then the push request.
+                    yield from self.compute(0.25, cores=3.0)
+                    yield from self.http("mail-server", payload_s=0.2)
+                    yield from self.compute(0.1)
+                    self.synced += 1
+                    break  # success: fall through to the release
+                except NetworkException:
+                    continue  # the no-backoff bug
+            self.lock.release()
+            yield self.sleep(30.0)
+
+
+class ServalMesh(App):
+    app_name = "ServalMesh"
+    category = "tool"
+
+    RETRY_INTERVAL_S = 5.0
+
+    def run(self):
+        # Issue: "save power when not connected to an access point" --
+        # the mesh service keeps routing, scanning and re-connecting
+        # regardless.
+        lock = self.ctx.power.new_wakelock(self, "serval-mesh")
+        lock.acquire()
+        while True:
+            yield from self.compute(0.9)  # peer table + route recompute
+            try:
+                yield from self.http("serval-peer", payload_s=0.2)
+            except NetworkException as exc:
+                self.note_exception(exc)
+            yield self.sleep(self.RETRY_INTERVAL_S)
+
+
+class TextSecure(App):
+    app_name = "TextSecure"
+    category = "messaging"
+
+    RETRY_INTERVAL_S = 3.0
+
+    def run(self):
+        lock = self.ctx.power.new_wakelock(self, "textsecure-websocket")
+        lock.acquire()
+        while True:
+            try:
+                yield from self.compute(0.2)  # frame the request
+                yield from self.http("textsecure-ws")
+                yield from self.compute(0.1)
+            except NetworkException as exc:
+                self.note_exception(exc)
+                yield from self.compute(0.45)  # tear down / rebuild socket
+            yield self.sleep(self.RETRY_INTERVAL_S)
+
+
+CPU_CASES = [
+    CaseSpec(
+        key="facebook",
+        app_factory=Facebook,
+        category="social",
+        resource=ResourceType.WAKELOCK,
+        behavior=BehaviorType.LHB,
+        description="Background service pins the CPU with keepalives",
+        phone_kwargs=dict(connected=True),
+        servers={"facebook-push": ServerMode.OK},
+        paper_power=dict(vanilla=100.62, leaseos=1.93, doze=18.92,
+                         defdroid=12.68),
+    ),
+    CaseSpec(
+        key="torch",
+        app_factory=Torch,
+        category="tool",
+        resource=ResourceType.WAKELOCK,
+        behavior=BehaviorType.LHB,
+        description="Wakelock never released, app fully idle",
+        paper_power=dict(vanilla=81.54, leaseos=1.30, doze=19.26,
+                         defdroid=14.39),
+    ),
+    CaseSpec(
+        key="kontalk",
+        app_factory=Kontalk,
+        category="messaging",
+        resource=ResourceType.WAKELOCK,
+        behavior=BehaviorType.LHB,
+        description="Acquire in onCreate, release only in onDestroy",
+        servers={"kontalk-auth": ServerMode.OK},
+        paper_power=dict(vanilla=29.41, leaseos=0.39, doze=16.84,
+                         defdroid=15.99),
+    ),
+    CaseSpec(
+        key="k9",
+        app_factory=lambda: K9Mail(scenario="disconnected"),
+        category="mail",
+        resource=ResourceType.WAKELOCK,
+        behavior=BehaviorType.LUB,
+        description="No-backoff retry loop spinning while disconnected",
+        phone_kwargs=dict(connected=False),
+        paper_power=dict(vanilla=890.35, leaseos=81.62, doze=195.2,
+                         defdroid=136.14),
+    ),
+    CaseSpec(
+        key="servalmesh",
+        app_factory=ServalMesh,
+        category="tool",
+        resource=ResourceType.WAKELOCK,
+        behavior=BehaviorType.LUB,
+        description="Endless mesh reconnect scanning",
+        servers={"serval-peer": ServerMode.ERROR},
+        paper_power=dict(vanilla=134.27, leaseos=1.37, doze=30.54,
+                         defdroid=14.88),
+    ),
+    CaseSpec(
+        key="textsecure",
+        app_factory=TextSecure,
+        category="messaging",
+        resource=ResourceType.WAKELOCK,
+        behavior=BehaviorType.LUB,
+        description="Websocket reconnect loop against broken endpoint",
+        servers={"textsecure-ws": ServerMode.ERROR},
+        paper_power=dict(vanilla=81.62, leaseos=1.198, doze=18.78,
+                         defdroid=16.78),
+    ),
+]

@@ -1,0 +1,304 @@
+"""GPS energy-bug cases: Table 5 rows 10-18.
+
+Frequent-Ask cases (weak-signal environments):
+
+- BetterWeather (§2, Case III): ``requestLocation`` keeps searching for a
+  GPS lock non-stop inside a building; the fix never arrives (Fig. 1).
+- WHERE: re-issues a fresh location request every 30 s after its own
+  timeout, again under weak signal.
+
+Long-Holding cases (registration outlives the consumer):
+
+- MozStumbler: "interval based peroidic scanning" issue -- the GPS stays
+  registered between scan windows.
+- OSMTracker / GPSLogger / BostonBusMap: tracking stopped (or the
+  location UI is gone) but the listener registration remains.
+
+Low-Utility cases (locked and delivering, but the data is worthless --
+the user is stationary and nothing visible comes out of it):
+
+- AIMSICD, OpenScienceMap, OpenGPSTracker (which also burns CPU
+  processing every fix of an unmoving position).
+"""
+
+from repro.apps.spec import CaseSpec
+from repro.core.behavior import BehaviorType
+from repro.droid.app import App
+from repro.droid.resources import ResourceType
+
+
+class BetterWeather(App):
+    app_name = "BetterWeather"
+    category = "widget"
+
+    def on_start(self):
+        # The widget wants one location to fetch weather for; with no GPS
+        # lock achievable it just keeps the receiver searching.
+        self.fixes = 0
+        self.registration = self.ctx.location.request_location_updates(
+            self, self._on_location, interval=10.0
+        )
+
+    def _on_location(self, location):
+        self.fixes += 1
+        self.post_ui_update()  # weather refresh (never happens indoors)
+
+
+class Where(App):
+    app_name = "WHERE"
+    category = "travel"
+
+    REREQUEST_INTERVAL_S = 30.0
+
+    def on_start(self):
+        self.registration = None
+        self._request()
+        self.ctx.alarms.set_repeating(
+            self.uid, self.REREQUEST_INTERVAL_S, self._request
+        )
+
+    def _request(self):
+        # Times out waiting for a fix and immediately asks again with a
+        # brand-new registration: the Frequent-Ask pattern.
+        if self.registration is not None:
+            self.registration.remove()
+        self.registration = self.ctx.location.request_location_updates(
+            self, self._on_location, interval=5.0
+        )
+
+    def _on_location(self, location):
+        self.post_ui_update()
+
+
+class MozStumbler(App):
+    app_name = "MozStumbler"
+    category = "service"
+
+    SCAN_PERIOD_S = 120.0
+    SCAN_WINDOW_S = 50.0
+
+    def on_start(self):
+        # Scanning is supposed to be interval-based, but the registration
+        # never pauses between windows; only the consumer does.
+        self.scanning = False
+        self.registration = self.ctx.location.request_location_updates(
+            self, self._on_location, interval=5.0
+        )
+        self.registration.set_consumer_active(False)
+        self.ctx.alarms.set_repeating(
+            self.uid, self.SCAN_PERIOD_S, self._begin_scan
+        )
+
+    def _begin_scan(self):
+        self.scanning = True
+        self.registration.set_consumer_active(True)
+        self.ctx.alarms.set(self.uid, self.SCAN_WINDOW_S, self._end_scan)
+
+    def _end_scan(self):
+        self.scanning = False
+        self.registration.set_consumer_active(False)
+
+    def _on_location(self, location):
+        if self.scanning:
+            self.note_data_write()  # stumbling report
+
+
+class _AbandonedTrackerApp(App):
+    """Shared shape: track briefly, then the consumer goes away but the
+    GPS registration is leaked."""
+
+    category = "travel"
+    TRACKING_PHASE_S = 30.0
+    interval_s = 5.0
+
+    def on_start(self):
+        self.tracking = True
+        self.registration = self.ctx.location.request_location_updates(
+            self, self._on_location, interval=self.interval_s
+        )
+        self.ctx.alarms.set(self.uid, self.TRACKING_PHASE_S,
+                            self._stop_tracking)
+
+    def _stop_tracking(self):
+        # The user ends the activity; the buggy path forgets
+        # removeUpdates, leaving the listener registered forever.
+        self.tracking = False
+        self.registration.set_consumer_active(False)
+
+    def _on_location(self, location):
+        if self.tracking:
+            self.note_data_write()
+            self.post_ui_update()
+
+
+class OSMTracker(_AbandonedTrackerApp):
+    app_name = "OSMTracker"
+    category = "navigation"
+
+
+class GPSLogger(_AbandonedTrackerApp):
+    app_name = "GPSLogger"
+    category = "travel"
+
+
+class BostonBusMap(_AbandonedTrackerApp):
+    app_name = "BostonBusMap"
+    category = "travel"
+    TRACKING_PHASE_S = 20.0
+
+
+class Aimsicd(App):
+    app_name = "AIMSICD"
+    category = "service"
+
+    def on_start(self):
+        # IMSI-catcher detector: polls location at high rate around the
+        # clock; the phone sits on a desk, so every fix is the same spot.
+        self.registration = self.ctx.location.request_location_updates(
+            self, self._on_location, interval=2.0
+        )
+
+    def _on_location(self, location):
+        pass  # compared against cell database; nothing visible happens
+
+
+class OpenScienceMap(App):
+    app_name = "OpenScienceMap"
+    category = "navigation"
+
+    def on_start(self):
+        # "GPS stays active" after leaving the map view.
+        self.registration = self.ctx.location.request_location_updates(
+            self, self._on_location, interval=3.0
+        )
+
+    def _on_location(self, location):
+        pass  # the map view that would consume this is gone
+
+
+class OpenGPSTracker(App):
+    app_name = "OpenGPSTracker"
+    category = "travel"
+
+    def on_start(self):
+        # Tracks at 1 Hz and post-processes every fix while the device
+        # never moves; also pins the CPU with a recording wakelock.
+        self.lock = self.ctx.power.new_wakelock(self, "ogt-recording")
+        self.lock.acquire()
+        self.registration = self.ctx.location.request_location_updates(
+            self, self._on_location, interval=1.0
+        )
+
+    def _on_location(self, location):
+        self.spawn(self.compute(0.62), name="ogt.process-fix")
+
+
+def _weak_signal(quality=0.1):
+    return dict(gps_quality=quality, movement_mps=0.0)
+
+
+def _stationary():
+    return dict(gps_quality=0.95, movement_mps=0.0)
+
+
+GPS_CASES = [
+    CaseSpec(
+        key="betterweather",
+        app_factory=BetterWeather,
+        category="widget",
+        resource=ResourceType.GPS,
+        behavior=BehaviorType.FAB,
+        description="Non-stop GPS search under weak indoor signal",
+        phone_kwargs=_weak_signal(0.10),
+        paper_power=dict(vanilla=115.36, leaseos=2.59, doze=20.38,
+                         defdroid=39.97),
+    ),
+    CaseSpec(
+        key="where",
+        app_factory=Where,
+        category="travel",
+        resource=ResourceType.GPS,
+        behavior=BehaviorType.FAB,
+        description="Re-requests a fresh GPS registration every 30 s",
+        phone_kwargs=_weak_signal(0.12),
+        paper_power=dict(vanilla=126.28, leaseos=23.33, doze=20.42,
+                         defdroid=69.62),
+    ),
+    CaseSpec(
+        key="mozstumbler",
+        app_factory=MozStumbler,
+        category="service",
+        resource=ResourceType.GPS,
+        behavior=BehaviorType.LHB,
+        description="GPS registered between periodic scan windows",
+        phone_kwargs=dict(gps_quality=0.95, movement_mps=0.0),
+        paper_power=dict(vanilla=122.43, leaseos=67.53, doze=36.48,
+                         defdroid=62.7),
+    ),
+    CaseSpec(
+        key="osmtracker",
+        app_factory=OSMTracker,
+        category="navigation",
+        resource=ResourceType.GPS,
+        behavior=BehaviorType.LHB,
+        description="Listener leaked after tracking stops",
+        phone_kwargs=_stationary(),
+        paper_power=dict(vanilla=121.51, leaseos=8.39, doze=20.52,
+                         defdroid=73.34),
+    ),
+    CaseSpec(
+        key="gpslogger",
+        app_factory=GPSLogger,
+        category="travel",
+        resource=ResourceType.GPS,
+        behavior=BehaviorType.LHB,
+        description="Listener leaked after logging stops",
+        phone_kwargs=_stationary(),
+        paper_power=dict(vanilla=118.25, leaseos=4.33, doze=21.98,
+                         defdroid=70.7),
+    ),
+    CaseSpec(
+        key="bostonbusmap",
+        app_factory=BostonBusMap,
+        category="travel",
+        resource=ResourceType.GPS,
+        behavior=BehaviorType.LHB,
+        description="GPS kept on after the location view is closed",
+        phone_kwargs=_stationary(),
+        paper_power=dict(vanilla=115.5, leaseos=3.97, doze=19.5,
+                         defdroid=71.09),
+    ),
+    CaseSpec(
+        key="aimsicd",
+        app_factory=Aimsicd,
+        category="service",
+        resource=ResourceType.GPS,
+        behavior=BehaviorType.LUB,
+        description="Round-the-clock fixes of an unmoving phone",
+        phone_kwargs=_stationary(),
+        paper_power=dict(vanilla=119.43, leaseos=4.50, doze=23.91,
+                         defdroid=73.31),
+    ),
+    CaseSpec(
+        key="opensciencemap",
+        app_factory=OpenScienceMap,
+        category="navigation",
+        resource=ResourceType.GPS,
+        behavior=BehaviorType.LUB,
+        description="GPS stays active after leaving the map",
+        phone_kwargs=_stationary(),
+        paper_power=dict(vanilla=123.97, leaseos=3.40, doze=19.91,
+                         defdroid=91.25),
+    ),
+    CaseSpec(
+        key="opengpstracker",
+        app_factory=OpenGPSTracker,
+        category="travel",
+        resource=ResourceType.GPS,
+        behavior=BehaviorType.LUB,
+        description="1 Hz fixes + CPU post-processing of a fixed position",
+        phone_kwargs=_stationary(),
+        paper_power=dict(vanilla=360.25, leaseos=1.32, doze=19.91,
+                         defdroid=237.41),
+    ),
+]

@@ -1,0 +1,96 @@
+"""Screen and Wi-Fi lock energy-bug cases: Table 5 rows 7-9.
+
+- ConnectBot (screen): keeps a screen-bright wakelock for the terminal
+  session even when the user has long stopped interacting (LHB).
+- Standup Timer: releases its screen wakelock in onPause, but a code path
+  leaves the timer screen locked with no one watching (LHB).
+- ConnectBot (Wi-Fi): "only lock Wi-Fi if our active network is Wi-Fi" --
+  the buggy version holds a Wi-Fi high-perf lock while on cellular,
+  keeping the Wi-Fi radio awake with zero transfers (LHB).
+"""
+
+from repro.apps.spec import CaseSpec
+from repro.core.behavior import BehaviorType
+from repro.droid.app import App
+from repro.droid.power_manager import WakeLockLevel
+from repro.droid.resources import ResourceType
+
+
+class ConnectBotScreen(App):
+    app_name = "ConnectBot"
+    category = "tool"
+
+    def run(self):
+        # An SSH session screen lock; the user walks away but the session
+        # (and its bright-screen lock) stays.
+        lock = self.ctx.power.new_wakelock(
+            self, "connectbot-session", level=WakeLockLevel.SCREEN_BRIGHT
+        )
+        lock.acquire()
+        while True:
+            yield self.sleep(300.0)
+
+
+class StandupTimer(App):
+    app_name = "Standup Timer"
+    category = "productivity"
+
+    def run(self):
+        # The fix moved release into onPause "because onPause is
+        # guaranteed to be called"; the buggy version keeps the meeting
+        # timer's screen on forever after the meeting ends.
+        lock = self.ctx.power.new_wakelock(
+            self, "standup-timer", level=WakeLockLevel.SCREEN_BRIGHT
+        )
+        lock.acquire()
+        while True:
+            yield from self.compute(0.05)  # tick the timer display
+            yield self.sleep(10.0)
+
+
+class ConnectBotWifi(App):
+    app_name = "ConnectBot (Wi-Fi)"
+    category = "tool"
+
+    def run(self):
+        # Active network is cellular, but the Wi-Fi lock is taken anyway
+        # and never released.
+        lock = self.ctx.wifi.new_lock(self, "connectbot-wifi")
+        lock.acquire()
+        while True:
+            yield self.sleep(300.0)
+
+
+SCREEN_CASES = [
+    CaseSpec(
+        key="connectbot-screen",
+        app_factory=ConnectBotScreen,
+        category="tool",
+        resource=ResourceType.SCREEN,
+        behavior=BehaviorType.LHB,
+        description="Screen-bright wakelock held with no user present",
+        paper_power=dict(vanilla=576.52, leaseos=23.23, doze=573.23,
+                         defdroid=115.56),
+    ),
+    CaseSpec(
+        key="standup-timer",
+        app_factory=StandupTimer,
+        category="productivity",
+        resource=ResourceType.SCREEN,
+        behavior=BehaviorType.LHB,
+        description="Screen wakelock not released after the meeting",
+        paper_power=dict(vanilla=569.10, leaseos=13.26, doze=544.46,
+                         defdroid=61.82),
+    ),
+    CaseSpec(
+        key="connectbot-wifi",
+        app_factory=ConnectBotWifi,
+        category="tool",
+        resource=ResourceType.WIFI,
+        behavior=BehaviorType.LHB,
+        description="Wi-Fi lock held while the active network is cellular",
+        phone_kwargs=dict(connected=True, network_kind="cellular"),
+        paper_power=dict(vanilla=17.08, leaseos=0.78, doze=3.21,
+                         defdroid=2.57),
+    ),
+]

@@ -1,0 +1,118 @@
+"""Sensor energy-bug cases: Table 5 rows 19-20.
+
+- TapAndTurn: "polls sensors even when screen is off" -- the orientation
+  sensor stays registered while its rotate-icon overlay can never be
+  shown or clicked (LUB). This is also the paper's custom-utility
+  example (Fig. 6): the app can report ``100 * clicks / rotations``.
+- Riot: accelerometer registered by the messaging app with nothing
+  consuming the readings (LUB).
+"""
+
+from repro.apps.spec import CaseSpec
+from repro.core.behavior import BehaviorType
+from repro.core.utility import UtilityCounter
+from repro.droid.app import App
+from repro.droid.resources import ResourceType
+from repro.droid.sensors import SensorType
+
+
+class OrientationEvent:
+    """One rotation event and whether the user clicked the icon."""
+
+    __slots__ = ("time", "click")
+
+    def __init__(self, time, click):
+        self.time = time
+        self.click = click
+
+
+class ClickUtility(UtilityCounter):
+    """The Fig. 6 counter: 100 * clicks / rotations (50 when no events).
+
+    Scored over the most recent rotations so the hint tracks *current*
+    user engagement, the way a real implementation would drain its event
+    list between readings.
+    """
+
+    WINDOW_EVENTS = 60
+
+    def __init__(self):
+        self.events = []
+
+    def get_score(self):
+        if not self.events:
+            return 50.0
+        recent = self.events[-self.WINDOW_EVENTS:]
+        clicks = sum(1 for e in recent if e.click)
+        # Bound memory like a real app would.
+        self.events = self.events[-10 * self.WINDOW_EVENTS:]
+        return 100.0 * clicks / len(recent)
+
+    def drain(self):
+        self.events = []
+
+
+class TapAndTurn(App):
+    app_name = "TapAndTurn"
+    category = "tool"
+
+    def __init__(self, use_custom_utility=False):
+        super().__init__()
+        self.use_custom_utility = use_custom_utility
+        self.utility = ClickUtility()
+
+    def on_start(self):
+        self.registration = self.ctx.sensors.register_listener(
+            self, SensorType.ORIENTATION, self._on_rotation, rate_hz=5.0
+        )
+        if self.use_custom_utility:
+            self.set_utility_counter(ResourceType.SENSOR, self.utility)
+
+    def _on_rotation(self, reading):
+        # The overlay icon would appear here; with the screen off nobody
+        # ever clicks it.
+        clicked = self.ctx.display.screen_on and self.rng.random() < 0.55
+        self.utility.events.append(
+            OrientationEvent(self.ctx.sim.now, clicked)
+        )
+        if clicked:
+            self.post_ui_update()
+
+
+class Riot(App):
+    app_name = "Riot"
+    category = "messaging"
+
+    def on_start(self):
+        # Accelerometer registered at a high rate for a shake feature
+        # nobody uses; readings go nowhere.
+        self.registration = self.ctx.sensors.register_listener(
+            self, SensorType.ACCELEROMETER, self._on_reading, rate_hz=10.0
+        )
+
+    def _on_reading(self, reading):
+        pass
+
+
+SENSOR_CASES = [
+    CaseSpec(
+        key="tapandturn",
+        app_factory=TapAndTurn,
+        category="tool",
+        resource=ResourceType.SENSOR,
+        behavior=BehaviorType.LUB,
+        description="Orientation sensor polled with the screen off",
+        paper_power=dict(vanilla=11.72, leaseos=1.87, doze=3.95,
+                         defdroid=4.41),
+    ),
+    CaseSpec(
+        key="riot",
+        app_factory=Riot,
+        category="messaging",
+        resource=ResourceType.SENSOR,
+        behavior=BehaviorType.LUB,
+        description="Accelerometer registered with no consumer",
+        paper_power=dict(vanilla=19.17, leaseos=1.43, doze=6.64,
+                         defdroid=3.93),
+    ),
+]

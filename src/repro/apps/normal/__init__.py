@@ -1,0 +1,35 @@
+"""Well-behaved apps: the §7.4 usability subjects and foreground apps.
+
+- :mod:`repro.apps.normal.background` -- RunKeeper, Spotify, Haven (the
+  §7.4 trio) and the Trepn profiler app, all with built-in disruption
+  watchdogs so usability impact is measurable.
+- :mod:`repro.apps.normal.interactive` -- user-driven foreground apps for
+  the lease-activity (Fig. 11), overhead (Fig. 13) and latency (Fig. 14)
+  experiments.
+"""
+
+from repro.apps.normal.background import (
+    Haven,
+    NextcloudSync,
+    RunKeeper,
+    Spotify,
+    TrepnProfiler,
+    USABILITY_APPS,
+)
+from repro.apps.normal.interactive import (
+    InteractiveApp,
+    LatencyProbeApp,
+    popular_apps,
+)
+
+__all__ = [
+    "RunKeeper",
+    "Spotify",
+    "Haven",
+    "NextcloudSync",
+    "TrepnProfiler",
+    "USABILITY_APPS",
+    "InteractiveApp",
+    "LatencyProbeApp",
+    "popular_apps",
+]

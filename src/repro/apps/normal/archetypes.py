@@ -1,0 +1,185 @@
+"""More well-behaved app archetypes, including "after the fix" apps.
+
+The most interesting one is :class:`K9MailFixed`: the paper notes the
+K-9 developers fixed Case I "by adding an exponential back-off and
+prompt wakelock release". Running the fixed app on vanilla Android
+against the *buggy* app under LeaseOS quantifies the paper's implicit
+claim: the lease mechanism automatically approximates what a correct
+developer fix achieves, without the developer.
+"""
+
+from repro.droid.app import App
+from repro.droid.exceptions import NetworkException
+
+
+class K9MailFixed(App):
+    """K-9 after the developers' fix: backoff + prompt release."""
+
+    app_name = "K-9 Mail (fixed)"
+    category = "mail"
+
+    SYNC_PERIOD_S = 30.0
+    MAX_BACKOFF_S = 600.0
+
+    def __init__(self):
+        super().__init__()
+        self.synced = 0
+        self.backoff_s = 0.0  # remaining skip time
+        self.last_backoff_s = 0.0  # the exponential ladder position
+        self._syncing = False
+
+    def on_start(self):
+        self.lock = self.ctx.power.new_wakelock(self, "k9-push-fixed")
+        self.ctx.alarms.set_repeating(self.uid, self.SYNC_PERIOD_S,
+                                      self._sync_alarm)
+
+    def _sync_alarm(self):
+        if self._syncing:
+            return
+        if self.backoff_s > 0:
+            # Exponential backoff: skip sync rounds while backing off.
+            self.backoff_s = max(0.0, self.backoff_s - self.SYNC_PERIOD_S)
+            return
+        self._syncing = True
+        self.spawn(self._sync_once(), name="k9fixed.sync")
+
+    def _sync_once(self):
+        self.lock.acquire()
+        try:
+            yield from self.compute(0.08)
+            yield from self.http("mail-server", payload_s=0.2)
+            self.synced += 1
+            self.backoff_s = 0.0
+            self.last_backoff_s = 0.0
+        except NetworkException as exc:
+            self.note_exception(exc)
+            # The fix: back off exponentially instead of spinning.
+            self.last_backoff_s = min(
+                self.MAX_BACKOFF_S,
+                max(self.SYNC_PERIOD_S, self.last_backoff_s * 2.0),
+            )
+            self.backoff_s = self.last_backoff_s
+        finally:
+            # The fix: prompt release on every path.
+            self.lock.release()
+            self._syncing = False
+
+
+class NavigationApp(App):
+    """Turn-by-turn navigation: the canonical legitimate heavy user.
+
+    GPS at 1 Hz, bright screen, route computation per fix, constant UI
+    updates -- Excessive-Use by the classifier, and deliberately left
+    alone by LeaseOS (EUB is a non-goal, §4).
+    """
+
+    app_name = "TurnByTurn"
+    category = "navigation"
+    foreground_service = True
+
+    def on_start(self):
+        from repro.droid.power_manager import WakeLockLevel
+
+        self.screen_lock = self.ctx.power.new_wakelock(
+            self, "nav-screen", level=WakeLockLevel.SCREEN_BRIGHT
+        )
+        self.screen_lock.acquire()
+        self.registration = self.ctx.location.request_location_updates(
+            self, self._on_fix, interval=1.0
+        )
+        self.fixes = 0
+
+    def _on_fix(self, location):
+        self.fixes += 1
+        self.post_ui_update()
+        self.spawn(self.compute(0.15), name="nav.route")
+
+
+class PodcastPlayer(App):
+    """Job-scheduled episode downloads + touch-driven playback."""
+
+    app_name = "PodcatcherPro"
+    category = "media"
+    foreground_service = True
+
+    DOWNLOAD_INTERVAL_S = 600.0
+
+    def __init__(self):
+        super().__init__()
+        self.downloaded = 0
+        self._playing = False
+
+    def on_start(self):
+        self.job = self.ctx.jobs.schedule(
+            self, self.DOWNLOAD_INTERVAL_S, self._download_job,
+            requires_network=True,
+        )
+
+    def _download_job(self):
+        try:
+            yield from self.http("podcast-cdn", payload_s=6.0)
+            self.downloaded += 1
+            self.note_data_write()
+        except NetworkException as exc:
+            self.note_exception(exc)
+
+    def on_touch(self):
+        if not self._playing:
+            self._playing = True
+            self.spawn(self._play(180.0), name="podcast.play")
+
+    def _play(self, duration_s):
+        session = self.ctx.audio.open_session(self, "podcast")
+        session.start_playback()
+        lock = self.ctx.power.new_wakelock(self, "podcast-play")
+        lock.acquire()
+        try:
+            end = self.ctx.sim.now + duration_s
+            while self.ctx.sim.now < end:
+                yield from self.compute(0.1)
+                yield self.sleep(0.9)
+        finally:
+            lock.release()
+            session.stop_playback()
+            session.close()
+            self._playing = False
+
+
+class SmartwatchCompanion(App):
+    """A *healthy* Bluetooth companion: connection, not discovery."""
+
+    app_name = "WatchSync"
+    category = "wearable"
+    foreground_service = True
+
+    SYNC_INTERVAL_S = 60.0
+
+    def __init__(self):
+        super().__init__()
+        self.synced_batches = 0
+        self.notifications = 0
+
+    def on_start(self):
+        self.session = self.ctx.bluetooth.connect(self, self._on_push)
+        self.ctx.alarms.set_repeating(self.uid, self.SYNC_INTERVAL_S,
+                                      self._sync_alarm)
+
+    def _on_push(self, result):
+        # The watch pushes health samples/notifications through the
+        # connection; every few arrivals one batch is persisted.
+        self.notifications += 1
+        if self.notifications % 3 == 0:
+            self.note_data_write()
+
+    def _sync_alarm(self):
+        self.spawn(self._sync_once(), name="watch.sync")
+
+    def _sync_once(self):
+        lock = self.ctx.power.new_wakelock(self, "watch-sync")
+        lock.acquire()
+        try:
+            yield from self.compute(0.2)
+            self.synced_batches += 1
+            self.note_data_write(5)  # health samples persisted
+        finally:
+            lock.release()

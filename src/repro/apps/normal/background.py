@@ -1,0 +1,216 @@
+"""Normal background apps with heavy-but-legitimate resource use (§7.4).
+
+Each app runs a *disruption watchdog* on the AlarmManager (alarm
+callbacks fire even when the device sleeps, so a frozen app still gets
+caught): if the app's core function stalls -- a tracking gap, a playback
+stall, a monitoring blackout -- it records a disruption. Under LeaseOS
+these apps should run disruption-free because their resources produce
+real utility; under pure time-based throttling they all break (§7.4).
+"""
+
+from repro.droid.app import App
+from repro.droid.exceptions import NetworkException
+from repro.droid.sensors import SensorType
+
+
+class RunKeeper(App):
+    """Fitness tracking: GPS + accelerometer + wakelock, user running."""
+
+    app_name = "RunKeeper"
+    category = "fitness"
+    foreground_service = True
+
+    GPS_INTERVAL_S = 3.0
+    WATCHDOG_S = 30.0
+
+    def on_start(self):
+        self.last_fix = self.ctx.sim.now
+        self._in_gap = False
+        self.lock = self.ctx.power.new_wakelock(self, "runkeeper-track")
+        self.lock.acquire()
+        self.registration = self.ctx.location.request_location_updates(
+            self, self._on_location, interval=self.GPS_INTERVAL_S
+        )
+        self.sensor = self.ctx.sensors.register_listener(
+            self, SensorType.ACCELEROMETER, self._on_step, rate_hz=5.0
+        )
+        self.ctx.alarms.set_repeating(self.uid, self.WATCHDOG_S,
+                                      self._watchdog)
+
+    def run(self):
+        # Sensor fusion / pace estimation runs continuously while
+        # tracking, keeping the wakelock visibly utilized.
+        while True:
+            yield from self.compute(0.1)
+            yield self.sleep(0.9)
+
+    def _on_location(self, location):
+        self.last_fix = self.ctx.sim.now
+        self._in_gap = False
+        self.note_data_write()  # track point persisted
+        self.post_ui_update()  # pace/distance display
+
+    def _on_step(self, reading):
+        pass  # cadence estimation folded into the fusion loop
+
+    def _watchdog(self):
+        gap = self.ctx.sim.now - self.last_fix
+        if gap > self.WATCHDOG_S and not self._in_gap:
+            self._in_gap = True
+            self.record_disruption(
+                "fitness tracking stopped ({:.0f}s without a fix)".format(gap)
+            )
+
+
+class Spotify(App):
+    """Music streaming: audio session + wakelock + periodic chunks."""
+
+    app_name = "Spotify"
+    category = "music"
+    foreground_service = True
+
+    CHUNK_INTERVAL_S = 10.0
+    WATCHDOG_S = 20.0
+
+    def on_start(self):
+        self.last_chunk = self.ctx.sim.now
+        self._stalled = False
+        self.session = self.ctx.audio.open_session(self, "spotify-playback")
+        self.session.start_playback()
+        self.lock = self.ctx.power.new_wakelock(self, "spotify-stream")
+        self.lock.acquire()
+        self.ctx.alarms.set_repeating(self.uid, self.WATCHDOG_S,
+                                      self._watchdog)
+
+    def run(self):
+        seconds_since_chunk = self.CHUNK_INTERVAL_S  # fetch immediately
+        while True:
+            if seconds_since_chunk >= self.CHUNK_INTERVAL_S:
+                seconds_since_chunk = 0.0
+                try:
+                    yield from self.http("spotify-cdn", payload_s=1.0)
+                    self.last_chunk = self.ctx.sim.now
+                    self._stalled = False
+                except NetworkException as exc:
+                    self.note_exception(exc)
+            # Decoding keeps the CPU continuously (mildly) busy.
+            yield from self.compute(0.12)
+            yield self.sleep(0.88)
+            seconds_since_chunk += 1.0
+
+    def _watchdog(self):
+        gap = self.ctx.sim.now - self.last_chunk
+        if gap > self.WATCHDOG_S and not self._stalled:
+            self._stalled = True
+            self.record_disruption(
+                "music playback stalled ({:.0f}s without a chunk)".format(gap)
+            )
+
+
+class Haven(App):
+    """Continuous intrusion monitoring via sensors (headless but useful)."""
+
+    app_name = "Haven"
+    category = "security"
+    foreground_service = True
+
+    WATCHDOG_S = 30.0
+
+    def on_start(self):
+        self.last_reading = self.ctx.sim.now
+        self._blind = False
+        self.motion = self.ctx.sensors.register_listener(
+            self, SensorType.CAMERA_MOTION, self._on_motion, rate_hz=2.0
+        )
+        self.accel = self.ctx.sensors.register_listener(
+            self, SensorType.ACCELEROMETER, self._on_motion, rate_hz=5.0
+        )
+        self.ctx.alarms.set_repeating(self.uid, self.WATCHDOG_S,
+                                      self._watchdog)
+
+    def _on_motion(self, reading):
+        self.last_reading = self.ctx.sim.now
+        self._blind = False
+        if reading.value > 0.93:  # motion detected: log evidence
+            self.note_data_write()
+
+    def _watchdog(self):
+        gap = self.ctx.sim.now - self.last_reading
+        if gap > self.WATCHDOG_S and not self._blind:
+            self._blind = True
+            self.record_disruption(
+                "monitoring blind ({:.0f}s without sensor data)".format(gap)
+            )
+
+
+class TrepnProfiler(App):
+    """The profiling tool itself (§7.4 notes it breaks under throttling)."""
+
+    app_name = "Trepn Profiler"
+    category = "tool"
+    foreground_service = True
+
+    SAMPLE_INTERVAL_S = 2.0
+    WATCHDOG_S = 20.0
+
+    def on_start(self):
+        self.last_sample = self.ctx.sim.now
+        self._stopped = False
+        self.lock = self.ctx.power.new_wakelock(self, "trepn-sampling")
+        self.lock.acquire()
+        self.ctx.alarms.set_repeating(self.uid, self.WATCHDOG_S,
+                                      self._watchdog)
+
+    def run(self):
+        while True:
+            yield from self.compute(0.15)
+            self.note_data_write()
+            self.last_sample = self.ctx.sim.now
+            self._stopped = False
+            yield self.sleep(self.SAMPLE_INTERVAL_S)
+
+    def _watchdog(self):
+        gap = self.ctx.sim.now - self.last_sample
+        if gap > self.WATCHDOG_S and not self._stopped:
+            self._stopped = True
+            self.record_disruption(
+                "profiler stopped collecting ({:.0f}s gap)".format(gap)
+            )
+
+
+class NextcloudSync(App):
+    """A modern well-behaved sync app: JobScheduler, not alarms.
+
+    Schedules a network-constrained periodic job; the scheduler holds the
+    wakelock around each run, so the app itself never touches one --
+    the idiom Android pushes app developers toward.
+    """
+
+    app_name = "Nextcloud"
+    category = "productivity"
+
+    SYNC_INTERVAL_S = 120.0
+
+    def on_start(self):
+        self.synced = 0
+        self.job = self.ctx.jobs.schedule(
+            self, self.SYNC_INTERVAL_S, self._sync_job,
+            requires_network=True,
+        )
+
+    def _sync_job(self):
+        yield from self.compute(0.3)
+        try:
+            yield from self.http("nextcloud-server", payload_s=0.6)
+            self.synced += 1
+            self.note_data_write()
+        except NetworkException as exc:
+            self.note_exception(exc)
+
+
+#: The §7.4 usability subjects (factories + the environment they need).
+USABILITY_APPS = [
+    (RunKeeper, dict(gps_quality=0.95, movement_mps=2.5)),
+    (Spotify, dict(connected=True)),
+    (Haven, dict()),
+]

@@ -1,0 +1,109 @@
+"""The "after the developers' fix" versions of more Table 5 cases.
+
+Each mirrors the fix the paper (or the referenced issue tracker)
+describes:
+
+- Kontalk (§2 Case II): "releasing the wakelock as soon as the app is
+  authenticated."
+- BetterWeather (§2 Case III): stop the GPS search after a timeout when
+  no lock can be obtained.
+- Standup Timer: "release the wakeLock in onPause(), because onPause is
+  guaranteed to be called."
+
+Together with :class:`~repro.apps.normal.archetypes.K9MailFixed` these
+drive the generalized fix-vs-lease comparison
+(:mod:`repro.experiments.fix_comparison`).
+"""
+
+from repro.droid.app import App
+from repro.droid.exceptions import NetworkException
+from repro.droid.power_manager import WakeLockLevel
+
+
+class KontalkFixed(App):
+    """Kontalk after the fix: release right after authentication."""
+
+    app_name = "Kontalk (fixed)"
+    category = "messaging"
+
+    def run(self):
+        self.lock = self.ctx.power.new_wakelock(self, "kontalk-service")
+        self.lock.acquire()
+        try:
+            yield from self.http("kontalk-auth", payload_s=0.5)
+            yield from self.compute(0.4)
+        except NetworkException as exc:
+            self.note_exception(exc)
+        finally:
+            self.lock.release()  # THE FIX: release as soon as authed
+        while True:
+            yield self.sleep(120.0)
+
+
+class BetterWeatherFixed(App):
+    """BetterWeather after the fix: give up the search on timeout."""
+
+    app_name = "BetterWeather (fixed)"
+    category = "widget"
+
+    SEARCH_TIMEOUT_S = 60.0
+    RETRY_AFTER_S = 1800.0  # try again in half an hour
+
+    def on_start(self):
+        self.fixes = 0
+        self.registration = None
+        self._request()
+
+    def _request(self):
+        self.registration = self.ctx.location.request_location_updates(
+            self, self._on_location, interval=10.0
+        )
+        self._timeout_alarm = self.ctx.alarms.set(
+            self.uid, self.SEARCH_TIMEOUT_S, self._give_up
+        )
+
+    def _give_up(self):
+        # THE FIX: no lock within the timeout -> stop searching, retry
+        # much later instead of burning the receiver all day.
+        if self.registration is not None and self.fixes == 0:
+            self.registration.remove()
+            self.registration = None
+            self.ctx.alarms.set(self.uid, self.RETRY_AFTER_S,
+                                self._request)
+
+    def _on_location(self, location):
+        self.fixes += 1
+        self.post_ui_update()
+        if self.registration is not None:
+            self.registration.remove()  # one fix is all the widget needs
+            self.registration = None
+
+
+class StandupTimerFixed(App):
+    """Standup Timer after the fix: screen lock released in onPause."""
+
+    app_name = "Standup Timer (fixed)"
+    category = "productivity"
+
+    MEETING_S = 900.0  # a 15-minute standup (generous)
+
+    def on_start(self):
+        self.lock = self.ctx.power.new_wakelock(
+            self, "standup-timer", level=WakeLockLevel.SCREEN_BRIGHT
+        )
+        self.lock.acquire()
+        # onPause fires when the meeting ends / the user leaves.
+        self.ctx.alarms.set(self.uid, self.MEETING_S, self._on_pause)
+
+    def _on_pause(self):
+        if self.lock.held:
+            self.lock.release()  # THE FIX
+
+    def run(self):
+        while True:
+            if self.lock.held:
+                yield from self.compute(0.01)  # tick the countdown
+                self.post_ui_update()  # the seconds display changes
+                yield self.sleep(0.99)
+            else:
+                yield self.sleep(10.0)

@@ -1,0 +1,91 @@
+"""The §2.3 heavy-but-normal apps: Pandora, Transdroid, Flym.
+
+"In addition, several normal apps in the test phones (e.g., Pandora,
+Transdroid, Flym) also incur long wakelock holding time" -- the paper's
+evidence that absolute holding time is a misleading misbehaviour
+classifier. All three hold wakelocks for as long as the buggy apps do,
+while actually using them.
+"""
+
+from repro.droid.app import App
+from repro.droid.exceptions import NetworkException
+
+
+class Pandora(App):
+    """Internet radio: continuous playback + periodic buffering."""
+
+    app_name = "Pandora"
+    category = "music"
+    foreground_service = True
+
+    def on_start(self):
+        self.session = self.ctx.audio.open_session(self, "pandora")
+        self.session.start_playback()
+        self.lock = self.ctx.power.new_wakelock(self, "pandora-stream")
+        self.lock.acquire()
+
+    def run(self):
+        chunk_age = 8.0
+        while True:
+            if chunk_age >= 8.0:
+                chunk_age = 0.0
+                try:
+                    yield from self.http("pandora-cdn", payload_s=0.8)
+                except NetworkException as exc:
+                    self.note_exception(exc)
+            yield from self.compute(0.1)  # decode
+            yield self.sleep(0.9)
+            chunk_age += 1.0
+
+
+class Transdroid(App):
+    """Torrent manager: long-held lock, sustained transfer + hashing."""
+
+    app_name = "Transdroid"
+    category = "tool"
+    foreground_service = True
+
+    def on_start(self):
+        self.pieces = 0
+        self.lock = self.ctx.power.new_wakelock(self, "transdroid-dl")
+        self.lock.acquire()
+
+    def run(self):
+        while True:
+            try:
+                yield from self.http("torrent-peers", payload_s=1.5)
+                # Hash-check and persist the piece.
+                yield from self.compute(0.25)
+                self.pieces += 1
+                self.note_data_write()
+            except NetworkException as exc:
+                self.note_exception(exc)
+                yield self.sleep(10.0)
+            yield self.sleep(1.0)
+
+
+class Flym(App):
+    """RSS reader: periodic full-feed refresh under a held lock."""
+
+    app_name = "Flym"
+    category = "news"
+    foreground_service = True
+
+    REFRESH_INTERVAL_S = 15.0
+
+    def on_start(self):
+        self.refreshed = 0
+        self.lock = self.ctx.power.new_wakelock(self, "flym-sync")
+        self.lock.acquire()
+
+    def run(self):
+        while True:
+            for __ in range(6):  # many subscribed feeds per refresh
+                try:
+                    yield from self.http("flym-feeds", payload_s=0.5)
+                    yield from self.compute(0.4)  # parse + dedupe
+                except NetworkException as exc:
+                    self.note_exception(exc)
+            self.refreshed += 1
+            self.note_data_write(2)
+            yield self.sleep(self.REFRESH_INTERVAL_S)

@@ -1,0 +1,48 @@
+"""Case specifications: app + triggering environment + paper reference.
+
+A :class:`CaseSpec` bundles everything an experiment needs to reproduce
+one Table 5 row: the app factory, the environment that triggers the bug,
+and the paper's measured powers for side-by-side reporting.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.droid.phone import Phone
+from repro.env.network import ServerMode
+
+
+@dataclass
+class CaseSpec:
+    """One evaluation case (a Table 5 row or a normal-app scenario)."""
+
+    key: str
+    app_factory: object  # callable () -> App
+    category: str
+    resource: object  # ResourceType
+    behavior: object  # BehaviorType
+    description: str = ""
+    #: Phone constructor overrides that create the triggering environment.
+    phone_kwargs: dict = field(default_factory=dict)
+    #: server name -> ServerMode for the scenario.
+    servers: dict = field(default_factory=dict)
+    #: Paper-reported mW for w/o lease, w/ lease, Doze*, DefDroid.
+    paper_power: dict = field(default_factory=dict)
+
+    def build_phone(self, mitigation=None, seed=1, **overrides):
+        """Construct a Phone with this case's triggering environment."""
+        kwargs = dict(self.phone_kwargs)
+        kwargs.update(overrides)
+        phone = Phone(seed=seed, mitigation=mitigation, **kwargs)
+        for server, mode in self.servers.items():
+            if not isinstance(mode, ServerMode):
+                mode = ServerMode(mode)
+            phone.env.network.set_server(server, mode)
+        return phone
+
+    def make_app(self):
+        return self.app_factory()
+
+
+def build_phone_for(spec, mitigation=None, seed=1, **overrides):
+    """Convenience wrapper: ``spec.build_phone(...)``."""
+    return spec.build_phone(mitigation=mitigation, seed=seed, **overrides)

@@ -1,0 +1,99 @@
+"""Synthetic test apps from the paper's own methodology.
+
+- :class:`LongHoldingTestApp` -- §5.1: "acquires a wakelock and holds the
+  wakelock for 30 minutes without doing anything and never releases it"
+  (based on the Torch bug). Used for the Fig. 9 lease-term validation.
+- :class:`IntermittentApp` -- §7.5: alternating misbehaviour slices
+  (idle holding) and normal slices (busy, useful work), with random
+  0-10 minute slice lengths.
+"""
+
+from repro.droid.app import App
+
+
+class LongHoldingTestApp(App):
+    """Acquire a wakelock, hold it idle for a fixed duration, never release."""
+
+    app_name = "long-holding-test"
+    category = "test"
+
+    def __init__(self, hold_duration_s=1800.0):
+        super().__init__()
+        self.hold_duration_s = hold_duration_s
+        self.lock = None
+
+    def run(self):
+        self.lock = self.ctx.power.new_wakelock(self, "test-hold")
+        self.lock.acquire()
+        yield self.sleep(self.hold_duration_s)
+        # Never released (the bug); the app just idles on.
+        while True:
+            yield self.sleep(600.0)
+
+    def holding_time(self):
+        """Seconds the OS actually honoured the lock (Fig. 9's metric)."""
+        record = self.lock._record
+        record.settle()
+        return record.active_time
+
+
+def random_slices(rng, count, max_slice_s=600.0):
+    """§7.5 trace: ``count`` misbehaviour + ``count`` normal slices,
+    each uniform in (0, ``max_slice_s``]. Returns [(kind, seconds)]."""
+    slices = []
+    for __ in range(count):
+        slices.append(("misbehavior", rng.random() * max_slice_s))
+        slices.append(("normal", rng.random() * max_slice_s))
+    return slices
+
+
+class IntermittentApp(App):
+    """Wakelock holder alternating idle (misbehaving) and busy slices.
+
+    Slice boundaries are *wall-clock* (alarm-driven), like real
+    intermittent workloads whose triggers are timers or environment
+    changes: a deferral may slow the app down, but the next useful
+    window still arrives on schedule and can exonerate the lease.
+    """
+
+    app_name = "intermittent-test"
+    category = "test"
+
+    #: Busy-slice duty cycle: well above the LHB threshold.
+    BUSY_COMPUTE_S = 0.6
+    BUSY_PERIOD_S = 2.0
+
+    def __init__(self, slices):
+        super().__init__()
+        self.slices = list(slices)
+        self.mode = self.slices[0][0] if self.slices else "normal"
+        self.finished = False
+
+    def on_start(self):
+        elapsed = 0.0
+        for index, (kind, duration) in enumerate(self.slices):
+            elapsed += duration
+            next_kind = (self.slices[index + 1][0]
+                         if index + 1 < len(self.slices) else None)
+            self.ctx.alarms.set(
+                self.uid, elapsed,
+                lambda k=next_kind: self._switch(k),
+            )
+
+    def _switch(self, kind):
+        if kind is None:
+            self.finished = True
+        else:
+            self.mode = kind
+
+    def run(self):
+        self.lock = self.ctx.power.new_wakelock(self, "intermittent")
+        self.lock.acquire()
+        while not self.finished:
+            if self.mode == "normal":
+                yield from self.compute(self.BUSY_COMPUTE_S)
+                self.post_ui_update()
+                yield self.sleep(self.BUSY_PERIOD_S - self.BUSY_COMPUTE_S)
+            else:
+                yield self.sleep(self.BUSY_PERIOD_S)
+        self.lock.release()

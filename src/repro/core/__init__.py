@@ -1,0 +1,38 @@
+"""LeaseOS: the paper's contribution.
+
+A *lease* grants an app the right to use one kernel resource instance for
+a term; at each term boundary the lease manager measures how much
+*utility* the app obtained from the resource and decides whether to renew
+immediately (normal behaviour) or to defer the next term -- temporarily
+revoking the resource -- when the term exhibited Frequent-Ask,
+Long-Holding or Low-Utility misbehaviour (Sections 3-5 of the paper).
+
+Public API:
+
+- :class:`~repro.core.manager.LeaseManager` -- Table 3 interface.
+- :class:`~repro.core.lease.Lease` / :class:`~repro.core.lease.LeaseState`.
+- :class:`~repro.core.policy.LeasePolicy` -- terms, deferral, thresholds.
+- :class:`~repro.core.behavior.BehaviorType` and the classifier.
+- :class:`~repro.core.utility.UtilityCounter` -- the optional app-supplied
+  custom utility callback (Fig. 6).
+- The per-service proxies in :mod:`repro.core.proxy`.
+"""
+
+from repro.core.behavior import BehaviorType, classify_term
+from repro.core.lease import Lease, LeaseState
+from repro.core.manager import LeaseManager
+from repro.core.policy import LeasePolicy
+from repro.core.stats import TermRecord, UtilityMetrics
+from repro.core.utility import UtilityCounter
+
+__all__ = [
+    "BehaviorType",
+    "classify_term",
+    "Lease",
+    "LeaseState",
+    "LeaseManager",
+    "LeasePolicy",
+    "TermRecord",
+    "UtilityMetrics",
+    "UtilityCounter",
+]

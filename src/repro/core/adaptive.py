@@ -1,0 +1,64 @@
+"""Dynamic policy adjustment from app usage history (paper §8 extension).
+
+The paper sets lease parameters statically and lists "adjust the
+policies dynamically based on app usage history" as future work. This
+tuner implements the obvious instance: a per-app *reputation* (the
+exponentially weighted fraction of normal terms) scales the deferral
+interval --
+
+- a long-clean app's first offence is likely transient (a dead zone, a
+  flaky server), so its deferral is shortened;
+- a chronic offender's deferrals are lengthened beyond the static
+  escalation schedule.
+
+Install with :meth:`attach`; the manager consults the tuner through its
+``deferral_advisor`` hook.
+"""
+
+
+class DynamicPolicyTuner:
+    """Reputation-driven deferral scaling."""
+
+    #: EMA smoothing for the per-app normal-term fraction.
+    ALPHA = 0.2
+    #: Deferral multipliers at the reputation extremes.
+    MIN_MULTIPLIER = 0.5  # pristine reputation: gentle first deferral
+    MAX_MULTIPLIER = 2.0  # chronic offender: harsher deferrals
+    #: Terms observed before reputation is trusted at all.
+    WARMUP_TERMS = 6
+
+    def __init__(self):
+        self._reputation = {}  # uid -> EMA of "term was normal"
+        self._terms_seen = {}
+
+    def attach(self, manager):
+        manager.listeners.append(self._on_decision)
+        manager.deferral_advisor = self
+        return self
+
+    # -- manager hooks ------------------------------------------------------
+
+    def _on_decision(self, decision):
+        if decision.action == "inactive":
+            return
+        uid = decision.lease.uid
+        normal = 0.0 if decision.behavior.is_misbehavior else 1.0
+        previous = self._reputation.get(uid, 1.0)
+        self._reputation[uid] = (
+            (1.0 - self.ALPHA) * previous + self.ALPHA * normal
+        )
+        self._terms_seen[uid] = self._terms_seen.get(uid, 0) + 1
+
+    def deferral_multiplier(self, lease):
+        """Scale factor applied to the policy's deferral interval."""
+        uid = lease.uid
+        if self._terms_seen.get(uid, 0) < self.WARMUP_TERMS:
+            return 1.0
+        reputation = self._reputation.get(uid, 1.0)
+        # reputation 1.0 -> MIN, reputation 0.0 -> MAX, linear between.
+        return self.MAX_MULTIPLIER + reputation * (
+            self.MIN_MULTIPLIER - self.MAX_MULTIPLIER
+        )
+
+    def reputation(self, uid):
+        return self._reputation.get(uid, 1.0)

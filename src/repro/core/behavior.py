@@ -1,0 +1,84 @@
+"""Energy misbehaviour classification (paper §2.4, Table 1).
+
+Four misbehaviour classes in the ask-use-release model:
+
+- **FAB** (Frequent-Ask): frequently/long asking for the resource but
+  rarely getting it -- only GPS can exhibit this (a wakelock or sensor
+  request succeeds immediately).
+- **LHB** (Long-Holding): granted and held long, but rarely *used* --
+  ultralow utilization ratio.
+- **LUB** (Low-Utility): used a lot, but the work is of little value --
+  low utility score despite high utilization.
+- **EUB** (Excessive-Use): lots of useful work at high cost. A design
+  trade-off, not a bug; LeaseOS deliberately does *not* act on it
+  (§2.5, §4), but the classifier reports it for the study harness.
+"""
+
+import enum
+
+from repro.droid.resources import ResourceType  # noqa: F401 (re-export)
+
+
+class BehaviorType(enum.Enum):
+    NORMAL = "normal"
+    FAB = "frequent-ask"
+    LHB = "long-holding"
+    LUB = "low-utility"
+    EUB = "excessive-use"
+
+    @property
+    def is_misbehavior(self):
+        """True for the three classes LeaseOS mitigates (not EUB)."""
+        return self in (BehaviorType.FAB, BehaviorType.LHB, BehaviorType.LUB)
+
+
+#: Resources that can exhibit FAB (Table 1: asking is non-trivial only
+#: for GPS, which must search for a fix).
+FAB_CAPABLE = frozenset({ResourceType.GPS})
+
+
+def classify_term(rtype, metrics, policy):
+    """Judge one term's behaviour from its utility metrics.
+
+    Checks the three §2.4 metrics in ask -> use -> release order:
+    request success ratio, then utilization ratio, then utility rate.
+    A term in which the resource was barely held is NORMAL -- there is
+    nothing to mitigate.
+    """
+    term = max(metrics.held_time, metrics.active_time, metrics.ask_time)
+    if term < policy.min_activity_s:
+        return BehaviorType.NORMAL
+
+    asking_dominates = (rtype in FAB_CAPABLE
+                        and metrics.ask_time > 0.5 * metrics.active_time)
+    if asking_dominates:
+        # FAB only once the (windowed) ask is frequent-or-long with a
+        # poor success ratio; a legitimate time-to-first-fix is not FAB.
+        ask_evidence = max(metrics.ask_window_time, metrics.ask_time)
+        if (ask_evidence >= policy.fab_min_ask_time_s
+                and metrics.success_ratio < policy.fab_success_threshold):
+            return BehaviorType.FAB
+
+    if metrics.utilization < policy.utilization_threshold(rtype):
+        if (rtype is ResourceType.SCREEN
+                and metrics.completed_terms < policy.grace_terms):
+            # Screen utilization is credit-based (touches, UI updates):
+            # too sparse to judge in the first moments after launch.
+            return BehaviorType.NORMAL
+        return BehaviorType.LHB
+
+    if asking_dominates:
+        # Utilization is fine and the term was mostly spent (legitimately)
+        # asking; the utility of granted use cannot be judged yet.
+        return BehaviorType.NORMAL
+
+    if metrics.utility_score < policy.lub_utility_threshold:
+        if metrics.completed_terms >= policy.grace_terms:
+            return BehaviorType.LUB
+        return BehaviorType.NORMAL
+
+    if (metrics.utilization >= policy.eub_utilization_threshold
+            and metrics.active_time >= policy.eub_min_active_s):
+        return BehaviorType.EUB
+
+    return BehaviorType.NORMAL

@@ -1,0 +1,87 @@
+"""Excessive-Use advisor (paper §2.5 / §8).
+
+LeaseOS deliberately does not act on Excessive-Use behaviour -- heavy
+but useful consumption is a trade-off only the user can judge (§2.5:
+"the grey area between normal behavior and misbehavior"). The paper's
+future work proposes inferring app and user intentions to tackle it;
+the conservative first step implemented here is *surfacing*: track EUB
+terms per app, estimate the associated energy, and produce the report a
+battery-settings screen would show, leaving the decision to the user.
+"""
+
+from collections import defaultdict
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EubEntry:
+    uid: int
+    app_name: str
+    eub_terms: int
+    eub_seconds: float
+    estimated_mw: float
+
+    def estimated_mah_per_hour(self, voltage=3.85):
+        """The battery-settings framing: mAh drained per hour."""
+        return self.estimated_mw / voltage
+
+
+class ExcessiveUseAdvisor:
+    """Aggregates EUB observations into a user-facing report."""
+
+    def __init__(self, phone):
+        self.phone = phone
+        self._eub_terms = defaultdict(int)
+        self._eub_seconds = defaultdict(float)
+        self._energy_marks = {}
+
+    def attach(self, manager):
+        manager.listeners.append(self._on_decision)
+        return self
+
+    def _on_decision(self, decision):
+        from repro.core.behavior import BehaviorType
+
+        if decision.behavior is not BehaviorType.EUB:
+            return
+        uid = decision.lease.uid
+        self._eub_terms[uid] += 1
+        if decision.metrics is not None:
+            self._eub_seconds[uid] += decision.metrics.active_time
+
+    def report(self):
+        """EubEntry list, heaviest estimated draw first."""
+        self.phone.monitor.settle()
+        now = self.phone.sim.now
+        entries = []
+        for uid, terms in self._eub_terms.items():
+            app = self.phone.apps.get(uid)
+            name = app.name if app is not None else "uid:{}".format(uid)
+            energy = self.phone.monitor.ledger.app_total_mj(uid)
+            avg_mw = energy / now if now > 0 else 0.0
+            entries.append(EubEntry(
+                uid=uid,
+                app_name=name,
+                eub_terms=terms,
+                eub_seconds=self._eub_seconds[uid],
+                estimated_mw=avg_mw,
+            ))
+        entries.sort(key=lambda e: e.estimated_mw, reverse=True)
+        return entries
+
+    def render(self):
+        entries = self.report()
+        if not entries:
+            return ("No apps with heavy-but-useful (Excessive-Use) "
+                    "resource consumption observed.")
+        lines = ["Apps using resources heavily (working as intended; "
+                 "restricting them is your call):"]
+        for entry in entries:
+            lines.append(
+                "  {:20s} ~{:6.1f} mW avg, {:4d} heavy terms "
+                "({:.0f} s of heavy use)".format(
+                    entry.app_name, entry.estimated_mw, entry.eub_terms,
+                    entry.eub_seconds)
+            )
+        return "\n".join(lines)

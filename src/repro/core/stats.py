@@ -1,0 +1,55 @@
+"""Per-term lease stats (paper §3.3: "lease stat").
+
+Each term produces one :class:`UtilityMetrics` -- the three broad utility
+measures of §2.4 plus the raw ingredients -- and one :class:`TermRecord`
+binding the metrics to the classified behaviour.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class UtilityMetrics:
+    """The §2.4 utility measures for one lease term.
+
+    - ``success_ratio``: successful request time / total request time
+      (identifies Frequent-Ask; only meaningful for GPS).
+    - ``utilization``: resource usage time / holding time (identifies
+      Long-Holding; resource-specific numerator, e.g. CPU seconds for a
+      wakelock, consumer-Activity lifetime for GPS/sensor listeners).
+    - ``utility_score``: 0-100 "usefulness" of the work done (identifies
+      Low-Utility). Generic unless the app registered a custom counter.
+    """
+
+    held: bool = False  # resource still held at term end
+    held_time: float = 0.0  # seconds held during the term
+    active_time: float = 0.0  # seconds the OS honoured it
+    ask_time: float = 0.0  # seconds spent asking (GPS search)
+    ask_window_time: float = 0.0  # ask time incl. recent terms (FAB window)
+    success_ratio: float = 1.0
+    utilization: float = 1.0
+    utility_score: float = 100.0
+    generic_utility: float = 100.0
+    custom_utility: float = None
+    completed_terms: int = 0  # terms finished before this one (grace)
+    # raw app-level signals within this term's window only
+    ui_updates: int = 0
+    interactions: int = 0
+    exceptions: int = 0
+    data_writes: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class TermRecord:
+    """One completed lease term: window, metrics, judged behaviour."""
+
+    term_index: int
+    start: float
+    end: float
+    behavior: object  # BehaviorType; kept loose to avoid a cycle
+    metrics: UtilityMetrics
+
+    @property
+    def duration(self):
+        return self.end - self.start

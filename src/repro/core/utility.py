@@ -1,0 +1,87 @@
+"""Utility scoring: generic heuristics plus the custom counter API.
+
+Generic utility (paper §3.3) uses conservative signals the OS can observe
+without app semantics: severe exceptions (low utility of a wakelock), the
+distance moved (utility of GPS), UI updates and user interactions (high
+utility of anything), plus data persisted by the app (the paper's fitness
+-tracker example of what a *custom* counter would report; we also credit
+it generically so headless-but-working apps like Haven score fairly).
+
+Apps can refine this with a :class:`UtilityCounter` (Fig. 6). The
+counter's score is only taken as a hint when the generic score is not too
+low, preventing a misbehaving app from whitewashing itself (§3.3).
+"""
+
+from repro.droid.resources import ResourceType
+
+
+class UtilityCounter:
+    """Optional app-supplied custom utility callback (``IUtilityCounter``).
+
+    Implementations return a 0-100 score describing how useful the
+    resource has been to the user recently. Figure 6 of the paper shows
+    TapAndTurn returning ``100 * clicks / rotations``.
+    """
+
+    def get_score(self):
+        raise NotImplementedError
+
+
+def clamp_score(score):
+    return max(0.0, min(100.0, score))
+
+
+#: Weights for the generic signals.
+UI_UPDATE_CREDIT = 10.0
+INTERACTION_CREDIT = 15.0
+DATA_WRITE_CREDIT = 8.0
+EXCEPTION_PENALTY = 25.0
+#: Distance credit: metres/minute of movement observed via GPS. Walking
+#: (~1.4 m/s = 84 m/min) saturates the 70-point distance component.
+DISTANCE_CREDIT_PER_M_PER_MIN = 1.0
+DISTANCE_CREDIT_CAP = 70.0
+#: Neutral baseline for resources whose "work" is invisible to the OS.
+NEUTRAL_BASE = 50.0
+
+
+def generic_utility(rtype, duration_s, ui_updates=0, interactions=0,
+                    exceptions=0, data_writes=0, distance_m=0.0):
+    """Compute the generic 0-100 utility score over an observation window.
+
+    All signals are counts over ``duration_s`` seconds of *honoured*
+    resource time (the lease manager aggregates the current term with a
+    few recent terms, so deferral gaps and slow-cadence useful output do
+    not distort the rates). Credits are normalized per minute; the
+    exception penalty per 5-second-term equivalent.
+    """
+    if duration_s <= 0:
+        return NEUTRAL_BASE
+    per_minute = 60.0 / duration_s
+    credit = (UI_UPDATE_CREDIT * ui_updates
+              + INTERACTION_CREDIT * interactions
+              + DATA_WRITE_CREDIT * data_writes) * per_minute
+    penalty = EXCEPTION_PENALTY * exceptions * 5.0 / duration_s
+
+    if rtype is ResourceType.GPS:
+        metres_per_min = distance_m * per_minute
+        base = min(DISTANCE_CREDIT_CAP,
+                   DISTANCE_CREDIT_PER_M_PER_MIN * metres_per_min)
+    elif rtype in (ResourceType.SENSOR, ResourceType.BLUETOOTH):
+        # Listener-based resources always "fire"; value must come from
+        # visible outcomes (UI, interaction, persisted data). Small
+        # benefit of the doubt as a base.
+        base = 10.0
+    else:
+        base = NEUTRAL_BASE
+
+    return clamp_score(base + credit - penalty)
+
+
+def combine_utility(generic, custom, floor):
+    """Apply the abuse guard: honour ``custom`` only if ``generic`` is
+    not below ``floor``. Returns the final score."""
+    if custom is None:
+        return generic
+    if generic < floor:
+        return generic
+    return clamp_score(custom)

@@ -1,0 +1,42 @@
+"""Device hardware substrate: profiles, power model, battery.
+
+The paper measures real phones (Pixel XL, Nexus 6/4/5X, Galaxy S4,
+Moto G) with Monsoon/Trepn power tooling. Here the same roles are played
+by:
+
+- :class:`~repro.device.profiles.DeviceProfile` -- per-phone hardware and
+  power-rail coefficients;
+- :class:`~repro.device.power.PowerMonitor` -- integrates per-component
+  power over simulated time with per-app attribution (the ledger the
+  Trepn/Monsoon profilers read from);
+- :class:`~repro.device.battery.Battery` -- finite energy store drained by
+  the power monitor.
+"""
+
+from repro.device.battery import Battery
+from repro.device.power import SYSTEM_UID, EnergyLedger, PowerMonitor
+from repro.device.profiles import (
+    DeviceProfile,
+    GALAXY_S4,
+    MOTO_G,
+    NEXUS_4,
+    NEXUS_5X,
+    NEXUS_6,
+    PIXEL_XL,
+    PROFILES,
+)
+
+__all__ = [
+    "Battery",
+    "DeviceProfile",
+    "EnergyLedger",
+    "PowerMonitor",
+    "SYSTEM_UID",
+    "PIXEL_XL",
+    "NEXUS_6",
+    "NEXUS_4",
+    "NEXUS_5X",
+    "GALAXY_S4",
+    "MOTO_G",
+    "PROFILES",
+]

@@ -1,0 +1,50 @@
+"""A finite-capacity battery drained by the power monitor."""
+
+
+class Battery:
+    """Energy store with capacity derived from mAh and nominal voltage.
+
+    1 mAh at 1 V is 3.6 J, i.e. 3600 mJ.
+    """
+
+    def __init__(self, capacity_mah, voltage=3.85, level=1.0):
+        if capacity_mah <= 0:
+            raise ValueError("battery capacity must be positive")
+        if not 0.0 <= level <= 1.0:
+            raise ValueError("initial level must be in [0, 1]")
+        self.capacity_mj = capacity_mah * voltage * 3600.0
+        self.remaining_mj = self.capacity_mj * level
+        self.voltage = voltage
+
+    @classmethod
+    def for_profile(cls, profile, level=1.0):
+        """Build a battery matching a :class:`DeviceProfile`."""
+        return cls(profile.battery_mah, profile.battery_voltage, level)
+
+    @property
+    def level(self):
+        """State of charge in [0, 1]."""
+        return self.remaining_mj / self.capacity_mj
+
+    @property
+    def empty(self):
+        return self.remaining_mj <= 0.0
+
+    def drain_mj(self, energy_mj):
+        """Remove energy; clamps at empty and returns the amount drained."""
+        if energy_mj < 0:
+            raise ValueError("drain must be non-negative")
+        drained = min(energy_mj, self.remaining_mj)
+        self.remaining_mj -= drained
+        return drained
+
+    def hours_remaining(self, power_mw):
+        """Projected hours to empty at a constant draw (inf if draw is 0)."""
+        if power_mw <= 0:
+            return float("inf")
+        return self.remaining_mj / power_mw / 3600.0
+
+    def __repr__(self):
+        return "Battery({:.0f}% of {:.0f} mJ)".format(
+            self.level * 100.0, self.capacity_mj
+        )

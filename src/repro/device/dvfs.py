@@ -1,0 +1,63 @@
+"""Dynamic Voltage and Frequency Scaling (paper §8 extension).
+
+The paper's utility metrics assume energy ∝ resource-usage duration and
+flag DVFS as the case where that breaks: a CPU-second at 2.15 GHz costs
+far more energy than one at 300 MHz, so *time*-based utilization
+misprices intense short bursts. This module adds an ondemand-style
+governor to the CPU model; with it installed, the lease policy can be
+made DVFS-aware (``LeasePolicy.dvfs_aware``), switching the wakelock
+utilization metric from CPU time to CPU *energy* normalized by the
+reference (base-frequency) power -- the "device state factors" the paper
+proposes.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrequencyLevel:
+    """One operating point: clock (GHz) and power relative to base."""
+
+    freq_ghz: float
+    power_scale: float  # multiplier on the profile's cpu_active_mw
+
+
+#: A Snapdragon-821-flavoured ladder. ``power_scale`` grows super-
+#: linearly with frequency (roughly f * V^2 with voltage following f).
+DEFAULT_LADDER = (
+    FrequencyLevel(0.30, 0.30),
+    FrequencyLevel(0.65, 0.55),
+    FrequencyLevel(1.10, 1.00),  # the reference point: cpu_active_mw
+    FrequencyLevel(1.60, 1.55),
+    FrequencyLevel(2.15, 2.40),
+)
+
+
+class DvfsGovernor:
+    """Ondemand-style governor: load picks the operating point.
+
+    Load is the fraction of cores busy; the governor picks the lowest
+    level whose normalized capacity covers the load, plus headroom, like
+    the kernel's ondemand/ schedutil governors.
+    """
+
+    HEADROOM = 1.25
+
+    def __init__(self, ladder=DEFAULT_LADDER):
+        if not ladder:
+            raise ValueError("frequency ladder must not be empty")
+        self.ladder = tuple(sorted(ladder, key=lambda l: l.freq_ghz))
+        self.max_freq = self.ladder[-1].freq_ghz
+
+    def level_for_load(self, load):
+        """Pick the operating point for ``load`` in [0, 1]."""
+        if not 0.0 <= load:
+            raise ValueError("load must be non-negative")
+        demand_ghz = min(1.0, load) * self.max_freq * self.HEADROOM
+        for level in self.ladder:
+            if level.freq_ghz >= demand_ghz:
+                return level
+        return self.ladder[-1]
+
+    def power_scale_for_load(self, load):
+        return self.level_for_load(load).power_scale

@@ -1,0 +1,164 @@
+"""Power accounting: rails, the energy ledger, and per-app attribution.
+
+The monitor models the device as a set of named *rails* (``cpu_awake``,
+``screen``, ``gps``, ``wifi``, per-app ``cpu_active:<uid>`` rails, ...).
+Each rail has a current draw in mW and a tuple of owner UIDs the draw is
+attributed to (split equally); an empty owner tuple attributes to the
+system. Energy is integrated lazily: every rail change first *settles*
+the elapsed interval at the old draw.
+
+This is the substitute for the paper's Monsoon (system power) and Trepn
+(per-app power) measurements -- see DESIGN.md substitution #2.
+"""
+
+from collections import defaultdict
+
+#: UID used for draws not attributable to any app (OS, baseline hardware).
+SYSTEM_UID = 1000
+
+
+class EnergyLedger:
+    """Accumulated energy per (uid, rail) in millijoules."""
+
+    def __init__(self):
+        self._energy_mj = defaultdict(float)  # (uid, rail) -> mJ
+
+    def add(self, uid, rail, energy_mj):
+        if energy_mj < 0:
+            raise ValueError("energy must be non-negative, got {}".format(energy_mj))
+        self._energy_mj[(uid, rail)] += energy_mj
+
+    def total_mj(self):
+        """Total energy consumed by the whole device, in mJ."""
+        return sum(self._energy_mj.values())
+
+    def app_total_mj(self, uid):
+        """Total energy attributed to ``uid`` across all rails, in mJ."""
+        return sum(e for (u, __), e in self._energy_mj.items() if u == uid)
+
+    def app_rail_mj(self, uid, rail):
+        return self._energy_mj.get((uid, rail), 0.0)
+
+    def rail_total_mj(self, rail):
+        return sum(e for (__, r), e in self._energy_mj.items() if r == rail)
+
+    def by_app(self):
+        """Mapping of uid -> total mJ."""
+        totals = defaultdict(float)
+        for (uid, __), energy in self._energy_mj.items():
+            totals[uid] += energy
+        return dict(totals)
+
+    def snapshot(self):
+        """A copy of the raw (uid, rail) -> mJ mapping."""
+        return dict(self._energy_mj)
+
+
+class _Rail:
+    __slots__ = ("power_mw", "owners")
+
+    def __init__(self):
+        self.power_mw = 0.0
+        self.owners = ()
+
+
+class PowerMonitor:
+    """Integrates rail power over simulated time into an energy ledger.
+
+    The monitor never samples: it settles exactly at each state change, so
+    integration is exact for the piecewise-constant power model. A
+    :class:`~repro.device.battery.Battery` may be attached; settled energy
+    drains it.
+    """
+
+    def __init__(self, sim, profile, battery=None):
+        self.sim = sim
+        self.profile = profile
+        self.battery = battery
+        self.ledger = EnergyLedger()
+        self._rails = defaultdict(_Rail)
+        self._last_settle = sim.now
+
+    # -- rail manipulation -------------------------------------------------
+
+    def set_rail(self, rail, power_mw, owners=()):
+        """Set a rail's draw and attribution, settling the elapsed interval.
+
+        ``owners`` is an iterable of UIDs the draw is split across; empty
+        means the system. A draw of 0 keeps the rail registered but free.
+        """
+        if power_mw < 0:
+            raise ValueError("rail power must be >= 0, got {}".format(power_mw))
+        self.settle()
+        state = self._rails[rail]
+        state.power_mw = float(power_mw)
+        state.owners = tuple(owners)
+
+    def clear_rail(self, rail):
+        """Zero a rail (same as ``set_rail(rail, 0.0)``)."""
+        self.set_rail(rail, 0.0, ())
+
+    def rail_power(self, rail):
+        return self._rails[rail].power_mw if rail in self._rails else 0.0
+
+    def rail_owners(self, rail):
+        return self._rails[rail].owners if rail in self._rails else ()
+
+    # -- integration -------------------------------------------------------
+
+    def settle(self):
+        """Integrate all rails from the last settle point to now."""
+        now = self.sim.now
+        elapsed = now - self._last_settle
+        if elapsed <= 0:
+            self._last_settle = now
+            return
+        drained_mj = 0.0
+        for rail, state in self._rails.items():
+            if state.power_mw <= 0.0:
+                continue
+            energy_mj = state.power_mw * elapsed  # mW == mJ/s
+            drained_mj += energy_mj
+            owners = state.owners or (SYSTEM_UID,)
+            share = energy_mj / len(owners)
+            for uid in owners:
+                self.ledger.add(uid, rail, share)
+        if self.battery is not None and drained_mj > 0:
+            self.battery.drain_mj(drained_mj)
+        self._last_settle = now
+
+    def add_energy(self, uid, rail, energy_mj):
+        """Account a discrete energy cost (e.g. one lease-stat update).
+
+        Used for costs that are better modelled as per-operation energy
+        than as a rail draw. Drains the battery like any other energy.
+        """
+        self.ledger.add(uid, rail, energy_mj)
+        if self.battery is not None:
+            self.battery.drain_mj(energy_mj)
+
+    # -- queries -----------------------------------------------------------
+
+    def instantaneous_power_mw(self):
+        """Current total system draw in mW (sum of all rails)."""
+        return sum(s.power_mw for s in self._rails.values())
+
+    def app_power_mw(self, uid):
+        """Current draw attributed to ``uid`` in mW."""
+        total = 0.0
+        for state in self._rails.values():
+            if state.power_mw <= 0:
+                continue
+            owners = state.owners or (SYSTEM_UID,)
+            if uid in owners:
+                total += state.power_mw / len(owners)
+        return total
+
+    def app_energy_mj(self, uid):
+        """Settled energy attributed to ``uid`` so far, in mJ."""
+        self.settle()
+        return self.ledger.app_total_mj(uid)
+
+    def total_energy_mj(self):
+        self.settle()
+        return self.ledger.total_mj()

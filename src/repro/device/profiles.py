@@ -1,0 +1,129 @@
+"""Hardware profiles for the phones used in the paper.
+
+Power coefficients are milliwatt draws for each component state. They are
+*synthetic but plausible* -- chosen so that the relative magnitudes match
+published component-power studies (GPS search is expensive, deep sleep is
+nearly free, an awake-idle CPU costs tens of mW, a bright screen costs
+hundreds) and so that the simulated Table 5 magnitudes land in the same
+range the paper reports. Absolute fidelity to the authors' testbed is
+explicitly not claimed (see DESIGN.md substitution #2).
+
+The paper uses the Pixel XL for the main evaluation (Section 7.1), the
+Nexus 5X for Monsoon system-power measurements, and the other phones for
+the Section 2 characterization study.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static hardware description + power-rail coefficients (mW)."""
+
+    name: str
+    cpu_cores: int
+    battery_mah: float
+    battery_voltage: float = 3.85
+    # CPU rail
+    cpu_sleep_mw: float = 5.0  # deep sleep (suspended)
+    cpu_awake_idle_mw: float = 30.0  # kept awake by a wakelock, no work
+    cpu_active_mw: float = 320.0  # one core busy
+    # Display rail
+    screen_on_mw: float = 520.0
+    screen_dim_mw: float = 180.0
+    # Wi-Fi rail
+    wifi_idle_mw: float = 8.0
+    wifi_active_mw: float = 260.0  # transferring
+    wifi_lock_mw: float = 17.0  # high-perf lock held, radio kept awake
+    # GPS rail
+    gps_search_mw: float = 115.0  # searching for a fix (most expensive)
+    gps_locked_mw: float = 108.0  # fix held, periodic updates
+    # Sensor rail (per active listener at normal rate)
+    sensor_mw: float = 10.0
+    # Cellular radio rail
+    radio_idle_mw: float = 10.0
+    radio_active_mw: float = 300.0
+    # Audio playback rail
+    audio_mw: float = 60.0
+    # Bluetooth rail
+    bluetooth_connected_mw: float = 12.0
+    bluetooth_discovery_mw: float = 35.0  # inquiry scan is the hungry mode
+    # Binder IPC latency (seconds) for a plain resource call (Section 7.2
+    # reports ~2 ms for a non-lease acquire IPC).
+    ipc_latency_s: float = 0.002
+    # Relative speed factor: lower-end devices do the same work slower
+    # (Section 2.3 observes ~2x differences across phone ecosystems).
+    speed_factor: float = 1.0
+    tags: tuple = field(default_factory=tuple)
+
+
+PIXEL_XL = DeviceProfile(
+    name="Google Pixel XL",
+    cpu_cores=4,
+    battery_mah=3450.0,
+    cpu_awake_idle_mw=32.0,
+    cpu_active_mw=340.0,
+    screen_on_mw=540.0,
+    speed_factor=1.0,
+    tags=("high-end", "heavily-used"),
+)
+
+NEXUS_6 = DeviceProfile(
+    name="Nexus 6",
+    cpu_cores=4,
+    battery_mah=3220.0,
+    cpu_awake_idle_mw=36.0,
+    cpu_active_mw=380.0,
+    screen_on_mw=500.0,
+    speed_factor=0.8,
+    tags=("mid-range", "lightly-used"),
+)
+
+NEXUS_5X = DeviceProfile(
+    name="Nexus 5X",
+    cpu_cores=6,
+    battery_mah=2700.0,
+    cpu_awake_idle_mw=34.0,
+    cpu_active_mw=330.0,
+    screen_on_mw=430.0,
+    speed_factor=0.9,
+    tags=("mid-range", "monsoon-rig"),
+)
+
+NEXUS_4 = DeviceProfile(
+    name="Nexus 4",
+    cpu_cores=4,
+    battery_mah=2100.0,
+    cpu_awake_idle_mw=45.0,
+    cpu_active_mw=420.0,
+    screen_on_mw=520.0,
+    speed_factor=0.55,
+    tags=("low-end", "lightly-used"),
+)
+
+GALAXY_S4 = DeviceProfile(
+    name="Samsung Galaxy S4",
+    cpu_cores=4,
+    battery_mah=2600.0,
+    cpu_awake_idle_mw=40.0,
+    cpu_active_mw=400.0,
+    screen_on_mw=540.0,
+    speed_factor=0.65,
+    tags=("mid-range", "heavily-used"),
+)
+
+MOTO_G = DeviceProfile(
+    name="Motorola Moto G",
+    cpu_cores=4,
+    battery_mah=2070.0,
+    cpu_awake_idle_mw=42.0,
+    cpu_active_mw=360.0,
+    screen_on_mw=480.0,
+    speed_factor=0.5,
+    tags=("low-end", "heavily-used"),
+)
+
+PROFILES = {
+    p.name: p
+    for p in (PIXEL_XL, NEXUS_6, NEXUS_5X, NEXUS_4, GALAXY_S4, MOTO_G)
+}

@@ -1,0 +1,19 @@
+"""The Android-like OS substrate.
+
+This package stands in for the Android 7.1.2 framework the paper modifies:
+system services own *kernel objects* keyed by binder tokens, apps hold
+address-space-local descriptors that map 1:1 onto those kernel objects,
+and resource governors (LeaseOS proxies or the baseline mitigations)
+interpose on the kernel objects without ever touching the app-side
+descriptors -- the property that makes LeaseOS app-oblivious (Section 4.2).
+
+Entry point: :class:`repro.droid.phone.Phone`, a facade that wires the
+simulator, device hardware, environment, services, apps and an optional
+mitigation into one runnable phone.
+"""
+
+from repro.droid.app import App, AppContext
+from repro.droid.phone import Phone
+from repro.droid.resources import IBinder, ResourceType
+
+__all__ = ["App", "AppContext", "Phone", "IBinder", "ResourceType"]

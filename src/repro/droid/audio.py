@@ -1,0 +1,112 @@
+"""AudioService: audio sessions (the Facebook-iOS-style leak target).
+
+A held session keeps the audio pipeline powered. Utilization is the
+fraction of hold time that frames were actually being played.
+"""
+
+from repro.droid.resources import KernelObject, ResourceType
+
+
+class AudioSessionRecord(KernelObject):
+    def __init__(self, sim, uid, name):
+        super().__init__(sim, uid, ResourceType.AUDIO, name)
+        self.playback_time = 0.0
+        self._playing_since = None
+
+    def settle_playback(self, now):
+        if self._playing_since is not None:
+            self.playback_time += now - self._playing_since
+            self._playing_since = now
+
+
+class AudioSession:
+    """App-side descriptor for one audio session."""
+
+    def __init__(self, service, record, app):
+        self._service = service
+        self.record = record
+        self._app = app
+
+    def start_playback(self):
+        self._app.ipc("audio", "startPlayback")
+        self._service.start_playback(self.record)
+
+    def stop_playback(self):
+        self._app.ipc("audio", "stopPlayback")
+        self._service.stop_playback(self.record)
+
+    def close(self):
+        self._app.ipc("audio", "closeSession")
+        self._service.close(self.record)
+
+
+class AudioService:
+    name = "audio"
+
+    def __init__(self, sim, monitor, profile):
+        self.sim = sim
+        self.monitor = monitor
+        self.profile = profile
+        self.records = []
+        self.listeners = []
+        self.gates = []
+
+    def open_session(self, app, name="audio-session"):
+        app.ipc("audio", "openSession")
+        record = AudioSessionRecord(self.sim, app.uid, name)
+        self.records.append(record)
+        record.acquire_count += 1
+        record.mark_held(True)
+        allowed = all(gate(record) for gate in self.gates)
+        self._notify("on_audio_open", record, allowed)
+        if allowed:
+            record.mark_active(True)
+        return AudioSession(self, record, app)
+
+    def start_playback(self, record):
+        if record.os_active and record._playing_since is None:
+            record._playing_since = self.sim.now
+            self._refresh_rail(record)
+
+    def stop_playback(self, record):
+        record.settle_playback(self.sim.now)
+        record._playing_since = None
+        self._refresh_rail(record)
+
+    def close(self, record):
+        record.settle_playback(self.sim.now)
+        record._playing_since = None
+        record.release_count += 1
+        record.mark_held(False)
+        record.mark_active(False)
+        record.dead = True
+        self._refresh_rail(record)
+        self._notify("on_audio_close", record)
+
+    def revoke(self, record):
+        if record.os_active:
+            record.settle_playback(self.sim.now)
+            record._playing_since = None
+            record.mark_active(False)
+            self._refresh_rail(record)
+            self._notify("on_audio_revoked", record)
+
+    def restore(self, record):
+        if record.app_held and not record.os_active and not record.dead:
+            record.mark_active(True)
+            self._refresh_rail(record)
+            self._notify("on_audio_restored", record)
+
+    def _rail_name(self, record):
+        return "audio:{}".format(record.token.id)
+
+    def _refresh_rail(self, record):
+        playing = record.os_active and record._playing_since is not None
+        power = self.profile.audio_mw if playing else 0.0
+        self.monitor.set_rail(self._rail_name(record), power, (record.uid,))
+
+    def _notify(self, method, *args):
+        for listener in list(self.listeners):
+            handler = getattr(listener, method, None)
+            if handler is not None:
+                handler(*args)

@@ -1,0 +1,65 @@
+"""Broadcast delivery: system events that wake interested apps.
+
+Android apps react to CONNECTIVITY_CHANGE, BATTERY_LOW and friends via
+registered receivers; delivery briefly wakes the device (the system
+holds a wakelock across receiver execution), which is how a frozen app
+learns the network came back. The connectivity broadcast is wired to the
+network environment automatically; others can be published by scenario
+code.
+"""
+
+
+class BroadcastManager:
+    """Registers receivers and delivers system broadcasts."""
+
+    #: Actions wired automatically.
+    CONNECTIVITY_CHANGE = "connectivity-change"
+    BATTERY_LOW = "battery-low"
+
+    #: How long a delivery holds the device awake so receivers can run.
+    DELIVERY_WINDOW_S = 2.0
+
+    def __init__(self, sim, suspend):
+        self.sim = sim
+        self.suspend = suspend
+        self._receivers = {}  # action -> list of (uid, callback)
+        self.delivered = 0
+
+    def register(self, app, action, callback):
+        """Register ``callback(payload)`` for ``action`` broadcasts."""
+        app.ipc("broadcasts", "register:{}".format(action))
+        entry = (app.uid, callback)
+        self._receivers.setdefault(action, []).append(entry)
+        return _Registration(self, action, entry)
+
+    def publish(self, action, payload=None):
+        """Deliver ``action`` to every receiver, waking the device."""
+        receivers = list(self._receivers.get(action, ()))
+        if not receivers:
+            return 0
+        self.suspend.hold_awake(
+            "broadcast:{}:{}".format(action, self.delivered),
+            self.DELIVERY_WINDOW_S,
+        )
+        for __, callback in receivers:
+            self.delivered += 1
+            callback(payload)
+        return len(receivers)
+
+    def unregister_app(self, uid):
+        for action, entries in self._receivers.items():
+            self._receivers[action] = [
+                e for e in entries if e[0] != uid
+            ]
+
+
+class _Registration:
+    def __init__(self, manager, action, entry):
+        self._manager = manager
+        self._action = action
+        self._entry = entry
+
+    def unregister(self):
+        entries = self._manager._receivers.get(self._action, [])
+        if self._entry in entries:
+            entries.remove(self._entry)

@@ -1,0 +1,116 @@
+"""CPU power and time accounting.
+
+The CPU has a base rail (deep sleep vs awake-idle; awake power is
+attributed to the wakelock holders keeping it awake, or to the system
+when the user keeps the screen on) and one ``cpu_active:<uid>`` rail per
+app currently computing. Per-uid CPU seconds are accumulated so the
+utilization metric (CPU usage / wakelock hold time, Section 2.3) can be
+computed per lease term.
+"""
+
+from collections import defaultdict
+
+
+class CpuPowerModel:
+    """Recomputes CPU rails from suspend state, wakelocks and compute load."""
+
+    BASE_RAIL = "cpu_base"
+
+    def __init__(self, sim, monitor, profile, dvfs=None):
+        self.sim = sim
+        self.monitor = monitor
+        self.profile = profile
+        #: Optional DvfsGovernor (paper §8): when set, active-CPU power
+        #: scales with the operating point the current load selects.
+        self.dvfs = dvfs
+        self.suspended = False
+        self._awake_owner_uids = ()
+        self._computing = defaultdict(float)  # uid -> cores in use
+        self._cpu_time = defaultdict(float)  # uid -> accumulated active s
+        self._last_settle = sim.now
+        self._recompute()
+
+    # -- time accounting -----------------------------------------------------
+
+    def _settle_times(self):
+        now = self.sim.now
+        elapsed = now - self._last_settle
+        if elapsed > 0 and not self.suspended:
+            for uid, cores in self._computing.items():
+                if cores > 0:
+                    self._cpu_time[uid] += elapsed * min(
+                        cores, self.profile.cpu_cores
+                    )
+        self._last_settle = now
+
+    def cpu_time(self, uid):
+        """Accumulated busy CPU seconds for ``uid`` (core-seconds)."""
+        self._settle_times()
+        return self._cpu_time[uid]
+
+    def cpu_energy_mj(self, uid):
+        """Accumulated active-CPU energy attributed to ``uid`` in mJ.
+
+        Under DVFS this diverges from ``cpu_time * cpu_active_mw``; the
+        DVFS-aware utilization metric (§8) is built on this.
+        """
+        self.monitor.settle()
+        return self.monitor.ledger.app_rail_mj(
+            uid, "cpu_active:{}".format(uid)
+        )
+
+    def current_power_scale(self):
+        """The active-power multiplier at the current load (1.0 w/o DVFS)."""
+        if self.dvfs is None:
+            return 1.0
+        load = min(1.0, sum(self._computing.values())
+                   / self.profile.cpu_cores)
+        return self.dvfs.power_scale_for_load(load)
+
+    # -- state changes ---------------------------------------------------------
+
+    def set_suspended(self, suspended):
+        if suspended == self.suspended:
+            return
+        self._settle_times()
+        self.suspended = suspended
+        self._recompute()
+
+    def set_awake_owners(self, uids):
+        """Attribute awake-idle power to these uids (wakelock holders)."""
+        self._awake_owner_uids = tuple(uids)
+        self._recompute()
+
+    def begin_compute(self, uid, cores=1.0):
+        self._settle_times()
+        self._computing[uid] += cores
+        self._recompute()
+
+    def end_compute(self, uid, cores=1.0):
+        self._settle_times()
+        self._computing[uid] = max(0.0, self._computing[uid] - cores)
+        self._recompute()
+
+    def computing_load(self, uid):
+        return self._computing[uid]
+
+    # -- rails --------------------------------------------------------------
+
+    def _recompute(self):
+        profile = self.profile
+        if self.suspended:
+            self.monitor.set_rail(self.BASE_RAIL, profile.cpu_sleep_mw, ())
+            for uid in self._computing:
+                self.monitor.set_rail("cpu_active:{}".format(uid), 0.0, ())
+            return
+        self.monitor.set_rail(
+            self.BASE_RAIL, profile.cpu_awake_idle_mw, self._awake_owner_uids
+        )
+        scale = self.current_power_scale()
+        for uid, cores in self._computing.items():
+            effective = min(cores, profile.cpu_cores)
+            self.monitor.set_rail(
+                "cpu_active:{}".format(uid),
+                profile.cpu_active_mw * effective * scale,
+                (uid,),
+            )

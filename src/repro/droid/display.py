@@ -1,0 +1,82 @@
+"""DisplayService: screen state and its power rail.
+
+The screen is on when the user turned it on, or when any honoured
+screen-bright wakelock exists. When only wakelocks hold it on, the draw is
+attributed to the holding apps (this is how the ConnectBot / Standup Timer
+screen-LHB cases show up as per-app power in Table 5).
+"""
+
+import enum
+
+
+class ScreenState(enum.Enum):
+    OFF = "off"
+    DIM = "dim"
+    ON = "on"
+
+
+class DisplayService:
+    name = "display"
+
+    RAIL = "screen"
+
+    def __init__(self, sim, monitor, profile, suspend):
+        self.sim = sim
+        self.monitor = monitor
+        self.profile = profile
+        self.suspend = suspend
+        self.user_on = False
+        self.dimmed = False
+        self._screen_locks = []
+        self.state = ScreenState.OFF
+        self.last_interaction = -float("inf")
+        self._recompute()
+
+    # -- inputs ---------------------------------------------------------------
+
+    def set_user_screen(self, on):
+        self.user_on = on
+        if on:
+            self.dimmed = False
+        self._recompute()
+
+    def set_screen_wakelocks(self, records):
+        self._screen_locks = list(records)
+        self._recompute()
+
+    def set_dimmed(self, dimmed):
+        """Governor op (DefDroid dims long-held screens)."""
+        self.dimmed = dimmed
+        self._recompute()
+
+    def note_interaction(self):
+        self.last_interaction = self.sim.now
+
+    # -- state ---------------------------------------------------------------
+
+    def _recompute(self):
+        if self.user_on or self._screen_locks:
+            self.state = ScreenState.DIM if self.dimmed else ScreenState.ON
+        else:
+            self.state = ScreenState.OFF
+
+        if self.state is ScreenState.OFF:
+            self.monitor.set_rail(self.RAIL, 0.0, ())
+            self.suspend.remove_reason("screen")
+            return
+        power = (
+            self.profile.screen_dim_mw
+            if self.state is ScreenState.DIM
+            else self.profile.screen_on_mw
+        )
+        # Attribute to wakelock holders only when the user is not the one
+        # keeping the screen on.
+        owners = ()
+        if not self.user_on and self._screen_locks:
+            owners = tuple(sorted({r.uid for r in self._screen_locks}))
+        self.monitor.set_rail(self.RAIL, power, owners)
+        self.suspend.add_reason("screen")
+
+    @property
+    def screen_on(self):
+        return self.state is not ScreenState.OFF

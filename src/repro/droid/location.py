@@ -1,0 +1,339 @@
+"""LocationManagerService: GPS requests, the fix state machine, delivery.
+
+GPS is the one resource where *asking* itself burns power (Table 1: only
+GPS can exhibit Frequent-Ask behaviour): while any honoured registration
+exists and no fix is held, the receiver is SEARCHING at the highest draw.
+Weak signal (``GpsEnvironment.lock_possible == False``) means the search
+never succeeds -- the BetterWeather trigger (Fig. 1).
+
+Listener callbacks are interrupt-driven: they fire even when the device
+is otherwise suspended (the GPS chip wakes the app briefly), matching how
+background location apps keep collecting without an explicit wakelock.
+"""
+
+import enum
+
+from repro.droid.resources import KernelObject, ResourceType
+
+
+class GpsState(enum.Enum):
+    OFF = "off"
+    SEARCHING = "searching"
+    LOCKED = "locked"
+
+
+class Location:
+    """One delivered fix."""
+
+    __slots__ = ("time", "distance_from_start")
+
+    def __init__(self, time, distance_from_start):
+        self.time = time
+        self.distance_from_start = distance_from_start
+
+    def __repr__(self):
+        return "Location(t={:.1f}, d={:.1f}m)".format(
+            self.time, self.distance_from_start
+        )
+
+
+class LocationRecord(KernelObject):
+    """Kernel-side record of one location-updates registration."""
+
+    def __init__(self, sim, uid, listener, interval):
+        super().__init__(sim, uid, ResourceType.GPS, "location-updates")
+        self.listener = listener
+        self.interval = interval
+        # GPS-specific cumulative stats
+        self.search_time = 0.0  # active time spent without a fix
+        self.locked_time = 0.0  # active time with a fix held
+        self.fixes_delivered = 0
+        self.distance_moved = 0.0
+        # Consumer (bound Activity) lifetime for the LHB metric (§3.3).
+        self.consumer_active = True
+        self.consumer_active_time = 0.0
+        self._seg_since = None
+        self._delivery_timer = None
+        self._last_delivery_distance = None
+
+    def counters(self):
+        base = super().counters()
+        base.update(
+            search_time=self.search_time,
+            locked_time=self.locked_time,
+            fixes_delivered=self.fixes_delivered,
+            distance_moved=self.distance_moved,
+            consumer_active_time=self.consumer_active_time,
+        )
+        return base
+
+
+class LocationRegistration:
+    """App-side descriptor for a registration."""
+
+    def __init__(self, service, record):
+        self._service = service
+        self.record = record
+
+    def remove(self):
+        self._service.remove_updates(self)
+
+    def set_consumer_active(self, active):
+        """Mark the bound Activity alive/dead (drives GPS utilization)."""
+        self._service.set_consumer_active(self.record, active)
+
+
+class LocationManagerService:
+    name = "location"
+
+    RAIL = "gps"
+    #: While searching without lock possibility, retry cadence for
+    #: counting failed fix attempts.
+    SEARCH_RETRY_S = 10.0
+    #: A receiver that held a fix this recently re-locks hot (ephemeris
+    #: still valid), like real GPS hardware.
+    WARM_FIX_WINDOW_S = 60.0
+    WARM_TTFF_S = 0.8
+
+    def __init__(self, sim, monitor, profile, env, rng):
+        self.sim = sim
+        self.monitor = monitor
+        self.profile = profile
+        self.env = env
+        self.rng = rng
+        self.records = []
+        self._active = set()  # honoured registrations
+        self.state = GpsState.OFF
+        self.listeners = []
+        self.gates = []
+        self._fix_timer = None
+        self._total_distance = 0.0
+        self._distance_since = None
+        self._last_locked_at = None
+
+    # -- app-facing API -----------------------------------------------------
+
+    def request_location_updates(self, app, listener, interval):
+        app.ipc("location", "requestLocationUpdates")
+        record = LocationRecord(self.sim, app.uid, listener, interval)
+        self.records.append(record)
+        record.acquire_count += 1
+        record.mark_held(True)
+        self._notify("on_location_created", record)
+        allowed = all(gate(record) for gate in self.gates)
+        self._notify("on_location_request", record, allowed)
+        if allowed:
+            self._activate(record)
+        return LocationRegistration(self, record)
+
+    def remove_updates(self, registration):
+        record = registration.record
+        record.release_count += 1
+        record.mark_held(False)
+        self._settle(record)
+        self._notify("on_location_removed", record)
+        self._deactivate(record)
+
+    def set_consumer_active(self, record, active):
+        self._settle(record)
+        record.consumer_active = active
+
+    # -- governor ops ----------------------------------------------------------
+
+    def revoke(self, record):
+        if record.os_active:
+            self._deactivate(record)
+            self._notify("on_location_revoked", record)
+
+    def restore(self, record):
+        if record.app_held and not record.os_active and not record.dead:
+            self._activate(record)
+            self._notify("on_location_restored", record)
+
+    def throttle_interval(self, record, factor):
+        """Governor op (DefDroid): lengthen a registration's interval."""
+        record.interval *= factor
+        if record._delivery_timer is not None:
+            record._delivery_timer.cancel()
+            self._schedule_delivery(record)
+
+    def kill_app_registrations(self, uid):
+        for record in self.records:
+            if record.uid == uid and not record.dead:
+                record.mark_held(False)
+                self._deactivate(record)
+                record.dead = True
+                self._notify("on_location_dead", record)
+
+    # -- GPS state machine -------------------------------------------------------
+
+    def _activate(self, record):
+        if record.os_active:
+            return
+        self._settle_all()
+        record.mark_active(True)
+        record._seg_since = self.sim.now
+        self._active.add(record)
+        self._update_engine()
+        self._refresh_rail_owners()
+        if self.state is GpsState.LOCKED:
+            record._last_delivery_distance = self._current_distance()
+            self._schedule_delivery(record)
+
+    def _deactivate(self, record):
+        if not record.os_active:
+            return
+        self._settle_all()
+        record.mark_active(False)
+        record._seg_since = None
+        self._active.discard(record)
+        if record._delivery_timer is not None:
+            record._delivery_timer.cancel()
+            record._delivery_timer = None
+        self._update_engine()
+        self._refresh_rail_owners()
+
+    def _update_engine(self):
+        if not self._active:
+            self._set_state(GpsState.OFF)
+            return
+        if self.state is GpsState.OFF:
+            self._set_state(GpsState.SEARCHING)
+            self._begin_search()
+
+    def _begin_search(self):
+        if self._fix_timer is not None:
+            self._fix_timer.cancel()
+            self._fix_timer = None
+        ttf = self.env.gps.time_to_fix(self.rng)
+        if ttf is not None and self._last_locked_at is not None \
+                and self.sim.now - self._last_locked_at \
+                <= self.WARM_FIX_WINDOW_S:
+            ttf = min(ttf, self.WARM_TTFF_S * (0.75 + 0.5 * self.rng.random()))
+        if ttf is None:
+            # No lock achievable; retry later (keeps burning search power).
+            self._notify_fix_attempt(False)
+            self._fix_timer = self.sim.schedule(
+                self.SEARCH_RETRY_S, self._search_tick
+            )
+        else:
+            self._fix_timer = self.sim.schedule(ttf, self._acquire_fix)
+
+    def _search_tick(self):
+        if self.state is not GpsState.SEARCHING:
+            return
+        self._begin_search()
+
+    def _acquire_fix(self):
+        if self.state is not GpsState.SEARCHING:
+            return
+        self._settle_all()
+        self._set_state(GpsState.LOCKED)
+        self._notify_fix_attempt(True)
+        distance = self._current_distance()
+        for record in self._active:
+            record._last_delivery_distance = distance
+            self._schedule_delivery(record)
+
+    def _lose_fix(self):
+        if self.state is not GpsState.LOCKED:
+            return
+        self._settle_all()
+        for record in self._active:
+            if record._delivery_timer is not None:
+                record._delivery_timer.cancel()
+                record._delivery_timer = None
+        self._set_state(GpsState.SEARCHING)
+        self._begin_search()
+
+    def _schedule_delivery(self, record):
+        record._delivery_timer = self.sim.schedule(
+            record.interval, lambda: self._deliver(record)
+        )
+
+    def _deliver(self, record):
+        if record not in self._active or self.state is not GpsState.LOCKED:
+            return
+        if not self.env.gps.lock_possible:
+            self._lose_fix()
+            return
+        self._settle_all()
+        distance = self._current_distance()
+        moved = distance - (record._last_delivery_distance or 0.0)
+        record._last_delivery_distance = distance
+        record.fixes_delivered += 1
+        record.distance_moved += max(0.0, moved)
+        location = Location(self.sim.now, distance)
+        record.listener(location)
+        self._notify("on_location_delivered", record, location)
+        self._schedule_delivery(record)
+
+    def settle_stats(self):
+        """Fold elapsed time into every record's counters (profiling)."""
+        self._settle_all()
+        for record in self.records:
+            record.settle()
+
+    # -- accounting -----------------------------------------------------------
+
+    def _set_state(self, state):
+        if state == self.state:
+            return
+        self._settle_all()
+        if self.state is GpsState.LOCKED:
+            self._last_locked_at = self.sim.now
+        self.state = state
+        owners = tuple(sorted({r.uid for r in self._active}))
+        if state is GpsState.OFF:
+            self.monitor.set_rail(self.RAIL, 0.0, ())
+        elif state is GpsState.SEARCHING:
+            self.monitor.set_rail(self.RAIL, self.profile.gps_search_mw, owners)
+            self._distance_since = None
+        else:
+            self.monitor.set_rail(self.RAIL, self.profile.gps_locked_mw, owners)
+            self._distance_since = self.sim.now
+
+    def _refresh_rail_owners(self):
+        owners = tuple(sorted({r.uid for r in self._active}))
+        power = self.monitor.rail_power(self.RAIL)
+        self.monitor.set_rail(self.RAIL, power, owners)
+
+    def _current_distance(self):
+        self._settle_distance()
+        return self._total_distance
+
+    def _settle_distance(self):
+        if self._distance_since is not None:
+            elapsed = self.sim.now - self._distance_since
+            self._total_distance += self.env.gps.distance_moved(elapsed)
+            self._distance_since = self.sim.now
+
+    def _settle(self, record):
+        now = self.sim.now
+        if record._seg_since is None:
+            return
+        elapsed = now - record._seg_since
+        if elapsed > 0:
+            if self.state is GpsState.SEARCHING:
+                record.search_time += elapsed
+            elif self.state is GpsState.LOCKED:
+                record.locked_time += elapsed
+            if record.consumer_active:
+                record.consumer_active_time += elapsed
+        record._seg_since = now
+
+    def _settle_all(self):
+        self._settle_distance()
+        for record in self._active:
+            self._settle(record)
+        self._refresh_rail_owners()
+
+    def _notify_fix_attempt(self, success):
+        for record in self._active:
+            self._notify("on_fix_attempt", record, success)
+
+    def _notify(self, method, *args):
+        for listener in list(self.listeners):
+            handler = getattr(listener, method, None)
+            if handler is not None:
+                handler(*args)

@@ -1,0 +1,214 @@
+"""PowerManagerService: wakelocks (partial and screen-bright).
+
+The service keeps the set of *honoured* kernel objects; any honoured
+partial wakelock keeps the CPU awake, any honoured screen wakelock keeps
+the display on. Governors interpose in three ways:
+
+- ``gates``: predicates consulted on acquire; if any denies, the service
+  *pretends* success to the app (the descriptor works, nothing happens);
+- ``revoke(record)`` / ``restore(record)``: temporarily stop/resume
+  honouring an object while the app still thinks it holds it;
+- ``listeners``: notified of create/acquire/release/death for accounting.
+"""
+
+import enum
+
+from repro.droid.resources import KernelObject, ResourceType
+
+
+class WakeLockLevel(enum.Enum):
+    PARTIAL = "partial"  # CPU stays awake
+    SCREEN_BRIGHT = "screen_bright"  # screen and CPU stay on
+
+
+class WakeLockRecord(KernelObject):
+    """Kernel-side record of one wakelock."""
+
+    def __init__(self, sim, uid, name, level):
+        rtype = (
+            ResourceType.SCREEN
+            if level is WakeLockLevel.SCREEN_BRIGHT
+            else ResourceType.WAKELOCK
+        )
+        super().__init__(sim, uid, rtype, name)
+        self.level = level
+        self.interactions = 0  # user touches while a screen lock is honoured
+        self.pretended_acquires = 0
+
+
+class WakeLock:
+    """App-side descriptor bound 1:1 to a :class:`WakeLockRecord`.
+
+    Mirrors ``android.os.PowerManager.WakeLock``: ``acquire`` and
+    ``release`` are IPCs into the service. Reference-counted like the real
+    thing: nested acquires need as many releases.
+    """
+
+    def __init__(self, service, record, app):
+        self._service = service
+        self._record = record
+        self._app = app
+        self._ref_count = 0
+        self._timeout_timer = None
+
+    def acquire(self, timeout_s=None):
+        """Acquire the lock; with ``timeout_s`` it self-releases later,
+        like ``WakeLock.acquire(long timeout)`` on Android -- the API the
+        well-behaved apps use to bound their own mistakes."""
+        self._app.ipc("power", "acquire")
+        self._ref_count += 1
+        if self._ref_count == 1:
+            self._service.acquire(self._record)
+        # Any acquire supersedes a previously armed timeout: a plain
+        # acquire must not be killed by a stale timer.
+        if self._timeout_timer is not None:
+            self._timeout_timer.cancel()
+            self._timeout_timer = None
+        if timeout_s is not None:
+            self._timeout_timer = self._service.sim.schedule(
+                timeout_s, self._timeout_release
+            )
+
+    def _timeout_release(self):
+        self._timeout_timer = None
+        if self._ref_count > 0:
+            self.release()
+
+    def release(self):
+        if self._ref_count == 0:
+            raise RuntimeError(
+                "wakelock {!r} released more times than acquired".format(
+                    self._record.name
+                )
+            )
+        self._app.ipc("power", "release")
+        self._ref_count -= 1
+        if self._ref_count == 0:
+            if self._timeout_timer is not None:
+                self._timeout_timer.cancel()
+                self._timeout_timer = None
+            self._service.release(self._record)
+
+    @property
+    def held(self):
+        """The app's view: does it believe it holds the lock?"""
+        return self._ref_count > 0
+
+    def __repr__(self):
+        return "WakeLock({!r}, refs={})".format(self._record.name, self._ref_count)
+
+
+class PowerManagerService:
+    """Owns wakelock kernel objects and the device awake state."""
+
+    name = "power"
+
+    def __init__(self, sim, cpu, suspend, display):
+        self.sim = sim
+        self.cpu = cpu
+        self.suspend = suspend
+        self.display = display
+        self.records = []
+        self._honoured = set()  # records currently os_active
+        self.listeners = []
+        self.gates = []  # callables (record) -> bool allow
+
+    # -- app-facing API ------------------------------------------------------
+
+    def new_wakelock(self, app, name, level=WakeLockLevel.PARTIAL):
+        app.ipc("power", "newWakeLock")
+        record = WakeLockRecord(self.sim, app.uid, name, level)
+        self.records.append(record)
+        self._notify("on_wakelock_created", record)
+        return WakeLock(self, record, app)
+
+    # -- kernel-side operations ------------------------------------------------
+
+    def acquire(self, record):
+        if record.dead:
+            raise RuntimeError("acquire on dead wakelock {!r}".format(record.name))
+        record.acquire_count += 1
+        record.mark_held(True)
+        allowed = all(gate(record) for gate in self.gates)
+        self._notify("on_wakelock_acquire", record, allowed)
+        if allowed:
+            self._activate(record)
+        else:
+            record.pretended_acquires += 1
+
+    def release(self, record):
+        record.release_count += 1
+        record.mark_held(False)
+        self._notify("on_wakelock_release", record)
+        self._deactivate(record)
+
+    def revoke(self, record):
+        """Governor op: stop honouring the lock; the app is unaware."""
+        if record.os_active:
+            self._deactivate(record)
+            self._notify("on_wakelock_revoked", record)
+
+    def restore(self, record):
+        """Governor op: resume honouring a revoked, still-held lock."""
+        if record.app_held and not record.os_active and not record.dead:
+            self._activate(record)
+            self._notify("on_wakelock_restored", record)
+
+    def kill_app_locks(self, uid):
+        """App death: clean all its kernel objects (Section 4.3)."""
+        for record in self.records:
+            if record.uid == uid and not record.dead:
+                record.mark_held(False)
+                self._deactivate(record)
+                record.dead = True
+                self._notify("on_wakelock_dead", record)
+
+    # -- internals ----------------------------------------------------------
+
+    def _activate(self, record):
+        if record.os_active:
+            return
+        record.mark_active(True)
+        self._honoured.add(record)
+        self._update_device_state()
+
+    def _deactivate(self, record):
+        if not record.os_active:
+            return
+        record.mark_active(False)
+        self._honoured.discard(record)
+        self._update_device_state()
+
+    def _update_device_state(self):
+        cpu_holders = sorted(
+            {r.uid for r in self._honoured}
+        )  # any honoured lock keeps the CPU awake
+        if cpu_holders:
+            self.suspend.add_reason("wakelock")
+        else:
+            self.suspend.remove_reason("wakelock")
+        self.cpu.set_awake_owners(cpu_holders)
+        screen_records = [
+            r for r in self._honoured if r.level is WakeLockLevel.SCREEN_BRIGHT
+        ]
+        self.display.set_screen_wakelocks(screen_records)
+
+    def honoured_records(self):
+        return frozenset(self._honoured)
+
+    def settle_stats(self):
+        """Fold elapsed time into every record's counters (profiling)."""
+        for record in self.records:
+            record.settle()
+
+    def note_interaction(self):
+        """Touches credit utilization of honoured screen locks."""
+        for record in self._honoured:
+            if record.level is WakeLockLevel.SCREEN_BRIGHT:
+                record.interactions += 1
+
+    def _notify(self, method, *args):
+        for listener in list(self.listeners):
+            handler = getattr(listener, method, None)
+            if handler is not None:
+                handler(*args)

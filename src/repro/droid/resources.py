@@ -1,0 +1,114 @@
+"""Resource identities: binder tokens, resource types, kernel objects."""
+
+import enum
+import itertools
+
+
+class ResourceType(enum.Enum):
+    """The constrained resources LeaseOS manages (paper Table 1)."""
+
+    WAKELOCK = "wakelock"  # partial wakelock: keeps the CPU awake
+    SCREEN = "screen"  # screen-bright wakelock: keeps the display on
+    GPS = "gps"  # location updates
+    SENSOR = "sensor"  # accelerometer / orientation / etc. listeners
+    WIFI = "wifi"  # Wi-Fi high-performance lock
+    AUDIO = "audio"  # audio session
+    BLUETOOTH = "bluetooth"  # discovery scans / connections
+
+
+class IBinder:
+    """A unique IPC token identifying one kernel object.
+
+    In Android the app-side wrapper holds an ``IBinder`` whose kernel-side
+    twin lives in the owning system service; the pair is the 1:1 mapping
+    LeaseOS relies on (Section 4.2).
+    """
+
+    _ids = itertools.count(1)
+
+    __slots__ = ("id",)
+
+    def __init__(self):
+        self.id = next(IBinder._ids)
+
+    def __hash__(self):
+        return hash(self.id)
+
+    def __eq__(self, other):
+        return isinstance(other, IBinder) and other.id == self.id
+
+    def __repr__(self):
+        return "IBinder#{}".format(self.id)
+
+
+class KernelObject:
+    """Base class for the per-resource records system services keep.
+
+    ``app_held`` is the *app's view* (it called acquire and has not called
+    release); ``os_active`` is whether the OS is actually honouring the
+    resource right now. A governor that temporarily revokes a resource
+    flips ``os_active`` off while ``app_held`` stays true -- the app-side
+    descriptor remains valid and the app logic is unaffected (Section 4.6).
+    """
+
+    def __init__(self, sim, uid, rtype, name=""):
+        self.sim = sim
+        self.uid = uid
+        self.rtype = rtype
+        self.name = name
+        self.token = IBinder()
+        self.app_held = False
+        self.os_active = False
+        self.dead = False
+        self.created_at = sim.now
+        # cumulative accounting
+        self.active_time = 0.0  # seconds os_active was true
+        self.held_time = 0.0  # seconds app_held was true
+        self._active_since = None
+        self._held_since = None
+        self.acquire_count = 0
+        self.release_count = 0
+
+    # -- state transitions (used by the owning service) ---------------------
+
+    def settle(self):
+        """Fold elapsed active/held intervals into the cumulative counters."""
+        now = self.sim.now
+        if self._active_since is not None:
+            self.active_time += now - self._active_since
+            self._active_since = now
+        if self._held_since is not None:
+            self.held_time += now - self._held_since
+            self._held_since = now
+
+    def mark_held(self, held):
+        self.settle()
+        if held and self._held_since is None:
+            self._held_since = self.sim.now
+        elif not held:
+            self._held_since = None
+        self.app_held = held
+
+    def mark_active(self, active):
+        self.settle()
+        if active and self._active_since is None:
+            self._active_since = self.sim.now
+        elif not active:
+            self._active_since = None
+        self.os_active = active
+
+    def counters(self):
+        """Cumulative stats snapshot for lease accounting."""
+        self.settle()
+        return {
+            "active_time": self.active_time,
+            "held_time": self.held_time,
+            "acquire_count": self.acquire_count,
+            "release_count": self.release_count,
+        }
+
+    def __repr__(self):
+        return "{}(uid={}, {}, held={}, active={})".format(
+            type(self).__name__, self.uid, self.token, self.app_held,
+            self.os_active,
+        )

@@ -1,0 +1,203 @@
+"""SensorService: listener registrations for physical sensors.
+
+Sensors follow the listener semantics of GPS (Table 1, note *): once a
+listener is registered the OS keeps invoking it, so "holding but not
+using" means the *consumer* of the data (the bound Activity/overlay) is
+gone or ignoring it, not that the physical resource idles. The
+TapAndTurn and Riot cases (Table 5) are sensor apps that keep listeners
+registered while producing no value for the user.
+"""
+
+import enum
+
+from repro.droid.resources import KernelObject, ResourceType
+
+
+class SensorType(enum.Enum):
+    ACCELEROMETER = "accelerometer"
+    ORIENTATION = "orientation"
+    GYROSCOPE = "gyroscope"
+    LIGHT = "light"
+    PROXIMITY = "proximity"
+    CAMERA_MOTION = "camera_motion"  # Haven-style monitoring
+
+
+class SensorReading:
+    __slots__ = ("time", "sensor_type", "value")
+
+    def __init__(self, time, sensor_type, value):
+        self.time = time
+        self.sensor_type = sensor_type
+        self.value = value
+
+
+class SensorRecord(KernelObject):
+    def __init__(self, sim, uid, sensor_type, listener, rate_hz):
+        super().__init__(sim, uid, ResourceType.SENSOR, sensor_type.value)
+        self.sensor_type = sensor_type
+        self.listener = listener
+        self.rate_hz = rate_hz
+        self.events_delivered = 0
+        self.consumer_active = True
+        self.consumer_active_time = 0.0
+        self._seg_since = None
+        self._delivery_timer = None
+
+
+class SensorRegistration:
+    def __init__(self, service, record):
+        self._service = service
+        self.record = record
+
+    def unregister(self):
+        self._service.unregister_listener(self)
+
+    def set_consumer_active(self, active):
+        self._service.set_consumer_active(self.record, active)
+
+
+class SensorManagerService:
+    name = "sensors"
+
+    #: Sensor events are batched; we deliver at most this often to keep the
+    #: event count tractable while preserving duty-cycle power accounting.
+    MAX_DELIVERY_HZ = 1.0
+
+    def __init__(self, sim, monitor, profile, rng):
+        self.sim = sim
+        self.monitor = monitor
+        self.profile = profile
+        self.rng = rng
+        self.records = []
+        self._active = set()
+        self.listeners = []
+        self.gates = []
+
+    # -- app-facing API ------------------------------------------------------
+
+    def register_listener(self, app, sensor_type, listener, rate_hz=5.0):
+        app.ipc("sensors", "registerListener")
+        record = SensorRecord(self.sim, app.uid, sensor_type, listener, rate_hz)
+        self.records.append(record)
+        record.acquire_count += 1
+        record.mark_held(True)
+        self._notify("on_sensor_created", record)
+        allowed = all(gate(record) for gate in self.gates)
+        self._notify("on_sensor_register", record, allowed)
+        if allowed:
+            self._activate(record)
+        return SensorRegistration(self, record)
+
+    def unregister_listener(self, registration):
+        record = registration.record
+        record.release_count += 1
+        record.mark_held(False)
+        self._settle(record)
+        self._notify("on_sensor_unregister", record)
+        self._deactivate(record)
+
+    def set_consumer_active(self, record, active):
+        self._settle(record)
+        record.consumer_active = active
+
+    # -- governor ops ------------------------------------------------------------
+
+    def revoke(self, record):
+        if record.os_active:
+            self._deactivate(record)
+            self._notify("on_sensor_revoked", record)
+
+    def restore(self, record):
+        if record.app_held and not record.os_active and not record.dead:
+            self._activate(record)
+            self._notify("on_sensor_restored", record)
+
+    def throttle_rate(self, record, factor):
+        """Governor op (DefDroid): reduce delivery rate."""
+        record.rate_hz /= factor
+        self._refresh_rail(record)
+
+    def kill_app_registrations(self, uid):
+        for record in self.records:
+            if record.uid == uid and not record.dead:
+                record.mark_held(False)
+                self._deactivate(record)
+                record.dead = True
+                self._notify("on_sensor_dead", record)
+
+    def settle_stats(self):
+        """Fold elapsed time into every record's counters (profiling)."""
+        for record in self.records:
+            if record in self._active:
+                self._settle(record)
+            record.settle()
+
+    # -- internals -------------------------------------------------------------
+
+    def _activate(self, record):
+        if record.os_active:
+            return
+        record.mark_active(True)
+        record._seg_since = self.sim.now
+        self._active.add(record)
+        self._refresh_rail(record)
+        self._schedule_delivery(record)
+
+    def _deactivate(self, record):
+        if not record.os_active:
+            return
+        self._settle(record)
+        record.mark_active(False)
+        record._seg_since = None
+        self._active.discard(record)
+        if record._delivery_timer is not None:
+            record._delivery_timer.cancel()
+            record._delivery_timer = None
+        self.monitor.set_rail(self._rail_name(record), 0.0, ())
+
+    def _rail_name(self, record):
+        return "sensor:{}:{}".format(record.sensor_type.value, record.token.id)
+
+    def _refresh_rail(self, record):
+        if not record.os_active:
+            return
+        # Power scales mildly with rate (duty cycle of the sensor hub).
+        rate_scale = min(2.0, max(0.25, record.rate_hz / 5.0))
+        self.monitor.set_rail(
+            self._rail_name(record),
+            self.profile.sensor_mw * rate_scale,
+            (record.uid,),
+        )
+
+    def _schedule_delivery(self, record):
+        interval = 1.0 / min(record.rate_hz, self.MAX_DELIVERY_HZ)
+        record._delivery_timer = self.sim.schedule(
+            interval, lambda: self._deliver(record)
+        )
+
+    def _deliver(self, record):
+        if record not in self._active:
+            return
+        self._settle(record)
+        record.events_delivered += 1
+        reading = SensorReading(
+            self.sim.now, record.sensor_type, self.rng.random()
+        )
+        record.listener(reading)
+        self._notify("on_sensor_delivered", record, reading)
+        self._schedule_delivery(record)
+
+    def _settle(self, record):
+        now = self.sim.now
+        if record._seg_since is None:
+            return
+        elapsed = now - record._seg_since
+        if elapsed > 0 and record.consumer_active:
+            record.consumer_active_time += elapsed
+        record._seg_since = now
+
+    def _notify(self, method, *args):
+        for listener in list(self.listeners):
+            handler = getattr(listener, method, None)
+            if handler is not None:
+                handler(*args)

@@ -1,0 +1,93 @@
+"""Device suspend (deep sleep) control.
+
+The device stays awake while any *awake reason* is present: the screen is
+on, a partial wakelock is held and honoured, a wakeup alarm is being
+handled, or the user touched the phone moments ago. When the last reason
+disappears the device suspends: the CPU base rail drops to deep-sleep
+power and every app process is frozen (paper Section 4.6 -- revoking the
+last wakelock pauses execution, which resumes seamlessly on wake).
+"""
+
+
+class SuspendController:
+    """Tracks awake reasons and drives CPU suspend + process freezing."""
+
+    def __init__(self, sim, cpu):
+        self.sim = sim
+        self.cpu = cpu
+        self._reasons = set()
+        self._listeners = []  # callback(suspended: bool)
+        self._process_provider = None  # callable -> iterable of Process
+        self.suspended = False
+        self.suspend_count = 0
+        self._suspended_time = 0.0
+        self._suspended_since = None
+
+    def set_process_provider(self, provider):
+        """``provider()`` must yield the app processes to freeze/thaw."""
+        self._process_provider = provider
+
+    def on_transition(self, listener):
+        """Register ``listener(suspended)`` for suspend/wake transitions."""
+        self._listeners.append(listener)
+
+    # -- reasons -------------------------------------------------------------
+
+    def add_reason(self, tag):
+        """Hold the device awake for ``tag`` (idempotent per tag)."""
+        self._reasons.add(tag)
+        self._reevaluate()
+
+    def remove_reason(self, tag):
+        self._reasons.discard(tag)
+        self._reevaluate()
+
+    def hold_awake(self, tag, duration):
+        """Add a reason that removes itself after ``duration`` seconds."""
+        self.add_reason(tag)
+        self.sim.schedule(duration, lambda: self.remove_reason(tag))
+
+    @property
+    def awake(self):
+        return not self.suspended
+
+    @property
+    def reasons(self):
+        return frozenset(self._reasons)
+
+    def suspended_time(self):
+        """Total seconds spent suspended so far."""
+        total = self._suspended_time
+        if self._suspended_since is not None:
+            total += self.sim.now - self._suspended_since
+        return total
+
+    # -- transitions -----------------------------------------------------------
+
+    def _reevaluate(self):
+        should_suspend = not self._reasons
+        if should_suspend == self.suspended:
+            return
+        self.suspended = should_suspend
+        if should_suspend:
+            self.suspend_count += 1
+            self._suspended_since = self.sim.now
+            self.cpu.set_suspended(True)
+            self._freeze(True)
+        else:
+            if self._suspended_since is not None:
+                self._suspended_time += self.sim.now - self._suspended_since
+                self._suspended_since = None
+            self.cpu.set_suspended(False)
+            self._freeze(False)
+        for listener in list(self._listeners):
+            listener(self.suspended)
+
+    def _freeze(self, freeze):
+        if self._process_provider is None:
+            return
+        for proc in self._process_provider():
+            if freeze:
+                proc.pause()
+            else:
+                proc.resume()

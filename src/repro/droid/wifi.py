@@ -1,0 +1,128 @@
+"""WifiService: high-performance Wi-Fi locks.
+
+A held Wi-Fi lock keeps the radio out of power-save (a small constant
+draw); the ConnectBot Wi-Fi case in Table 5 holds one regardless of
+whether the active network is even Wi-Fi. Utilization for a Wi-Fi lock is
+the fraction of hold time the app actually spends transferring.
+"""
+
+from repro.droid.resources import KernelObject, ResourceType
+
+
+class WifiLockRecord(KernelObject):
+    def __init__(self, sim, uid, name):
+        super().__init__(sim, uid, ResourceType.WIFI, name)
+        self.transfer_time = 0.0  # seconds transferring while held
+
+
+class WifiLock:
+    """App-side descriptor, mirroring ``WifiManager.WifiLock``."""
+
+    def __init__(self, service, record, app):
+        self._service = service
+        self._record = record
+        self._app = app
+        self._held = False
+
+    def acquire(self):
+        self._app.ipc("wifi", "acquireLock")
+        if not self._held:
+            self._held = True
+            self._service.acquire(self._record)
+
+    def release(self):
+        if not self._held:
+            raise RuntimeError("wifi lock released while not held")
+        self._app.ipc("wifi", "releaseLock")
+        self._held = False
+        self._service.release(self._record)
+
+    @property
+    def held(self):
+        return self._held
+
+
+class WifiService:
+    name = "wifi"
+
+    RAIL = "wifi_lock"
+
+    def __init__(self, sim, monitor, profile, env):
+        self.sim = sim
+        self.monitor = monitor
+        self.profile = profile
+        self.env = env
+        self.records = []
+        self._honoured = set()
+        self.listeners = []
+        self.gates = []
+
+    def new_lock(self, app, name="wifilock"):
+        app.ipc("wifi", "createWifiLock")
+        record = WifiLockRecord(self.sim, app.uid, name)
+        self.records.append(record)
+        self._notify("on_wifilock_created", record)
+        return WifiLock(self, record, app)
+
+    def acquire(self, record):
+        record.acquire_count += 1
+        record.mark_held(True)
+        allowed = all(gate(record) for gate in self.gates)
+        self._notify("on_wifilock_acquire", record, allowed)
+        if allowed:
+            self._activate(record)
+
+    def release(self, record):
+        record.release_count += 1
+        record.mark_held(False)
+        self._notify("on_wifilock_release", record)
+        self._deactivate(record)
+
+    def revoke(self, record):
+        if record.os_active:
+            self._deactivate(record)
+            self._notify("on_wifilock_revoked", record)
+
+    def restore(self, record):
+        if record.app_held and not record.os_active and not record.dead:
+            self._activate(record)
+            self._notify("on_wifilock_restored", record)
+
+    def kill_app_locks(self, uid):
+        for record in self.records:
+            if record.uid == uid and not record.dead:
+                record.mark_held(False)
+                self._deactivate(record)
+                record.dead = True
+                self._notify("on_wifilock_dead", record)
+
+    def note_transfer(self, uid, duration):
+        """Connectivity credits transfer time to the uid's held locks."""
+        for record in self._honoured:
+            if record.uid == uid:
+                record.transfer_time += duration
+
+    def _activate(self, record):
+        if record.os_active:
+            return
+        record.mark_active(True)
+        self._honoured.add(record)
+        self._refresh_rail()
+
+    def _deactivate(self, record):
+        if not record.os_active:
+            return
+        record.mark_active(False)
+        self._honoured.discard(record)
+        self._refresh_rail()
+
+    def _refresh_rail(self):
+        owners = tuple(sorted({r.uid for r in self._honoured}))
+        power = self.profile.wifi_lock_mw if owners else 0.0
+        self.monitor.set_rail(self.RAIL, power, owners)
+
+    def _notify(self, method, *args):
+        for listener in list(self.listeners):
+            handler = getattr(listener, method, None)
+            if handler is not None:
+                handler(*args)

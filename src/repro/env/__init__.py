@@ -1,0 +1,27 @@
+"""Environment models: the world outside the phone.
+
+Energy bugs in the paper are almost always *triggered by environment
+conditions* -- a failing mail server (K-9), a network disconnection (K-9,
+ServalMesh), weak GPS signal inside a building (BetterWeather). These
+modules model exactly those conditions:
+
+- :class:`~repro.env.network.NetworkEnvironment` -- connectivity state and
+  per-server health (ok / erroring / unreachable);
+- :class:`~repro.env.gps.GpsEnvironment` -- signal quality, time-to-fix,
+  and device movement (feeding the GPS distance-moved utility metric);
+- :class:`~repro.env.user.UserModel` -- a seeded stochastic user producing
+  screen sessions, app switches and touches.
+"""
+
+from repro.env.environment import Environment
+from repro.env.gps import GpsEnvironment
+from repro.env.network import NetworkEnvironment, ServerMode
+from repro.env.user import UserModel
+
+__all__ = [
+    "Environment",
+    "GpsEnvironment",
+    "NetworkEnvironment",
+    "ServerMode",
+    "UserModel",
+]

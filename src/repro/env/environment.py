@@ -1,0 +1,31 @@
+"""Composite environment bundling network, GPS and server state."""
+
+from repro.env.gps import GpsEnvironment
+from repro.env.network import NetworkEnvironment
+
+
+class Environment:
+    """Everything outside the phone that scenarios manipulate.
+
+    Construct with keyword overrides, e.g.::
+
+        env = Environment(sim, connected=False, gps_quality=0.1)
+    """
+
+    def __init__(self, sim, connected=True, network_kind="wifi",
+                 gps_quality=0.9, movement_mps=0.0):
+        self.sim = sim
+        self.network = NetworkEnvironment(sim, connected=connected,
+                                          kind=network_kind)
+        self.gps = GpsEnvironment(sim, quality=gps_quality,
+                                  speed_mps=movement_mps)
+
+    def schedule_network_change(self, delay, connected, kind="wifi"):
+        """At ``sim.now + delay``, flip connectivity."""
+        return self.sim.schedule(
+            delay, lambda: self.network.set_connected(connected, kind)
+        )
+
+    def schedule_gps_quality(self, delay, quality):
+        """At ``sim.now + delay``, change GPS signal quality."""
+        return self.sim.schedule(delay, lambda: self.gps.set_quality(quality))

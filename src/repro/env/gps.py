@@ -1,0 +1,44 @@
+"""GPS signal environment and device movement.
+
+Signal quality drives whether and how fast a GPS fix is obtained (weak
+indoor signal -> never locks, the BetterWeather trigger), and movement
+speed drives the *distance moved* generic utility metric for GPS leases.
+"""
+
+
+class GpsEnvironment:
+    """GPS signal quality in [0, 1] plus a simple movement model."""
+
+    #: Minimum quality at which a lock is achievable at all.
+    LOCK_THRESHOLD = 0.3
+    #: Time to first fix at perfect signal, in seconds.
+    BASE_TTFF = 4.0
+
+    def __init__(self, sim, quality=0.9, speed_mps=0.0):
+        self.sim = sim
+        self._quality = quality
+        self.speed_mps = speed_mps  # user movement speed, metres/second
+
+    @property
+    def quality(self):
+        return self._quality
+
+    def set_quality(self, quality):
+        if not 0.0 <= quality <= 1.0:
+            raise ValueError("signal quality must be in [0, 1]")
+        self._quality = quality
+
+    @property
+    def lock_possible(self):
+        return self._quality >= self.LOCK_THRESHOLD
+
+    def time_to_fix(self, rng):
+        """Seconds until a fix, or ``None`` if the signal precludes a lock."""
+        if not self.lock_possible:
+            return None
+        jitter = 0.75 + 0.5 * rng.random()
+        return self.BASE_TTFF / self._quality * jitter
+
+    def distance_moved(self, duration_s):
+        """Metres the device moved in ``duration_s`` at the current speed."""
+        return max(0.0, self.speed_mps) * duration_s

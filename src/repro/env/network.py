@@ -1,0 +1,103 @@
+"""Network connectivity and server-health environment."""
+
+import enum
+
+
+class ServerMode(enum.Enum):
+    """Health of a remote endpoint an app talks to."""
+
+    OK = "ok"  # responds normally
+    ERROR = "error"  # reachable but answers with errors (bad mail server)
+    DOWN = "down"  # connection attempts time out
+
+
+class RequestOutcome:
+    """Result of one simulated network request."""
+
+    __slots__ = ("status", "duration")
+
+    def __init__(self, status, duration):
+        self.status = status  # "ok" | "error" | "timeout" | "no_network"
+        self.duration = duration  # seconds the attempt occupied the radio
+
+    @property
+    def ok(self):
+        return self.status == "ok"
+
+    def __repr__(self):
+        return "RequestOutcome({}, {:.3f}s)".format(self.status, self.duration)
+
+
+class NetworkEnvironment:
+    """Connectivity state plus the health of named servers.
+
+    Scenario code mutates this (``set_connected``, ``set_server``) and may
+    schedule mutations on the simulator to build traces (e.g. "network
+    drops out at minute 10, returns at minute 20").
+    """
+
+    #: Default latency parameters, in seconds.
+    BASE_LATENCY = 0.08
+    ERROR_LATENCY = 0.35  # server answers, but with an error, a bit slower
+    TIMEOUT = 15.0  # socket timeout for unreachable endpoints
+
+    def __init__(self, sim, connected=True, kind="wifi"):
+        self.sim = sim
+        self._connected = connected
+        self._kind = kind if connected else None
+        self._servers = {}
+        self._listeners = []
+
+    # -- connectivity ------------------------------------------------------
+
+    @property
+    def connected(self):
+        return self._connected
+
+    @property
+    def kind(self):
+        """"wifi", "cellular", or None when disconnected."""
+        return self._kind
+
+    def set_connected(self, connected, kind="wifi"):
+        changed = connected != self._connected or (
+            connected and kind != self._kind
+        )
+        self._connected = connected
+        self._kind = kind if connected else None
+        if changed:
+            for listener in list(self._listeners):
+                listener(self._connected, self._kind)
+
+    def on_change(self, listener):
+        """Register ``listener(connected, kind)`` for connectivity changes."""
+        self._listeners.append(listener)
+
+    # -- servers -----------------------------------------------------------
+
+    def set_server(self, name, mode):
+        if not isinstance(mode, ServerMode):
+            raise TypeError("mode must be a ServerMode, got {!r}".format(mode))
+        self._servers[name] = mode
+
+    def server_mode(self, name):
+        return self._servers.get(name, ServerMode.OK)
+
+    def request_outcome(self, server, rng, payload_s=0.0):
+        """Compute what one request to ``server`` does, without side effects.
+
+        ``payload_s`` is extra transfer time for a successful response.
+        Returns a :class:`RequestOutcome`; the caller is responsible for
+        advancing simulated time by ``outcome.duration`` and accounting
+        radio power.
+        """
+        if not self._connected:
+            # Fails fast: no route to host.
+            return RequestOutcome("no_network", 0.05)
+        mode = self.server_mode(server)
+        jitter = 0.5 + rng.random()  # x0.5 .. x1.5
+        if mode is ServerMode.OK:
+            return RequestOutcome("ok", self.BASE_LATENCY * jitter + payload_s)
+        if mode is ServerMode.ERROR:
+            return RequestOutcome("error", self.ERROR_LATENCY * jitter)
+        return RequestOutcome("timeout", self.TIMEOUT)

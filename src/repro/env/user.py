@@ -1,0 +1,61 @@
+"""A seeded stochastic user.
+
+The user turns the screen on and off, switches between installed apps and
+touches the foreground app. Experiments that need "30 minutes of active
+use of popular apps, then 30 minutes untouched" (Fig. 11) or "use 10/30
+apps in turn" (Fig. 13) drive their phone through this model so runs are
+reproducible under a fixed seed.
+
+The model talks to the phone through duck typing; anything exposing
+``screen_on() / screen_off() / set_foreground(uid) / touch(uid)`` works.
+"""
+
+from repro.sim.events import Timeout
+
+
+class UserModel:
+    """Generates user behaviour as simulator processes."""
+
+    def __init__(self, sim, phone, rng):
+        self.sim = sim
+        self.phone = phone
+        self.rng = rng
+
+    def active_session(self, uids, duration_s, touch_interval=4.0,
+                       switch_interval=45.0):
+        """Generator: actively use ``uids`` in rotation for ``duration_s``.
+
+        The screen is on throughout; the user touches the foreground app
+        every ~``touch_interval`` seconds and switches apps every
+        ~``switch_interval`` seconds.
+        """
+        if not uids:
+            raise ValueError("active_session needs at least one app uid")
+        self.phone.screen_on()
+        end = self.sim.now + duration_s
+        index = 0
+        self.phone.set_foreground(uids[index])
+        next_switch = self.sim.now + self._jitter(switch_interval)
+        try:
+            while self.sim.now < end:
+                yield Timeout(min(self._jitter(touch_interval),
+                                  max(0.001, end - self.sim.now)))
+                if self.sim.now >= end:
+                    break
+                self.phone.touch(uids[index])
+                if self.sim.now >= next_switch and len(uids) > 1:
+                    index = (index + 1) % len(uids)
+                    self.phone.set_foreground(uids[index])
+                    next_switch = self.sim.now + self._jitter(switch_interval)
+        finally:
+            self.phone.set_foreground(None)
+            self.phone.screen_off()
+
+    def idle_session(self, duration_s):
+        """Generator: leave the phone untouched, screen off."""
+        self.phone.screen_off()
+        yield Timeout(duration_s)
+
+    def _jitter(self, base):
+        """Uniform jitter in [0.5x, 1.5x] around ``base``."""
+        return base * (0.5 + self.rng.random())

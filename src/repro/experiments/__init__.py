@@ -1,0 +1,36 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every module exposes a ``run(...)`` returning structured results and a
+``main()`` that prints the same rows/series the paper reports. The
+mapping to paper artifacts:
+
+========================  =====================================
+Module                    Paper artifact
+========================  =====================================
+``characterization``      Figs. 1-4 (§2.3 study)
+``study_tables``          Tables 1 and 2 (+ resource cross-tab)
+``lease_term``            Fig. 9 (a)/(b)
+``microbench``            Table 4 + Fig. 11's companion stats
+``lease_activity``        Fig. 11
+``table5``                Table 5
+``usability``             §7.4
+``lambda_sweep``          Fig. 12
+``overhead``              Fig. 13
+``latency``               Fig. 14
+``battery_life``          §7.6 end-to-end battery test
+``ablations``             design-choice ablations (DESIGN.md §6)
+``extensions``            the §8 future-work features
+``robustness``            seed + hardware sweeps
+``term_sweep``            the §5.1 trade-off, measured
+``fix_comparison``        documented developer fixes vs the lease
+``containment``           reaction latency vs work preserved
+``verdict``               the full reproduction scorecard
+========================  =====================================
+
+Support modules: ``runner`` (case running + tables), ``export`` (CSV),
+``plotting`` (sparklines/bars for the text artifacts).
+"""
+
+from repro.experiments.runner import format_table, run_case
+
+__all__ = ["format_table", "run_case"]

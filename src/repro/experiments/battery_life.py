@@ -1,0 +1,121 @@
+"""§7.6 end-to-end battery test.
+
+The paper: with one buggy GPS app installed, "we play music for 2 hours,
+watch YouTube for 1 hour, browse for 30 mins and keep the phone on
+standby. Android w/o lease runs out of battery after around 12 hours,
+while LeaseOS lasts for 15 hours."
+
+We script the same day with the user model: a Spotify session, a YouTube
+(streaming) session, a browsing session, then standby, with GPSLogger's
+leaked registration draining in the background throughout. Because the
+simulator's component model is leaner than a real phone's (no SoC
+housekeeping, cameras, cell standby churn), absolute hours differ; the
+battery is scaled (``battery_level``) so the vanilla run lands near the
+paper's half-day order of magnitude, and the reproduced quantity is the
+*extra lifetime LeaseOS buys* (paper: +3 h, i.e. +25%).
+"""
+
+from dataclasses import dataclass
+
+from repro.apps.buggy.gps_apps import GPSLogger
+from repro.apps.normal.interactive import InteractiveApp
+from repro.droid.phone import Phone
+from repro.mitigation import LeaseOS
+
+
+@dataclass
+class BatteryLifeResult:
+    hours_vanilla: float
+    hours_leaseos: float
+    hours_saver: float = None  # Android-style battery saver, if measured
+
+    @property
+    def extension_hours(self):
+        return self.hours_leaseos - self.hours_vanilla
+
+    @property
+    def extension_pct(self):
+        return 100.0 * self.extension_hours / self.hours_vanilla
+
+
+def _run_day(mitigation, seed, battery_level, max_hours,
+             baseline_mw=250.0):
+    phone = Phone(seed=seed, mitigation=mitigation,
+                  battery_level=battery_level, gps_quality=0.95)
+    # Constant device baseline: cell standby, OS housekeeping, ambient
+    # screen-ons -- real-phone draws our component model omits, without
+    # which standby life would be implausibly long for every regime.
+    phone.monitor.set_rail("device_baseline", baseline_mw, ())
+    # The buggy GPS app (leaked registration) runs all day.
+    phone.install(GPSLogger())
+    music = phone.install(InteractiveApp(
+        "Music", media_streaming=True, touch_compute_s=0.1,
+        touch_payload_s=0.2, sync_interval_s=None,
+    ))
+    youtube = phone.install(InteractiveApp(
+        "YouTube", media_streaming=True, touch_compute_s=0.4,
+        touch_payload_s=1.0, sync_interval_s=None,
+    ))
+    browser = phone.install(InteractiveApp(
+        "Chrome", touch_compute_s=0.5, touch_payload_s=0.8,
+        sync_interval_s=None,
+    ))
+
+    def scripted_day():
+        # 2 h of music (touch-driven streaming keeps playing while the
+        # user nudges the app; it stops when the session ends).
+        yield from phone.user.active_session([music.uid], 2 * 3600.0,
+                                             touch_interval=45.0)
+        # 1 h YouTube, screen on, actively watched.
+        yield from phone.user.active_session([youtube.uid], 3600.0,
+                                             touch_interval=45.0)
+        # 30 min browsing.
+        yield from phone.user.active_session([browser.uid], 1800.0,
+                                             touch_interval=8.0)
+        # Standby for the rest of the day.
+
+    phone.sim.spawn(scripted_day(), name="user.day")
+
+    step_s = 300.0
+    while not phone.battery.empty and phone.sim.now < max_hours * 3600.0:
+        phone.run_for(seconds=step_s)
+    return phone.sim.now / 3600.0
+
+
+def run(seed=47, battery_level=0.52, max_hours=48.0, with_saver=False):
+    """Hours until empty, vanilla vs LeaseOS (vs Battery Saver with
+    ``with_saver``). ``battery_level`` scales capacity so the vanilla
+    run lands near the paper's ~12 h."""
+    hours_vanilla = _run_day(None, seed, battery_level, max_hours)
+    hours_leaseos = _run_day(LeaseOS(), seed, battery_level, max_hours)
+    hours_saver = None
+    if with_saver:
+        from repro.mitigation import BatterySaver
+
+        hours_saver = _run_day(BatterySaver(), seed, battery_level,
+                               max_hours)
+    return BatteryLifeResult(hours_vanilla, hours_leaseos, hours_saver)
+
+
+def render(result):
+    text = (
+        "Battery life with one buggy GPS app (scaled battery):\n"
+        "  vanilla Android: {:.1f} h (paper: ~12 h)\n"
+        "  LeaseOS:         {:.1f} h (paper: ~15 h)\n"
+        "  LeaseOS extends life by {:.1f} h ({:+.0f}%; paper: +3 h, +25%)"
+    ).format(result.hours_vanilla, result.hours_leaseos,
+             result.extension_hours, result.extension_pct)
+    if result.hours_saver is not None:
+        text += (
+            "\n  Battery Saver:   {:.1f} h (helps only once the battery "
+            "is already low)"
+        ).format(result.hours_saver)
+    return text
+
+
+def main():
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""CSV export: plotting-ready data for every reproduced artifact.
+
+The text tables in ``results/`` are human-readable; these helpers write
+the same data as CSV so the figures can be re-plotted with any tool.
+"""
+
+import csv
+
+
+def write_csv(path, headers, rows):
+    """Write ``rows`` (iterables) under ``headers`` to ``path``."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def samples_csv(path, samples, fields):
+    """Export Trepn :class:`AppSample` rows (Figs. 1-4 series)."""
+    headers = ["time_s"] + list(fields)
+    rows = (
+        [sample.time] + [getattr(sample, field) for field in fields]
+        for sample in samples
+    )
+    return write_csv(path, headers, rows)
+
+
+def table5_csv(path, rows):
+    """Export Table 5 rows with measured and paper values."""
+    headers = [
+        "case", "category", "resource", "behavior",
+        "vanilla_mw", "leaseos_mw", "doze_mw", "defdroid_mw",
+        "leaseos_reduction_pct", "doze_reduction_pct",
+        "defdroid_reduction_pct",
+        "paper_vanilla_mw", "paper_leaseos_mw",
+    ]
+    data = []
+    for row in rows:
+        paper = row.case.paper_power
+        data.append([
+            row.case.key, row.case.category, row.case.resource.value,
+            row.case.behavior.value,
+            row.vanilla_mw, row.leaseos_mw, row.doze_mw, row.defdroid_mw,
+            row.leaseos_reduction, row.doze_reduction,
+            row.defdroid_reduction,
+            paper.get("vanilla", ""), paper.get("leaseos", ""),
+        ])
+    return write_csv(path, headers, data)
+
+
+def lambda_csv(path, results):
+    """Export the Fig. 12 sweep."""
+    from repro.core.policy import waste_reduction_ratio
+    from repro.experiments.lambda_sweep import PAPER_FIG12
+
+    headers = ["lambda", "reduction", "paper", "closed_form"]
+    rows = (
+        [lam, results[lam], PAPER_FIG12.get(lam, ""),
+         waste_reduction_ratio(lam)]
+        for lam in sorted(results)
+    )
+    return write_csv(path, headers, rows)
+
+
+def lease_activity_csv(path, result):
+    """Export the Fig. 11 active-lease time series."""
+    return write_csv(path, ["time_s", "active_leases"], result.samples)

@@ -1,0 +1,157 @@
+"""§8 future-work extensions, demonstrated end to end.
+
+Three experiments for the three §8 directions this reproduction
+implements:
+
+1. **DVFS-aware utility metrics** -- an app doing intense short bursts
+   under a DVFS governor: time-based utilization underprices the bursts;
+   the energy-normalized metric (``LeasePolicy.dvfs_aware``) reprices
+   them with the device-state factor.
+2. **Dynamic policy from usage history** -- a long-clean app's first
+   offence draws a shorter deferral than a chronic offender's
+   (:class:`~repro.core.adaptive.DynamicPolicyTuner`).
+3. **Excessive-Use surfacing** -- the
+   :class:`~repro.core.eub.ExcessiveUseAdvisor` report that lists
+   heavy-but-useful apps without ever throttling them.
+"""
+
+from repro.core.adaptive import DynamicPolicyTuner
+from repro.core.eub import ExcessiveUseAdvisor
+from repro.core.policy import LeasePolicy
+from repro.device.dvfs import DvfsGovernor
+from repro.droid.app import App
+from repro.experiments.runner import format_table
+from repro.mitigation import LeaseOS
+
+from repro.apps.buggy.cpu_apps import Torch
+
+
+class BurstApp(App):
+    """Intense multi-core blips at low duty: the DVFS repricing case."""
+
+    app_name = "burst"
+
+    def run(self):
+        lock = self.ctx.power.new_wakelock(self, "burst")
+        lock.acquire()
+        while True:
+            yield from self.compute(0.05, cores=4.0)
+            yield self.sleep(0.95)
+
+
+class HeavyGame(App):
+    """Full-tilt but useful: the canonical Excessive-Use app."""
+
+    app_name = "HeavyGame"
+
+    def run(self):
+        lock = self.ctx.power.new_wakelock(self, "game")
+        lock.acquire()
+        while True:
+            yield from self.compute(0.9)
+            self.post_ui_update()
+            yield self.sleep(0.1)
+
+
+def run_dvfs(minutes=3.0, seed=61):
+    """Return (time-based utilization, energy-based utilization)."""
+    utilizations = {}
+    from repro.droid.phone import Phone
+
+    for label, aware in (("time-based", False), ("energy-based", True)):
+        mitigation = LeaseOS(policy=LeasePolicy(dvfs_aware=aware))
+        phone = Phone(seed=seed, mitigation=mitigation, ambient=False,
+                      dvfs=DvfsGovernor())
+        app = phone.install(BurstApp())
+        phone.run_for(minutes=minutes)
+        lease = mitigation.manager.leases_for(app.uid)[0]
+        utilizations[label] = lease.history[-1].metrics.utilization
+    return utilizations
+
+
+class _TurnsBad(App):
+    app_name = "turnsbad"
+
+    def __init__(self, healthy_s):
+        super().__init__()
+        self.healthy_s = healthy_s
+
+    def run(self):
+        lock = self.ctx.power.new_wakelock(self, "tb")
+        lock.acquire()
+        end = self.ctx.sim.now + self.healthy_s
+        while self.ctx.sim.now < end:
+            yield from self.compute(0.5)
+            yield self.sleep(0.5)
+        while True:
+            yield self.sleep(600.0)
+
+
+def run_dynamic_policy(minutes=12.0, seed=61):
+    """First-offence deferral length: reputable vs chronic app."""
+    from repro.droid.phone import Phone
+
+    lengths = {}
+    for label, healthy_s in (("reputable (2 min clean)", 120.0),
+                             ("chronic (bad from boot)", 0.0)):
+        mitigation = LeaseOS()
+        phone = Phone(seed=seed, mitigation=mitigation, ambient=False)
+        DynamicPolicyTuner().attach(mitigation.manager)
+        app = phone.install(_TurnsBad(healthy_s))
+        phone.run_for(minutes=minutes)
+        defers = [d for d in mitigation.manager.decisions
+                  if d.lease.uid == app.uid and d.action == "defer"]
+        first = defers[0].time
+        following = [d.time for d in mitigation.manager.decisions
+                     if d.lease.uid == app.uid and d.time > first]
+        lengths[label] = (following[0] - first) if following else None
+    return lengths
+
+
+def run_eub_report(minutes=5.0, seed=61):
+    """The advisor lists the heavy game, not the idle Torch."""
+    from repro.droid.phone import Phone
+
+    mitigation = LeaseOS()
+    phone = Phone(seed=seed, mitigation=mitigation, ambient=False)
+    advisor = ExcessiveUseAdvisor(phone).attach(mitigation.manager)
+    game = phone.install(HeavyGame())
+    torch = phone.install(Torch())
+    phone.run_for(minutes=minutes)
+    return advisor, game, torch
+
+
+def render():
+    lines = []
+
+    dvfs = run_dvfs()
+    lines.append(format_table(
+        ["metric", "utilization of intense bursts"],
+        [[label, "{:.2f}".format(value)] for label, value in dvfs.items()],
+        title="8.1 DVFS-aware utility: the same workload, repriced",
+    ))
+
+    dynamic = run_dynamic_policy()
+    lines.append(format_table(
+        ["app history", "first deferral + term (s)"],
+        [[label, "{:.1f}".format(value)]
+         for label, value in dynamic.items()],
+        title="8.2 Dynamic policy: reputation scales the deferral",
+    ))
+
+    advisor, game, torch = run_eub_report()
+    lines.append("8.3 Excessive-Use advisor report:")
+    lines.append(advisor.render())
+    entries = advisor.report()
+    assert entries and entries[0].uid == game.uid
+    assert all(entry.uid != torch.uid for entry in entries)
+
+    return "\n\n".join(lines)
+
+
+def main():
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

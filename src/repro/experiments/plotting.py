@@ -1,0 +1,56 @@
+"""Plain-text plotting: sparklines and bar charts for the artifacts.
+
+The result files are text; these helpers make the figure artifacts
+actually look like figures. No dependencies, deterministic output.
+"""
+
+_SPARK_LEVELS = "._:-=+*#%@"
+
+
+def sparkline(values, width=None):
+    """Render ``values`` as a one-line density sparkline.
+
+    Values are scaled to the observed range; a flat series renders at
+    mid-level. ``width`` resamples the series by simple striding.
+    """
+    values = list(values)
+    if not values:
+        return ""
+    if width is not None and len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_LEVELS[len(_SPARK_LEVELS) // 2] * len(values)
+    span = hi - lo
+    chars = []
+    for value in values:
+        index = int((value - lo) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def bar_chart(labels, values, width=40, unit=""):
+    """Horizontal bar chart with aligned labels and values."""
+    labels = [str(label) for label in labels]
+    values = list(values)
+    if not values:
+        return ""
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(value / peak * width)) if peak > 0 else 0
+        lines.append("{:<{w}s} |{:<{bw}s} {:.2f}{}".format(
+            label, "#" * filled, value, unit, w=label_width, bw=width))
+    return "\n".join(lines)
+
+
+def time_series_plot(samples, field, bucket_s=60.0, width=60):
+    """Sparkline + range summary for a Trepn sample field."""
+    values = [getattr(sample, field) for sample in samples]
+    if not values:
+        return "{}: (no samples)".format(field)
+    return "{} [{:.2f}..{:.2f}]  {}".format(
+        field, min(values), max(values), sparkline(values, width=width)
+    )

@@ -1,0 +1,88 @@
+"""Robustness checks: seeds and hardware profiles.
+
+The paper argues its observations are stable across runs and across
+phone ecosystems (§2.3 runs five phones; §7.6 repeats each overhead
+experiment 8 times). These harnesses make the same argument for the
+reproduction:
+
+- :func:`seed_sweep` -- the Table 5 headline averages across independent
+  seeds: the LeaseOS > Doze ≈ DefDroid ordering must hold for every
+  seed, with small dispersion.
+- :func:`profile_sweep` -- a Table 5 subset across phone profiles
+  (high-end Pixel XL vs low-end Moto G): reductions are a property of
+  the mechanism, not the hardware.
+"""
+
+import statistics
+
+from repro.apps.buggy import CASES_BY_KEY
+from repro.device.profiles import MOTO_G, NEXUS_6, PIXEL_XL
+from repro.experiments import table5
+from repro.experiments.runner import format_table, run_case
+from repro.mitigation import LeaseOS
+
+#: A representative slice: one case per resource class.
+DEFAULT_SUBSET = ("torch", "k9", "connectbot-screen", "betterweather",
+                  "tapandturn")
+
+
+def seed_sweep(seeds=(7, 21, 99), case_keys=DEFAULT_SUBSET, minutes=15.0):
+    """Per-seed Table 5 averages. Returns {seed: averages dict}."""
+    cases = [CASES_BY_KEY[k] for k in case_keys]
+    results = {}
+    for seed in seeds:
+        rows = table5.run(cases=cases, minutes=minutes, seed=seed)
+        results[seed] = table5.averages(rows)
+    return results
+
+
+def profile_sweep(profiles=(PIXEL_XL, NEXUS_6, MOTO_G),
+                  case_keys=DEFAULT_SUBSET, minutes=15.0, seed=7):
+    """LeaseOS reduction per phone profile. Returns {name: avg pct}."""
+    cases = [CASES_BY_KEY[k] for k in case_keys]
+    results = {}
+    for profile in profiles:
+        reductions = []
+        for case in cases:
+            vanilla = run_case(case, None, minutes=minutes, seed=seed,
+                               profile=profile)
+            leased = run_case(case, LeaseOS, minutes=minutes, seed=seed,
+                              profile=profile)
+            if vanilla.app_power_mw > 0:
+                reductions.append(
+                    100.0 * (1.0 - leased.app_power_mw
+                             / vanilla.app_power_mw))
+        results[profile.name] = statistics.mean(reductions)
+    return results
+
+
+def render(seed_results, profile_results):
+    seed_rows = [
+        [seed, "{:.1f}".format(avg["leaseos"]),
+         "{:.1f}".format(avg["doze"]), "{:.1f}".format(avg["defdroid"])]
+        for seed, avg in sorted(seed_results.items())
+    ]
+    lease_values = [avg["leaseos"] for avg in seed_results.values()]
+    spread = max(lease_values) - min(lease_values)
+    seed_table = format_table(
+        ["seed", "LeaseOS %", "Doze %", "DefDroid %"], seed_rows,
+        title="Seed robustness (subset averages; LeaseOS spread "
+              "{:.1f} points)".format(spread),
+    )
+    profile_rows = [
+        [name, "{:.1f}".format(value)]
+        for name, value in profile_results.items()
+    ]
+    profile_table = format_table(
+        ["phone", "LeaseOS reduction %"], profile_rows,
+        title="Hardware robustness (same mechanism, different phones)",
+    )
+    return seed_table + "\n\n" + profile_table
+
+
+def main():
+    print(render(seed_sweep(), profile_sweep()))
+
+
+if __name__ == "__main__":
+    main()

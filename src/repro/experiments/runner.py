@@ -1,0 +1,86 @@
+"""Shared experiment plumbing: case runs and plain-text tables."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CaseRun:
+    """Result of running one case under one mitigation."""
+
+    case_key: str
+    mitigation: str
+    app_power_mw: float
+    system_power_mw: float
+    disruptions: int
+    app: object
+    phone: object
+    #: Misbehaviour classes the lease manager observed for this app
+    #: (empty unless LeaseOS was the mitigation).
+    observed_behaviors: frozenset = frozenset()
+
+
+def run_case(case, mitigation_factory=None, minutes=30.0, seed=7,
+             warmup_s=0.0, **phone_overrides):
+    """Run a :class:`~repro.apps.spec.CaseSpec` for ``minutes``.
+
+    ``mitigation_factory`` is a callable returning a fresh Mitigation (or
+    None for vanilla). Power is averaged over the window after
+    ``warmup_s``.
+    """
+    mitigation = mitigation_factory() if mitigation_factory else None
+    phone = case.build_phone(mitigation=mitigation, seed=seed,
+                             **phone_overrides)
+    app = case.make_app()
+    phone.install(app)
+    if warmup_s:
+        phone.run_for(seconds=warmup_s)
+    mark = phone.energy_mark()
+    phone.run_for(minutes=minutes)
+    observed = frozenset()
+    if phone.lease_manager is not None:
+        observed = frozenset(
+            d.behavior for d in phone.lease_manager.decisions
+            if d.lease.uid == app.uid and d.behavior.is_misbehavior
+        )
+    return CaseRun(
+        case_key=case.key,
+        mitigation=mitigation.name if mitigation else "vanilla",
+        app_power_mw=phone.power_since(mark, app.uid),
+        system_power_mw=phone.power_since(mark),
+        disruptions=len(app.disruptions),
+        app=app,
+        phone=phone,
+        observed_behaviors=observed,
+    )
+
+
+def reduction_pct(baseline, value):
+    """Percent reduction of ``value`` relative to ``baseline``."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (1.0 - value / baseline)
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned plain-text table (strings or numbers)."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return "{:.2f}".format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows))
+        if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(len(row))))
+    return "\n".join(lines)

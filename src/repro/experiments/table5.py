@@ -1,0 +1,150 @@
+"""Table 5: power for the 20 buggy apps under four regimes.
+
+For every case: vanilla Android (w/o lease), LeaseOS (w/ lease),
+forced-aggressive Doze, and DefDroid-style throttling; 30 simulated
+minutes each, per-app average power, plus the reduction percentages the
+paper reports. ``run()`` returns one row per case with both our measured
+values and the paper's, so EXPERIMENTS.md can be regenerated.
+"""
+
+import statistics
+
+from dataclasses import dataclass
+
+from repro.apps.buggy import BUGGY_CASES
+from repro.experiments.runner import format_table, reduction_pct, run_case
+from repro.mitigation import DefDroid, Doze, LeaseOS
+
+
+@dataclass
+class Table5Row:
+    case: object
+    vanilla_mw: float
+    leaseos_mw: float
+    doze_mw: float
+    defdroid_mw: float
+    disruptions: int
+    observed_behaviors: frozenset = frozenset()
+
+    @property
+    def behavior_confirmed(self):
+        """Did LeaseOS observe the behaviour the paper assigns the case?"""
+        return self.case.behavior in self.observed_behaviors
+
+    @property
+    def leaseos_reduction(self):
+        return reduction_pct(self.vanilla_mw, self.leaseos_mw)
+
+    @property
+    def doze_reduction(self):
+        return reduction_pct(self.vanilla_mw, self.doze_mw)
+
+    @property
+    def defdroid_reduction(self):
+        return reduction_pct(self.vanilla_mw, self.defdroid_mw)
+
+    def paper_reduction(self, key):
+        paper = self.case.paper_power
+        return reduction_pct(paper["vanilla"], paper[key])
+
+
+MITIGATIONS = [
+    ("vanilla", None),
+    ("leaseos", LeaseOS),
+    ("doze", lambda: Doze(aggressive=True)),
+    ("defdroid", DefDroid),
+]
+
+
+def run(cases=None, minutes=30.0, seed=7):
+    """Run the full Table 5 grid; returns a list of Table5Row."""
+    cases = BUGGY_CASES if cases is None else cases
+    rows = []
+    for case in cases:
+        powers = {}
+        disruptions = 0
+        observed = frozenset()
+        for name, factory in MITIGATIONS:
+            result = run_case(case, factory, minutes=minutes, seed=seed)
+            powers[name] = result.app_power_mw
+            if name == "leaseos":
+                disruptions = result.disruptions
+                observed = result.observed_behaviors
+        rows.append(Table5Row(
+            case=case,
+            vanilla_mw=powers["vanilla"],
+            leaseos_mw=powers["leaseos"],
+            doze_mw=powers["doze"],
+            defdroid_mw=powers["defdroid"],
+            disruptions=disruptions,
+            observed_behaviors=observed,
+        ))
+    return rows
+
+
+def averages(rows):
+    """Average reduction percentages (the paper's bottom line)."""
+    return {
+        "leaseos": statistics.mean(r.leaseos_reduction for r in rows),
+        "doze": statistics.mean(r.doze_reduction for r in rows),
+        "defdroid": statistics.mean(r.defdroid_reduction for r in rows),
+    }
+
+
+def by_behavior(rows):
+    """LeaseOS reduction per misbehaviour class (FAB / LHB / LUB)."""
+    grouped = {}
+    for row in rows:
+        grouped.setdefault(row.case.behavior, []).append(
+            row.leaseos_reduction)
+    return {
+        behavior: statistics.mean(values)
+        for behavior, values in grouped.items()
+    }
+
+
+def render(rows):
+    table_rows = []
+    for r in rows:
+        table_rows.append([
+            r.case.app_factory().name if callable(r.case.app_factory)
+            else r.case.key,
+            r.case.category,
+            r.case.resource.value,
+            r.case.behavior.value,
+            r.vanilla_mw,
+            r.leaseos_mw,
+            r.doze_mw,
+            r.defdroid_mw,
+            "{:.1f}".format(r.leaseos_reduction),
+            "{:.1f}".format(r.doze_reduction),
+            "{:.1f}".format(r.defdroid_reduction),
+            "{:.1f}".format(r.paper_reduction("leaseos")),
+            "yes" if r.behavior_confirmed else "NO",
+        ])
+    avg = averages(rows)
+    per_class = by_behavior(rows)
+    table = format_table(
+        ["App", "Category", "Res.", "Behavior", "w/o lease", "w/ lease",
+         "Doze*", "DefDroid", "LeaseOS%", "Doze%", "DefD%", "paperL%",
+         "classified"],
+        table_rows,
+        title="Table 5: power (mW) and reduction (%) for 20 buggy apps",
+    )
+    footer = ("\nAverage reduction: LeaseOS {leaseos:.1f}%  "
+              "Doze {doze:.1f}%  DefDroid {defdroid:.1f}%"
+              "  (paper: 92.6 / 69.6 / 62.0)").format(**avg)
+    footer += "\nLeaseOS by class: " + "  ".join(
+        "{} {:.1f}%".format(behavior.value, value)
+        for behavior, value in sorted(per_class.items(),
+                                      key=lambda kv: kv[0].value)
+    )
+    return table + footer
+
+
+def main():
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

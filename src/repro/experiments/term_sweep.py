@@ -1,0 +1,110 @@
+"""Term-length sensitivity on a real case (§5.1 trade-off, measured).
+
+§5.1 argues a short lease term detects misbehaviour quickly but costs
+lease-accounting overhead. This sweep runs the Torch case under initial
+terms from 1 s to 60 s (fixed τ = 25 s, escalation off so the term is
+the only variable) and reports, per term: the waste reduction, the
+number of lease-stat updates (the overhead proxy), and the detection
+latency of the first deferral.
+"""
+
+from dataclasses import dataclass
+
+from repro.apps.buggy.cpu_apps import Torch
+from repro.core.policy import LeasePolicy
+from repro.droid.app import App
+from repro.droid.phone import Phone
+from repro.experiments.runner import format_table
+from repro.mitigation import LeaseOS
+
+TERMS_S = (1.0, 2.0, 5.0, 10.0, 30.0, 60.0)
+
+
+class _SteadyWorker(App):
+    """Always-normal 50%-duty worker (the overhead-side subject)."""
+
+    app_name = "steady"
+
+    def run(self):
+        lock = self.ctx.power.new_wakelock(self, "s")
+        lock.acquire()
+        while True:
+            yield from self.compute(0.5)
+            yield self.sleep(0.5)
+
+
+@dataclass
+class TermSweepRow:
+    term_s: float
+    reduction_pct: float
+    buggy_updates: int
+    normal_updates: int
+    first_deferral_s: float
+
+
+def run(minutes=30.0, seed=67, terms=TERMS_S):
+    phone = Phone(seed=seed, ambient=False)
+    app = phone.install(Torch())
+    mark = phone.energy_mark()
+    phone.run_for(minutes=minutes)
+    vanilla_mw = phone.power_since(mark, app.uid)
+
+    rows = []
+    for term in terms:
+        policy = LeasePolicy(initial_term_s=term, adaptive_enabled=False,
+                             escalation_enabled=False)
+        mitigation = LeaseOS(policy=policy)
+        phone = Phone(seed=seed, mitigation=mitigation, ambient=False)
+        app = phone.install(Torch())
+        mark = phone.energy_mark()
+        phone.run_for(minutes=minutes)
+        power = phone.power_since(mark, app.uid)
+        defers = [d for d in mitigation.manager.decisions
+                  if d.action == "defer"]
+        # The steady-state overhead side: the same term on a normal app.
+        normal_mitigation = LeaseOS(policy=LeasePolicy(
+            initial_term_s=term, adaptive_enabled=False,
+            escalation_enabled=False))
+        normal_phone = Phone(seed=seed, mitigation=normal_mitigation,
+                             ambient=False)
+        normal_phone.install(_SteadyWorker())
+        normal_phone.run_for(minutes=minutes)
+        rows.append(TermSweepRow(
+            term_s=term,
+            reduction_pct=100.0 * (1.0 - power / vanilla_mw),
+            buggy_updates=mitigation.manager.op_counts["update"],
+            normal_updates=normal_mitigation.manager.op_counts["update"],
+            first_deferral_s=defers[0].time if defers else float("nan"),
+        ))
+    return rows
+
+
+def render(rows):
+    table_rows = [
+        ["{:.0f} s".format(r.term_s),
+         "{:.1f}%".format(r.reduction_pct),
+         r.normal_updates,
+         "{:.0f} s".format(r.first_deferral_s)]
+        for r in rows
+    ]
+    table = format_table(
+        ["term", "waste reduction", "normal-app updates / 30 min",
+         "detection latency"],
+        table_rows,
+        title="Lease-term sweep on Torch (tau = 25 s fixed, "
+              "escalation off)",
+    )
+    note = ("\nShort terms detect in seconds but multiply the "
+            "accounting; long terms are\ncheap but slow to catch the "
+            "leak and reduce less (r = t/(t+tau) holding\ngrows with "
+            "t). The 5 s default + adaptive growth (5.2) takes the "
+            "short-term\ndetection without the steady-state overhead.")
+    return table + note
+
+
+def main():
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""§7.4: usability impact on normal, resource-heavy background apps.
+
+RunKeeper (GPS + sensors, user running), Spotify (audio + streaming) and
+Haven (continuous sensor monitoring) run for 30 minutes under LeaseOS and
+under pure time-based throttling ("leases with only a single term"). The
+paper's finding to preserve: zero disruptions under LeaseOS (the
+resources earn their keep, every term renews), while all three break
+under throttling. The Trepn profiler app shows the same contrast.
+"""
+
+from dataclasses import dataclass
+
+from repro.apps.normal.background import (
+    Haven,
+    RunKeeper,
+    Spotify,
+    TrepnProfiler,
+)
+from repro.droid.phone import Phone
+from repro.experiments.runner import format_table
+from repro.mitigation import LeaseOS, TimedThrottle
+
+SUBJECTS = [
+    (RunKeeper, dict(gps_quality=0.95, movement_mps=2.5)),
+    (Spotify, dict(connected=True)),
+    (Haven, dict()),
+    (TrepnProfiler, dict()),
+]
+
+
+@dataclass
+class UsabilityRow:
+    app_name: str
+    leaseos_disruptions: int
+    throttle_disruptions: int
+    leaseos_deferrals: int
+    details: list
+
+
+def _run(app_factory, phone_kwargs, mitigation, minutes, seed):
+    phone = Phone(seed=seed, mitigation=mitigation, **phone_kwargs)
+    app = app_factory()
+    phone.install(app)
+    phone.run_for(minutes=minutes)
+    deferrals = 0
+    if phone.lease_manager is not None:
+        deferrals = sum(
+            l.deferral_count for l in phone.lease_manager.leases_for(app.uid)
+        )
+    return app, deferrals
+
+
+def run(minutes=30.0, seed=41, throttle_term_s=300.0):
+    rows = []
+    for app_factory, phone_kwargs in SUBJECTS:
+        lease_app, deferrals = _run(
+            app_factory, phone_kwargs, LeaseOS(), minutes, seed
+        )
+        throttle_app, __ = _run(
+            app_factory, phone_kwargs, TimedThrottle(term_s=throttle_term_s),
+            minutes, seed,
+        )
+        rows.append(UsabilityRow(
+            app_name=lease_app.name,
+            leaseos_disruptions=len(lease_app.disruptions),
+            throttle_disruptions=len(throttle_app.disruptions),
+            leaseos_deferrals=deferrals,
+            details=[d for __, d in throttle_app.disruptions],
+        ))
+    return rows
+
+
+def render(rows):
+    table_rows = [
+        [r.app_name, r.leaseos_disruptions, r.throttle_disruptions,
+         r.leaseos_deferrals,
+         r.details[0] if r.details else "-"]
+        for r in rows
+    ]
+    return format_table(
+        ["app", "LeaseOS disruptions", "throttle disruptions",
+         "LeaseOS deferrals", "first throttle disruption"],
+        table_rows,
+        title="Usability (7.4): normal heavy apps under LeaseOS vs "
+              "single-term throttling",
+    )
+
+
+def main():
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

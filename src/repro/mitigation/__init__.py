@@ -1,0 +1,33 @@
+"""Runtime mitigations: LeaseOS and the baselines it is evaluated against.
+
+- :class:`~repro.mitigation.vanilla.Vanilla` -- stock ask-use-release.
+- :class:`~repro.mitigation.leaseos.LeaseOS` -- the paper's mechanism.
+- :class:`~repro.mitigation.doze.Doze` -- Android Doze (with the paper's
+  forced-aggressive variant).
+- :class:`~repro.mitigation.defdroid.DefDroid` -- threshold-based
+  fine-grained throttling in the style of DefDroid.
+- :class:`~repro.mitigation.throttle.TimedThrottle` -- pure time-based
+  throttling, "essentially leases with only a single term" (§7.4).
+"""
+
+from repro.mitigation.amplify import Amplify
+from repro.mitigation.base import Mitigation
+from repro.mitigation.battery_saver import BatterySaver
+from repro.mitigation.composite import Composite
+from repro.mitigation.defdroid import DefDroid
+from repro.mitigation.doze import Doze
+from repro.mitigation.leaseos import LeaseOS
+from repro.mitigation.throttle import TimedThrottle
+from repro.mitigation.vanilla import Vanilla
+
+__all__ = [
+    "Mitigation",
+    "Amplify",
+    "BatterySaver",
+    "Composite",
+    "Vanilla",
+    "LeaseOS",
+    "Doze",
+    "DefDroid",
+    "TimedThrottle",
+]

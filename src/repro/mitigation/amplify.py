@@ -1,0 +1,39 @@
+"""Amplify-style wakelock rate limiting (§7.3's other throttler).
+
+Amplify (the NlpUnbounce/Xposed module the paper cites alongside
+DefDroid) caps how *often* an app may take a wakelock: acquires arriving
+faster than the per-app budget are denied (pretend-success). It never
+inspects utility and never touches an already-held lock, so it helps
+against acquire-storms but does nothing for the long-holding leaks that
+dominate Table 5 -- a useful contrast to both DefDroid and LeaseOS.
+"""
+
+from collections import defaultdict
+
+from repro.droid.power_manager import WakeLockLevel
+from repro.mitigation.base import Mitigation
+
+
+class Amplify(Mitigation):
+    """Per-app minimum spacing between honoured wakelock acquires."""
+
+    name = "amplify"
+
+    def __init__(self, min_interval_s=60.0):
+        self.min_interval_s = min_interval_s
+        self.denied = 0
+        self._last_honoured = defaultdict(lambda: -float("inf"))
+
+    def install(self, phone):
+        self.phone = phone
+        phone.power.gates.append(self._gate)
+
+    def _gate(self, record):
+        if record.level is WakeLockLevel.SCREEN_BRIGHT:
+            return True
+        now = self.phone.sim.now
+        if now - self._last_honoured[record.uid] < self.min_interval_s:
+            self.denied += 1
+            return False
+        self._last_honoured[record.uid] = now
+        return True

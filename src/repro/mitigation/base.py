@@ -1,0 +1,13 @@
+"""Mitigation interface: something installed into a Phone at boot."""
+
+
+class Mitigation:
+    """Base class; a mitigation hooks phone services when installed."""
+
+    name = "mitigation"
+
+    def install(self, phone):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "{}()".format(type(self).__name__)

@@ -1,0 +1,31 @@
+"""Composing mitigations: run several governors on one phone.
+
+LeaseOS is per-lease and Doze is system-wide; on a real device they
+would coexist (LeaseOS is built *on top of* stock Android, which ships
+Doze). The composite installs each mitigation in order; the service
+gate/revoke machinery already tolerates multiple governors because
+``revoke``/``restore`` are idempotent on the ``os_active`` flag and
+gates are conjunctive.
+"""
+
+from repro.mitigation.base import Mitigation
+
+
+class Composite(Mitigation):
+    """Install several mitigations on the same phone, in order."""
+
+    name = "composite"
+
+    def __init__(self, mitigations):
+        if not mitigations:
+            raise ValueError("composite needs at least one mitigation")
+        self.mitigations = list(mitigations)
+        self.name = "+".join(m.name for m in self.mitigations)
+
+    def install(self, phone):
+        self.phone = phone
+        for mitigation in self.mitigations:
+            mitigation.install(phone)
+
+    def __repr__(self):
+        return "Composite({})".format(self.name)

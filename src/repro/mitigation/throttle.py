@@ -1,0 +1,57 @@
+"""Pure time-based throttling: "leases with only a single term" (§7.4).
+
+Every resource gets a fixed budget of honoured time; when it runs out the
+resource is revoked, with no utility check and no automatic restore. An
+app that explicitly re-acquires gets a fresh budget (the re-acquire IPC
+passes the gates and reactivates the object), but listener-style apps
+that registered once -- fitness trackers, music streamers, monitors --
+simply lose their resource mid-function. This is the §7.4 comparison
+that shows why leases need the utilitarian feedback loop.
+"""
+
+from repro.mitigation.base import Mitigation
+
+
+class TimedThrottle(Mitigation):
+    """One fixed term per resource instance, then permanent revocation."""
+
+    name = "timed-throttle"
+
+    SCAN_INTERVAL_S = 5.0
+
+    def __init__(self, term_s=300.0):
+        self.term_s = term_s
+        self.revocations = 0
+        self._markers = {}  # record -> active_time at last (re-)acquire
+
+    def install(self, phone):
+        self.phone = phone
+        self.sim = phone.sim
+        self._services = [
+            phone.power, phone.location, phone.sensors, phone.wifi,
+            phone.bluetooth,
+        ]
+        # A fresh explicit acquire restarts the budget.
+        phone.power.listeners.append(self)
+        phone.wifi.listeners.append(self)
+        self.sim.every(self.SCAN_INTERVAL_S, self._scan)
+
+    # acquire listeners: reset the marker so the new hold gets a new term
+    def on_wakelock_acquire(self, record, allowed):
+        record.settle()
+        self._markers[record] = record.active_time
+
+    def on_wifilock_acquire(self, record, allowed):
+        record.settle()
+        self._markers[record] = record.active_time
+
+    def _scan(self):
+        for service in self._services:
+            for record in service.records:
+                if record.dead or not record.os_active:
+                    continue
+                record.settle()
+                used = record.active_time - self._markers.get(record, 0.0)
+                if used >= self.term_s:
+                    service.revoke(record)
+                    self.revocations += 1

@@ -1,0 +1,12 @@
+"""Vanilla Android: the unmodified ask-use-release model (no mitigation)."""
+
+from repro.mitigation.base import Mitigation
+
+
+class Vanilla(Mitigation):
+    """Stock behaviour: resources persist until explicitly released."""
+
+    name = "vanilla"
+
+    def install(self, phone):
+        self.phone = phone

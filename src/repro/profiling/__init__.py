@@ -1,0 +1,13 @@
+"""Measurement tooling standing in for the paper's profilers.
+
+- :class:`~repro.profiling.trepn.TrepnSampler` -- per-app metric sampling
+  every 60 s (wakelock holding time, CPU usage, GPS try duration...),
+  the source of the Figs. 1-4 time series.
+- :class:`~repro.profiling.monsoon.MonsoonMonitor` -- system power
+  sampling, the source of the Fig. 13 whole-device numbers.
+"""
+
+from repro.profiling.monsoon import MonsoonMonitor
+from repro.profiling.trepn import AppSample, TrepnSampler
+
+__all__ = ["TrepnSampler", "AppSample", "MonsoonMonitor"]

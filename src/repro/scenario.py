@@ -1,0 +1,202 @@
+"""Declarative scenario builder.
+
+Experiments and downstream users keep writing the same choreography:
+build a phone, install apps, flip the environment at minute X, run a
+user session, measure a window. ``Scenario`` captures that timeline
+declaratively and plays it on a fresh phone::
+
+    from repro.scenario import Scenario
+    from repro.mitigation import LeaseOS
+
+    scenario = (
+        Scenario(seed=7, gps_quality=0.95)
+        .install("k9", K9Mail, scenario="bad_server")
+        .at(minutes=5).network(False)
+        .at(minutes=15).network(True)
+        .measure("steady", start_min=5, end_min=25)
+    )
+    result = scenario.run(minutes=30, mitigation=LeaseOS())
+    print(result.power("steady", "k9"), "mW")
+
+The same timeline replays identically under any mitigation, which is
+exactly what comparative experiments need.
+"""
+
+from repro.droid.phone import Phone
+
+
+class _Step:
+    __slots__ = ("time_s", "action")
+
+    def __init__(self, time_s, action):
+        self.time_s = time_s
+        self.action = action  # callable (phone, apps) -> None
+
+
+class ScenarioResult:
+    """Phone + installed apps + measured windows after a run."""
+
+    def __init__(self, phone, apps, windows, energy_at):
+        self.phone = phone
+        self.apps = apps  # name -> App
+        self._windows = windows  # name -> (start_s, end_s)
+        self._energy_at = energy_at  # (window, edge, uid|None) -> mJ
+
+    def app(self, name):
+        return self.apps[name]
+
+    def power(self, window, app_name=None):
+        """Average mW over a named window (per-app or whole system)."""
+        start_s, end_s = self._windows[window]
+        uid = self.apps[app_name].uid if app_name else None
+        try:
+            start_energy = self._energy_at[(window, "start", uid)]
+            end_energy = self._energy_at[(window, "end", uid)]
+        except KeyError:
+            raise KeyError(
+                "window {!r} has no snapshots (did the run end before "
+                "it closed?)".format(window)
+            )
+        duration = end_s - start_s
+        if duration <= 0:
+            return 0.0
+        return (end_energy - start_energy) / duration
+
+
+class Scenario:
+    """A replayable timeline of installs, environment flips and sessions."""
+
+    def __init__(self, seed=1, **phone_kwargs):
+        self.seed = seed
+        self.phone_kwargs = dict(phone_kwargs)
+        self.phone_kwargs.setdefault("ambient", False)
+        self._installs = []  # (name, factory, kwargs)
+        self._steps = []
+        self._measures = []  # (name, start_s, end_s|None)
+        self._cursor_s = 0.0
+
+    # -- timeline building --------------------------------------------------
+
+    def install(self, name, factory, **kwargs):
+        """Install ``factory(**kwargs)`` under ``name`` at boot."""
+        if name in {n for n, __, __ in self._installs}:
+            raise ValueError("duplicate app name {!r}".format(name))
+        self._installs.append((name, factory, kwargs))
+        return self
+
+    def install_at(self, name, factory, **kwargs):
+        """Install an app at the current timeline cursor (mid-run)."""
+        if name in {n for n, __, __ in self._installs}:
+            raise ValueError("duplicate app name {!r}".format(name))
+
+        def do_install(phone, apps):
+            apps[name] = phone.install(factory(**kwargs))
+
+        return self._step(do_install)
+
+    def at(self, seconds=None, minutes=None):
+        """Move the timeline cursor; following actions happen here."""
+        self._cursor_s = (seconds or 0.0) + 60.0 * (minutes or 0.0)
+        return self
+
+    def _step(self, action):
+        self._steps.append(_Step(self._cursor_s, action))
+        return self
+
+    def network(self, connected, kind="wifi"):
+        return self._step(
+            lambda phone, apps: phone.env.network.set_connected(
+                connected, kind)
+        )
+
+    def gps_quality(self, quality):
+        return self._step(
+            lambda phone, apps: phone.env.gps.set_quality(quality)
+        )
+
+    def movement(self, speed_mps):
+        def apply(phone, apps):
+            phone.env.gps.speed_mps = speed_mps
+
+        return self._step(apply)
+
+    def server(self, name, mode):
+        from repro.env.network import ServerMode
+
+        if not isinstance(mode, ServerMode):
+            mode = ServerMode(mode)
+        return self._step(
+            lambda phone, apps: phone.env.network.set_server(name, mode)
+        )
+
+    def touch(self, app_name):
+        return self._step(
+            lambda phone, apps: phone.touch(apps[app_name].uid)
+        )
+
+    def user_session(self, app_names, minutes=5.0, touch_interval=8.0):
+        """Start an active user session over the named apps."""
+        duration_s = minutes * 60.0
+
+        def start(phone, apps):
+            uids = [apps[name].uid for name in app_names]
+            phone.sim.spawn(
+                phone.user.active_session(uids, duration_s,
+                                          touch_interval=touch_interval),
+                name="scenario.user",
+            )
+
+        return self._step(start)
+
+    def kill(self, app_name):
+        return self._step(
+            lambda phone, apps: phone.kill_app(apps[app_name].uid)
+        )
+
+    def measure(self, name, start_min=0.0, end_min=None):
+        """Declare a measurement window in minutes (end defaults to the
+        run's end)."""
+        if name in {n for n, __, __ in self._measures}:
+            raise ValueError("duplicate window {!r}".format(name))
+        self._measures.append((
+            name, start_min * 60.0,
+            None if end_min is None else end_min * 60.0,
+        ))
+        return self
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, minutes, mitigation=None):
+        """Play the timeline for ``minutes``; returns a ScenarioResult."""
+        total_s = minutes * 60.0
+        phone = Phone(seed=self.seed, mitigation=mitigation,
+                      **self.phone_kwargs)
+        apps = {}
+        for name, factory, kwargs in self._installs:
+            apps[name] = phone.install(factory(**kwargs))
+
+        energy_at = {}
+
+        def take_snapshots(window, edge):
+            phone.monitor.settle()
+            ledger = phone.monitor.ledger
+            energy_at[(window, edge, None)] = ledger.total_mj()
+            for app in apps.values():
+                energy_at[(window, edge, app.uid)] = \
+                    ledger.app_total_mj(app.uid)
+
+        windows = {}
+        for name, start_s, end_s in self._measures:
+            closed_end = total_s if end_s is None else end_s
+            windows[name] = (start_s, closed_end)
+            phone.sim.at(start_s,
+                         lambda n=name: take_snapshots(n, "start"))
+            phone.sim.at(closed_end,
+                         lambda n=name: take_snapshots(n, "end"))
+
+        for step in sorted(self._steps, key=lambda s: s.time_s):
+            phone.sim.at(step.time_s,
+                         lambda a=step.action: a(phone, apps))
+
+        phone.run_for(seconds=total_s)
+        return ScenarioResult(phone, apps, windows, energy_at)

@@ -1,0 +1,27 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic engine purpose-built for this reproduction:
+
+- :class:`~repro.sim.engine.Simulator` -- the event loop and clock.
+- :class:`~repro.sim.engine.Timer` -- a cancellable scheduled callback.
+- :class:`~repro.sim.process.Process` -- generator-based cooperative
+  processes that can be *paused and resumed* (the mechanism used to model
+  a phone entering deep sleep, which freezes app execution).
+- :class:`~repro.sim.events.Event` -- one-shot waitable events.
+"""
+
+from repro.sim.engine import Simulator, Timer
+from repro.sim.events import Event, Timeout, after, any_of
+from repro.sim.process import Process, ProcessKilled, ProcessState
+
+__all__ = [
+    "Simulator",
+    "Timer",
+    "Event",
+    "Timeout",
+    "after",
+    "any_of",
+    "Process",
+    "ProcessKilled",
+    "ProcessState",
+]

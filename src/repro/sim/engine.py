@@ -1,0 +1,186 @@
+"""The discrete-event loop and clock.
+
+The simulator keeps a priority queue of timers keyed by ``(deadline, seq)``
+where ``seq`` is a monotonically increasing tie-breaker, so simultaneous
+events always run in scheduling order and every run is deterministic.
+"""
+
+import heapq
+
+
+class SimulationError(Exception):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class Timer:
+    """A cancellable callback scheduled on a :class:`Simulator`.
+
+    Timers are created through :meth:`Simulator.schedule` (or the
+    :meth:`Simulator.every` helper) and fire exactly once unless cancelled.
+    """
+
+    __slots__ = ("deadline", "seq", "callback", "cancelled", "fired")
+
+    def __init__(self, deadline, seq, callback):
+        self.deadline = deadline
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self):
+        """Prevent the timer from firing. Safe to call more than once."""
+        self.cancelled = True
+
+    @property
+    def pending(self):
+        """True while the timer is scheduled and not yet fired/cancelled."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other):
+        return (self.deadline, self.seq) < (other.deadline, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return "Timer(deadline={:.3f}, {})".format(self.deadline, state)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with a float-seconds clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(5.0, lambda: print("five seconds in"))
+        sim.run_until(60.0)
+
+    Processes (see :mod:`repro.sim.process`) are spawned with
+    :meth:`spawn` and cooperate by yielding :class:`~repro.sim.events.Timeout`
+    or :class:`~repro.sim.events.Event` instances.
+    """
+
+    def __init__(self, start_time=0.0):
+        self._now = float(start_time)
+        self._queue = []
+        self._seq = 0
+        self._running = False
+        self._processes = []
+
+    @property
+    def now(self):
+        """Current simulated time in seconds since boot."""
+        return self._now
+
+    def schedule(self, delay, callback):
+        """Schedule ``callback()`` to run after ``delay`` seconds.
+
+        Returns the :class:`Timer`, which may be cancelled before it fires.
+        A zero delay runs the callback at the current time but after any
+        already-queued events for this instant.
+        """
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past (delay={})".format(delay))
+        timer = Timer(self._now + delay, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, timer)
+        return timer
+
+    def at(self, when, callback):
+        """Schedule ``callback()`` at absolute simulated time ``when``."""
+        return self.schedule(when - self._now, callback)
+
+    def every(self, interval, callback, start_after=None):
+        """Run ``callback()`` every ``interval`` seconds until cancelled.
+
+        Returns a :class:`PeriodicTimer` handle with a ``cancel()`` method.
+        ``start_after`` defaults to ``interval`` (first firing one period in).
+        """
+        if interval <= 0:
+            raise SimulationError("periodic interval must be positive")
+        return PeriodicTimer(self, interval, callback, start_after)
+
+    def spawn(self, generator, name=""):
+        """Start a cooperative :class:`~repro.sim.process.Process`.
+
+        ``generator`` must be a generator iterator (the result of calling a
+        generator function). The process is registered with the simulator
+        and begins executing at the current simulated instant.
+        """
+        from repro.sim.process import Process
+
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    def run_until(self, until):
+        """Run all events with deadlines <= ``until``; set clock to ``until``."""
+        if until < self._now:
+            raise SimulationError(
+                "cannot run backwards (now={}, until={})".format(self._now, until)
+            )
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue and self._queue[0].deadline <= until:
+                timer = heapq.heappop(self._queue)
+                if timer.cancelled:
+                    continue
+                self._now = timer.deadline
+                timer.fired = True
+                timer.callback()
+            self._now = until
+        finally:
+            self._running = False
+
+    def run(self):
+        """Run until the event queue is exhausted."""
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                timer = heapq.heappop(self._queue)
+                if timer.cancelled:
+                    continue
+                self._now = timer.deadline
+                timer.fired = True
+                timer.callback()
+        finally:
+            self._running = False
+
+    @property
+    def pending_events(self):
+        """Number of scheduled, not-yet-cancelled timers (for tests)."""
+        return sum(1 for t in self._queue if not t.cancelled)
+
+    def __repr__(self):
+        return "Simulator(now={:.3f}, pending={})".format(self._now, self.pending_events)
+
+
+class PeriodicTimer:
+    """Handle for a repeating callback created by :meth:`Simulator.every`."""
+
+    def __init__(self, sim, interval, callback, start_after=None):
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._cancelled = False
+        first = interval if start_after is None else start_after
+        self._timer = sim.schedule(first, self._tick)
+
+    def _tick(self):
+        if self._cancelled:
+            return
+        self._callback()
+        if not self._cancelled:
+            self._timer = self._sim.schedule(self._interval, self._tick)
+
+    def cancel(self):
+        """Stop future firings."""
+        self._cancelled = True
+        self._timer.cancel()
+
+    @property
+    def cancelled(self):
+        return self._cancelled

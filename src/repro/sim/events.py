@@ -1,0 +1,104 @@
+"""Waitable primitives that processes yield.
+
+``Timeout`` resumes the process after a fixed simulated delay; ``Event``
+resumes every waiter when (or if) it fires. Events are one-shot: a process
+that waits on an already-fired event resumes immediately with the fired
+value.
+"""
+
+
+class Timeout:
+    """Yield inside a process to sleep for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay):
+        if delay < 0:
+            raise ValueError("Timeout delay must be >= 0, got {}".format(delay))
+        self.delay = float(delay)
+
+    def __repr__(self):
+        return "Timeout({:.3f})".format(self.delay)
+
+
+class Event:
+    """A one-shot broadcast event carrying an optional value.
+
+    Processes wait by yielding the event; :meth:`fire` wakes all of them.
+    """
+
+    __slots__ = ("sim", "name", "_fired", "_value", "_waiters")
+
+    def __init__(self, sim, name=""):
+        self.sim = sim
+        self.name = name
+        self._fired = False
+        self._value = None
+        self._waiters = []
+
+    @property
+    def fired(self):
+        return self._fired
+
+    @property
+    def value(self):
+        return self._value
+
+    def fire(self, value=None):
+        """Fire the event, resuming all waiters at the current instant."""
+        if self._fired:
+            raise RuntimeError("event {!r} already fired".format(self.name))
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+
+    def add_waiter(self, callback):
+        """Register ``callback(value)``; used by the process machinery."""
+        if self._fired:
+            # Deliver asynchronously so ordering stays deterministic.
+            self.sim.schedule(0.0, lambda: callback(self._value))
+        else:
+            self._waiters.append(callback)
+
+    def remove_waiter(self, callback):
+        """Unregister a previously added waiter, if still present."""
+        try:
+            self._waiters.remove(callback)
+        except ValueError:
+            pass
+
+    def __repr__(self):
+        state = "fired" if self._fired else "{} waiters".format(len(self._waiters))
+        return "Event({!r}, {})".format(self.name, state)
+
+
+def any_of(sim, *events, name="any_of"):
+    """A new one-shot event that fires with the first of ``events``.
+
+    The fired value is ``(winning_event, value)``. Useful for app code
+    like "first GPS fix or a 10-second timeout"::
+
+        fix = Event(sim, "fix")
+        deadline = after(sim, 10.0, "deadline")
+        winner, value = yield any_of(sim, fix, deadline)
+    """
+    combined = Event(sim, name)
+
+    def make_waiter(event):
+        def waiter(value):
+            if not combined.fired:
+                combined.fire((event, value))
+        return waiter
+
+    for event in events:
+        event.add_waiter(make_waiter(event))
+    return combined
+
+
+def after(sim, delay, name="after"):
+    """A one-shot event that fires ``delay`` seconds from now."""
+    event = Event(sim, name)
+    sim.schedule(delay, lambda: event.fire(None))
+    return event

@@ -1,0 +1,18 @@
+"""The §2 misbehaviour study: Table 1 taxonomy and the 109-case dataset.
+
+The paper's raw case list is unpublished; :mod:`repro.study.cases`
+encodes a *reconstructed* dataset whose marginals match Table 2 exactly
+(see DESIGN.md substitution #5). Entries corresponding to cases the paper
+names carry ``provenance="paper-cited"``.
+"""
+
+from repro.study.cases import CASES, RootCause, StudyCase, table2_counts
+from repro.study.taxonomy import applicability_matrix
+
+__all__ = [
+    "CASES",
+    "StudyCase",
+    "RootCause",
+    "table2_counts",
+    "applicability_matrix",
+]

@@ -1,0 +1,55 @@
+"""Query and export helpers over the 109-case study dataset."""
+
+import csv
+
+from collections import Counter
+
+from repro.study.cases import CASES
+
+
+def cases_by_app(app_name, cases=None):
+    cases = CASES if cases is None else cases
+    return [c for c in cases if c.app == app_name]
+
+
+def cases_by_source(source, cases=None):
+    cases = CASES if cases is None else cases
+    return [c for c in cases if c.source == source]
+
+
+def cases_by_resource(resource, cases=None):
+    cases = CASES if cases is None else cases
+    return [c for c in cases if c.resource == resource]
+
+
+def resource_distribution(cases=None):
+    """How the misbehaviour cases spread across resource classes."""
+    cases = CASES if cases is None else cases
+    return dict(Counter(c.resource for c in cases))
+
+
+def source_distribution(cases=None):
+    cases = CASES if cases is None else cases
+    return dict(Counter(c.source for c in cases))
+
+
+def distinct_apps(cases=None):
+    """The paper studied 109 cases across 81 popular apps."""
+    cases = CASES if cases is None else cases
+    return sorted({c.app for c in cases})
+
+
+def export_csv(path, cases=None):
+    """Write the dataset to CSV (one row per case)."""
+    cases = CASES if cases is None else cases
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["case_id", "app", "source", "resource",
+                         "behavior", "root_cause", "provenance", "title"])
+        for case in cases:
+            writer.writerow([
+                case.case_id, case.app, case.source, case.resource,
+                case.behavior.value if case.behavior else "n/a",
+                case.root_cause.value, case.provenance, case.title,
+            ])
+    return path

@@ -1,0 +1,51 @@
+"""Table 1: which misbehaviour types each resource class can exhibit.
+
+✓ = can occur, ✗ = cannot, ✓* = occurs with a different semantic (for
+listener-based resources, "holding without using" refers to use of the
+*data*, not the physical resource -- §2.4).
+"""
+
+from repro.core.behavior import BehaviorType
+
+#: Resource rows exactly as Table 1 groups them.
+RESOURCE_GROUPS = (
+    "CPU, Screen, Wi-Fi radio, Audio",
+    "GPS",
+    "Sensors, Bluetooth",
+)
+
+_CHECK = "yes"
+_CHECK_STAR = "yes*"
+_CROSS = "no"
+
+
+def applicability_matrix():
+    """The Table 1 matrix: group -> {behavior: yes / yes* / no}."""
+    return {
+        "CPU, Screen, Wi-Fi radio, Audio": {
+            BehaviorType.FAB: _CROSS,
+            BehaviorType.LHB: _CHECK,
+            BehaviorType.LUB: _CHECK,
+            BehaviorType.EUB: _CHECK,
+            BehaviorType.NORMAL: _CHECK,
+        },
+        "GPS": {
+            BehaviorType.FAB: _CHECK,
+            BehaviorType.LHB: _CHECK_STAR,
+            BehaviorType.LUB: _CHECK,
+            BehaviorType.EUB: _CHECK,
+            BehaviorType.NORMAL: _CHECK,
+        },
+        "Sensors, Bluetooth": {
+            BehaviorType.FAB: _CROSS,
+            BehaviorType.LHB: _CHECK_STAR,
+            BehaviorType.LUB: _CHECK,
+            BehaviorType.EUB: _CHECK,
+            BehaviorType.NORMAL: _CHECK,
+        },
+    }
+
+
+def can_exhibit(group, behavior):
+    """True if ``behavior`` can occur for the resource ``group``."""
+    return applicability_matrix()[group][behavior] != _CROSS

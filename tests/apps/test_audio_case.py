@@ -1,0 +1,75 @@
+"""The §1 audio-session-leak case, end to end through the audio proxy."""
+
+import pytest
+
+from repro.apps.buggy.audio_apps import AUDIO_EXTRA_CASES, FacebookAudioLeak
+from repro.core.behavior import BehaviorType
+from repro.core.lease import LeaseState
+from repro.droid.resources import ResourceType
+from repro.env.network import ServerMode
+from repro.mitigation import LeaseOS
+
+from tests.conftest import make_phone
+
+
+def leaky_phone(mitigation=None):
+    phone = make_phone(mitigation=mitigation)
+    phone.env.network.set_server("facebook-av", ServerMode.ERROR)
+    app = phone.install(FacebookAudioLeak())
+    return phone, app
+
+
+def test_session_leaked_on_vanilla():
+    phone, app = leaky_phone()
+    phone.run_for(minutes=10.0)
+    assert app.session.record.app_held  # never closed
+    record = app.session.record
+    record.settle_playback(phone.sim.now)
+    # Played ~20 s, held ~600 s: the leak.
+    assert record.playback_time == pytest.approx(20.0, abs=1.0)
+
+
+def test_leaseos_judges_audio_lease_lhb():
+    mitigation = LeaseOS()
+    phone, app = leaky_phone(mitigation)
+    phone.run_for(minutes=10.0)
+    audio_leases = [
+        l for l in mitigation.manager.leases_for(app.uid)
+        if l.rtype is ResourceType.AUDIO
+    ]
+    assert len(audio_leases) == 1
+    behaviors = {
+        d.behavior for d in mitigation.manager.decisions
+        if d.lease is audio_leases[0] and d.behavior.is_misbehavior
+    }
+    assert BehaviorType.LHB in behaviors
+    assert audio_leases[0].deferral_count >= 1
+
+
+def test_leaseos_contains_both_halves_of_the_leak():
+    vanilla_phone, vanilla_app = leaky_phone()
+    mark = vanilla_phone.energy_mark()
+    vanilla_phone.run_for(minutes=15.0)
+    vanilla_mw = vanilla_phone.power_since(mark, vanilla_app.uid)
+
+    mitigation = LeaseOS()
+    phone, app = leaky_phone(mitigation)
+    mark = phone.energy_mark()
+    phone.run_for(minutes=15.0)
+    leased_mw = phone.power_since(mark, app.uid)
+
+    assert vanilla_mw > 30.0  # CPU spin + keepalive chatter
+    assert leased_mw < 0.25 * vanilla_mw
+    # Both the audio session lease and the wakelock lease got deferred.
+    deferred_types = {
+        l.rtype for l in mitigation.manager.leases_for(app.uid)
+        if l.deferral_count > 0
+    }
+    assert ResourceType.WAKELOCK in deferred_types
+
+
+def test_extension_case_spec():
+    case = AUDIO_EXTRA_CASES[0]
+    assert case.resource is ResourceType.AUDIO
+    phone = case.build_phone(seed=3)
+    assert phone.env.network.server_mode("facebook-av") is ServerMode.ERROR

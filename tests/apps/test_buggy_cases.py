@@ -1,0 +1,120 @@
+"""Tests over the 20 Table 5 cases: triggers, classification, mitigation.
+
+These are behavioural checks: each case's app, run in its triggering
+environment under LeaseOS, must be classified with the behaviour the
+paper assigns it, and LeaseOS must cut its power substantially while a
+vanilla run burns at the expected scale.
+"""
+
+import pytest
+
+from repro.apps.buggy import BUGGY_CASES, CASES_BY_KEY
+from repro.core.behavior import BehaviorType
+from repro.experiments.runner import run_case
+from repro.mitigation import LeaseOS
+
+
+def test_registry_has_all_twenty_rows():
+    assert len(BUGGY_CASES) == 20
+    assert len(CASES_BY_KEY) == 20
+    resources = {case.resource.value for case in BUGGY_CASES}
+    assert resources == {"wakelock", "screen", "wifi", "gps", "sensor"}
+
+
+def test_every_case_has_paper_reference_powers():
+    for case in BUGGY_CASES:
+        assert set(case.paper_power) == {"vanilla", "leaseos", "doze",
+                                         "defdroid"}
+        assert case.paper_power["leaseos"] < case.paper_power["vanilla"]
+
+
+@pytest.mark.parametrize("case", BUGGY_CASES, ids=lambda c: c.key)
+def test_case_triggers_expected_behavior_under_leaseos(case):
+    mitigation = LeaseOS()
+    phone = case.build_phone(mitigation=mitigation, seed=9)
+    app = case.make_app()
+    phone.install(app)
+    phone.run_for(minutes=5.0)
+    manager = mitigation.manager
+    observed = {
+        d.behavior
+        for d in manager.decisions
+        if d.lease.uid == app.uid and d.behavior.is_misbehavior
+    }
+    assert case.behavior in observed, (
+        "{} should exhibit {}, saw {}".format(
+            case.key, case.behavior.value, [b.value for b in observed])
+    )
+
+
+@pytest.mark.parametrize("case", BUGGY_CASES, ids=lambda c: c.key)
+def test_leaseos_cuts_case_power_substantially(case):
+    vanilla = run_case(case, None, minutes=10.0, seed=9)
+    leased = run_case(case, LeaseOS, minutes=10.0, seed=9)
+    assert vanilla.app_power_mw > 5.0  # the bug burns real power
+    reduction = 1.0 - leased.app_power_mw / vanilla.app_power_mw
+    assert reduction > 0.55, (
+        "{}: only {:.0%} reduction".format(case.key, reduction)
+    )
+
+
+def test_vanilla_power_magnitudes_roughly_in_paper_range():
+    """Spot-check three calibration anchors (generous tolerance)."""
+    for key, lo, hi in [
+        ("torch", 25.0, 45.0),  # awake-idle holding
+        ("betterweather", 100.0, 135.0),  # GPS search rail
+        ("connectbot-screen", 450.0, 700.0),  # bright screen
+    ]:
+        result = run_case(CASES_BY_KEY[key], None, minutes=5.0, seed=9)
+        assert lo < result.app_power_mw < hi, (
+            key, result.app_power_mw)
+
+
+def test_k9_disconnected_ratio_exceeds_one():
+    """The Fig. 4 signature: CPU over wakelock time > 100%."""
+    case = CASES_BY_KEY["k9"]
+    phone = case.build_phone(seed=9)
+    app = case.make_app()
+    phone.install(app)
+    phone.run_for(minutes=5.0)
+    record = app.lock._record
+    record.settle()
+    cpu = phone.cpu.cpu_time(app.uid)
+    assert cpu / record.active_time > 1.0
+
+
+def test_betterweather_never_gets_a_fix():
+    case = CASES_BY_KEY["betterweather"]
+    phone = case.build_phone(seed=9)
+    app = case.make_app()
+    phone.install(app)
+    phone.run_for(minutes=10.0)
+    assert app.fixes == 0
+    record = app.registration.record
+    phone.location.settle_stats()
+    assert record.search_time == pytest.approx(600.0, rel=0.1)
+
+
+def test_kontalk_utilization_collapses_after_auth():
+    case = CASES_BY_KEY["kontalk"]
+    phone = case.build_phone(seed=9)
+    app = case.make_app()
+    phone.install(app)
+    phone.run_for(minutes=5.0)
+    record = [r for r in phone.power.records if r.uid == app.uid][0]
+    record.settle()
+    cpu = phone.cpu.cpu_time(app.uid)
+    assert cpu / record.active_time < 0.05  # ultralow utilization (§2.3)
+
+
+def test_tapandturn_custom_counter_reports_click_ratio():
+    from repro.apps.buggy.sensor_apps import ClickUtility, OrientationEvent
+
+    counter = ClickUtility()
+    assert counter.get_score() == 50.0  # no events yet (Fig. 6)
+    counter.events.append(OrientationEvent(0.0, True))
+    counter.events.append(OrientationEvent(1.0, False))
+    assert counter.get_score() == 50.0
+    counter.events.append(OrientationEvent(2.0, False))
+    counter.events.append(OrientationEvent(3.0, False))
+    assert counter.get_score() == 25.0

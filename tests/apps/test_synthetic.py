@@ -1,0 +1,62 @@
+"""Tests for the synthetic test apps (§5.1 / §7.5)."""
+
+import random
+
+import pytest
+
+from repro.apps.synthetic import (
+    IntermittentApp,
+    LongHoldingTestApp,
+    random_slices,
+)
+from repro.mitigation import LeaseOS
+
+from tests.conftest import make_phone
+
+
+def test_long_holding_app_holds_without_lease():
+    phone = make_phone()
+    app = phone.install(LongHoldingTestApp(hold_duration_s=600.0))
+    phone.run_for(minutes=10.0)
+    assert app.holding_time() == pytest.approx(600.0, abs=1.0)
+
+
+def test_long_holding_app_cut_by_leases():
+    phone = make_phone(mitigation=LeaseOS())
+    app = phone.install(LongHoldingTestApp(hold_duration_s=600.0))
+    phone.run_for(minutes=10.0)
+    assert app.holding_time() < 200.0
+
+
+def test_random_slices_structure():
+    rng = random.Random(3)
+    slices = random_slices(rng, 10, max_slice_s=100.0)
+    assert len(slices) == 20
+    kinds = [k for k, __ in slices]
+    assert kinds[::2] == ["misbehavior"] * 10
+    assert kinds[1::2] == ["normal"] * 10
+    assert all(0 < d <= 100.0 for __, d in slices)
+
+
+def test_intermittent_app_alternates_behavior():
+    slices = [("misbehavior", 60.0), ("normal", 60.0),
+              ("misbehavior", 60.0)]
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation)
+    app = phone.install(IntermittentApp(slices))
+    phone.run_for(minutes=4.0)
+    decisions = [d for d in mitigation.manager.decisions
+                 if d.lease.uid == app.uid]
+    behaviors = {d.behavior.value for d in decisions}
+    assert "long-holding" in behaviors  # misbehaving slices caught
+    deferrals = sum(1 for d in decisions if d.action == "defer")
+    assert deferrals >= 1
+
+
+def test_intermittent_app_releases_at_end():
+    slices = [("misbehavior", 30.0)]
+    phone = make_phone()
+    app = phone.install(IntermittentApp(slices))
+    phone.run_for(minutes=2.0)
+    records = [r for r in phone.power.records if r.uid == app.uid]
+    assert records and not records[0].app_held

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.device.profiles import PIXEL_XL
+from repro.droid.phone import Phone
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def phone():
+    """A plain (vanilla) phone, ambient events off for determinism."""
+    return Phone(profile=PIXEL_XL, seed=1234, ambient=False)
+
+
+def make_phone(**kwargs):
+    kwargs.setdefault("seed", 1234)
+    kwargs.setdefault("ambient", False)
+    return Phone(**kwargs)
+
+
+@pytest.fixture
+def phone_factory():
+    return make_phone

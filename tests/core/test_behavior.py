@@ -1,0 +1,108 @@
+"""Tests for the FAB/LHB/LUB/EUB classifier (§2.4)."""
+
+import pytest
+
+from repro.core.behavior import BehaviorType, classify_term
+from repro.core.policy import LeasePolicy
+from repro.core.stats import UtilityMetrics
+from repro.droid.resources import ResourceType
+
+
+@pytest.fixture
+def policy():
+    return LeasePolicy()
+
+
+def metrics(**kwargs):
+    defaults = dict(held=True, held_time=5.0, active_time=5.0,
+                    completed_terms=10)
+    defaults.update(kwargs)
+    return UtilityMetrics(**defaults)
+
+
+def test_idle_term_is_normal(policy):
+    m = metrics(held_time=0.1, active_time=0.1, utilization=0.0,
+                utility_score=0.0)
+    assert classify_term(ResourceType.WAKELOCK, m, policy) \
+        is BehaviorType.NORMAL
+
+
+def test_low_utilization_is_lhb(policy):
+    m = metrics(utilization=0.01)
+    assert classify_term(ResourceType.WAKELOCK, m, policy) \
+        is BehaviorType.LHB
+
+
+def test_high_utilization_low_utility_is_lub(policy):
+    m = metrics(utilization=0.9, utility_score=5.0)
+    assert classify_term(ResourceType.WAKELOCK, m, policy) \
+        is BehaviorType.LUB
+
+
+def test_lub_respects_grace_terms(policy):
+    m = metrics(utilization=0.9, utility_score=5.0, completed_terms=0)
+    assert classify_term(ResourceType.WAKELOCK, m, policy) \
+        is BehaviorType.NORMAL
+
+
+def test_healthy_term_is_normal(policy):
+    m = metrics(utilization=0.5, utility_score=80.0)
+    assert classify_term(ResourceType.WAKELOCK, m, policy) \
+        is BehaviorType.NORMAL
+
+
+def test_heavy_useful_term_is_eub(policy):
+    m = metrics(utilization=0.95, utility_score=90.0, active_time=5.0)
+    assert classify_term(ResourceType.WAKELOCK, m, policy) \
+        is BehaviorType.EUB
+    assert not BehaviorType.EUB.is_misbehavior
+
+
+def test_only_gps_can_be_fab(policy):
+    m = metrics(ask_time=5.0, ask_window_time=15.0, success_ratio=0.0,
+                utilization=1.0)
+    assert classify_term(ResourceType.GPS, m, policy) is BehaviorType.FAB
+    # A wakelock with the same stats cannot be FAB (Table 1).
+    assert classify_term(ResourceType.WAKELOCK, m, policy) \
+        is not BehaviorType.FAB
+
+
+def test_legitimate_ttff_is_not_fab(policy):
+    m = metrics(ask_time=4.0, ask_window_time=4.0, success_ratio=0.0,
+                utilization=1.0)
+    assert classify_term(ResourceType.GPS, m, policy) \
+        is BehaviorType.NORMAL
+
+
+def test_ask_phase_shields_lub_not_lhb(policy):
+    # Searching with a dead consumer is still Long-Holding.
+    m = metrics(ask_time=4.0, ask_window_time=4.0, success_ratio=0.0,
+                utilization=0.0)
+    assert classify_term(ResourceType.GPS, m, policy) is BehaviorType.LHB
+    # Searching with a live consumer and low utility is not yet LUB.
+    m = metrics(ask_time=4.0, ask_window_time=4.0, success_ratio=0.0,
+                utilization=1.0, utility_score=0.0)
+    assert classify_term(ResourceType.GPS, m, policy) \
+        is BehaviorType.NORMAL
+
+
+def test_fab_checked_before_lhb(policy):
+    m = metrics(ask_time=5.0, ask_window_time=20.0, success_ratio=0.0,
+                utilization=0.0)
+    assert classify_term(ResourceType.GPS, m, policy) is BehaviorType.FAB
+
+
+def test_misbehavior_flag():
+    assert BehaviorType.FAB.is_misbehavior
+    assert BehaviorType.LHB.is_misbehavior
+    assert BehaviorType.LUB.is_misbehavior
+    assert not BehaviorType.EUB.is_misbehavior
+    assert not BehaviorType.NORMAL.is_misbehavior
+
+
+def test_listener_resources_use_higher_utilization_threshold(policy):
+    # Consumer alive 40% of the time: fine for a wakelock, LHB for GPS.
+    m = metrics(utilization=0.4)
+    assert classify_term(ResourceType.WAKELOCK, m, policy) \
+        is BehaviorType.NORMAL
+    assert classify_term(ResourceType.GPS, m, policy) is BehaviorType.LHB

@@ -1,0 +1,64 @@
+"""§3.1 degenerate lease terms: zero-length and infinite.
+
+"A lease term can range from zero to infinity. A zero-length term means
+every access needs to be checked by the OS. A lease with infinity term
+means the OS will not do any check after the resource is granted to the
+app, which essentially degrades to the existing ask-use-release model."
+"""
+
+import pytest
+
+from repro.apps.buggy.cpu_apps import Torch
+from repro.core.lease import LeaseState
+from repro.core.policy import LeasePolicy
+from repro.mitigation import LeaseOS
+
+from tests.conftest import make_phone
+
+
+def leased_phone(policy):
+    mitigation = LeaseOS(policy=policy)
+    phone = make_phone(mitigation=mitigation)
+    return phone, mitigation.manager
+
+
+def test_infinite_term_degrades_to_ask_use_release():
+    policy = LeasePolicy(initial_term_s=float("inf"),
+                         adaptive_enabled=False)
+    phone, manager = leased_phone(policy)
+    app = phone.install(Torch())
+    mark = phone.energy_mark()
+    phone.run_for(minutes=20.0)
+    lease = manager.leases_for(app.uid)[0]
+    # No checks ever ran: term 1 forever, no deferrals, full draw.
+    assert lease.term_index == 1
+    assert lease.deferral_count == 0
+    assert lease.state is LeaseState.ACTIVE
+    assert manager.op_counts["update"] == 0
+    assert phone.power_since(mark, app.uid) == pytest.approx(
+        phone.profile.cpu_awake_idle_mw
+    )
+
+
+def test_tiny_term_checks_continuously_without_wedging():
+    policy = LeasePolicy(initial_term_s=0.0, adaptive_enabled=False,
+                         escalation_enabled=False)
+    phone, manager = leased_phone(policy)
+    app = phone.install(Torch())
+    phone.run_for(seconds=30.0)
+    # The clamp keeps the event loop alive; checks are effectively
+    # continuous (many updates in a short window).
+    assert manager.op_counts["update"] > 100
+    lease = manager.leases_for(app.uid)[0]
+    assert isinstance(lease.state, LeaseState)
+
+
+def test_dump_table_lists_leases():
+    phone, manager = leased_phone(LeasePolicy())
+    app = phone.install(Torch())
+    phone.run_for(seconds=10.0)
+    dump = manager.dump_table()
+    assert "Torch" in dump
+    assert "wakelock" in dump
+    phone.kill_app(app.uid)
+    assert manager.dump_table() == "lease table: empty"

@@ -1,0 +1,213 @@
+"""Tests for the §8 extensions: DVFS-aware metrics, dynamic policy,
+and the Excessive-Use advisor."""
+
+import pytest
+
+from repro.core.adaptive import DynamicPolicyTuner
+from repro.core.eub import ExcessiveUseAdvisor
+from repro.core.policy import LeasePolicy
+from repro.device.dvfs import DEFAULT_LADDER, DvfsGovernor
+from repro.droid.app import App
+from repro.mitigation import LeaseOS
+
+from tests.conftest import make_phone
+
+
+# -- DVFS governor ------------------------------------------------------------
+
+def test_ladder_sorted_and_monotone():
+    governor = DvfsGovernor()
+    freqs = [l.freq_ghz for l in governor.ladder]
+    scales = [l.power_scale for l in governor.ladder]
+    assert freqs == sorted(freqs)
+    assert scales == sorted(scales)
+
+
+def test_governor_picks_higher_levels_for_higher_load():
+    governor = DvfsGovernor()
+    low = governor.level_for_load(0.1)
+    high = governor.level_for_load(1.0)
+    assert low.freq_ghz < high.freq_ghz
+    assert high is governor.ladder[-1]
+
+
+def test_governor_rejects_bad_input():
+    with pytest.raises(ValueError):
+        DvfsGovernor(ladder=())
+    with pytest.raises(ValueError):
+        DvfsGovernor().level_for_load(-0.1)
+
+
+def test_dvfs_scales_compute_power():
+    phone_plain = make_phone()
+    phone_dvfs = make_phone(dvfs=DvfsGovernor())
+
+    class Burner(App):
+        app_name = "burner"
+
+        def run(self):
+            lock = self.ctx.power.new_wakelock(self, "b")
+            lock.acquire()
+            while True:
+                yield from self.compute(5.0, cores=4.0)
+
+    energies = {}
+    for label, phone in (("plain", phone_plain), ("dvfs", phone_dvfs)):
+        app = phone.install(Burner())
+        phone.run_for(seconds=20.0)
+        energies[label] = phone.cpu.cpu_energy_mj(app.uid)
+    # Full-load DVFS runs at the top operating point (scale 2.4).
+    assert energies["dvfs"] > 1.8 * energies["plain"]
+
+
+def test_dvfs_aware_utilization_reprices_bursts():
+    """A bursty app just below the time-utilization threshold is not
+    LHB when each burst runs at an expensive operating point."""
+
+    class Burst(App):
+        app_name = "burst"
+
+        def run(self):
+            lock = self.ctx.power.new_wakelock(self, "burst")
+            lock.acquire()
+            while True:
+                yield from self.compute(0.05, cores=4.0)  # intense blip
+                yield self.sleep(0.95)
+
+    def deferrals(dvfs_aware):
+        mitigation = LeaseOS(policy=LeasePolicy(dvfs_aware=dvfs_aware))
+        phone = make_phone(dvfs=DvfsGovernor(), mitigation=mitigation)
+        app = phone.install(Burst())
+        phone.run_for(minutes=5.0)
+        return sum(l.deferral_count
+                   for l in mitigation.manager.leases_for(app.uid))
+
+    # Time-based: 0.05 s * 4 cores / 1 s = 20% -- fine either way; make
+    # the margin real by checking the computed utilization directly.
+    mitigation = LeaseOS(policy=LeasePolicy(dvfs_aware=True))
+    phone = make_phone(dvfs=DvfsGovernor(), mitigation=mitigation)
+    app = phone.install(Burst())
+    phone.run_for(seconds=30.0)
+    lease = mitigation.manager.leases_for(app.uid)[0]
+    aware_util = lease.history[-1].metrics.utilization
+
+    mitigation2 = LeaseOS(policy=LeasePolicy(dvfs_aware=False))
+    phone2 = make_phone(dvfs=DvfsGovernor(), mitigation=mitigation2)
+    app2 = phone2.install(Burst())
+    phone2.run_for(seconds=30.0)
+    lease2 = mitigation2.manager.leases_for(app2.uid)[0]
+    blind_util = lease2.history[-1].metrics.utilization
+
+    # Energy-aware utilization prices the expensive bursts higher.
+    assert aware_util > blind_util * 1.5
+
+
+# -- dynamic policy tuner -----------------------------------------------------------
+
+
+class TurnsBad(App):
+    """Healthy for a configurable time, then an idle holder."""
+
+    app_name = "turnsbad"
+
+    def __init__(self, healthy_s):
+        super().__init__()
+        self.healthy_s = healthy_s
+
+    def run(self):
+        lock = self.ctx.power.new_wakelock(self, "tb")
+        lock.acquire()
+        end = self.ctx.sim.now + self.healthy_s
+        while self.ctx.sim.now < end:
+            yield from self.compute(0.5)
+            yield self.sleep(0.5)
+        while True:
+            yield self.sleep(600.0)
+
+
+def _first_deferral_interval(healthy_s, with_tuner):
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation)
+    if with_tuner:
+        DynamicPolicyTuner().attach(mitigation.manager)
+    app = phone.install(TurnsBad(healthy_s))
+    phone.run_for(minutes=12.0)
+    lease = mitigation.manager.leases_for(app.uid)[0]
+    assert lease.deferral_count >= 1
+    # Reconstruct the first deferral length from the decision log: time
+    # between the first defer decision and the next decision.
+    defers = [d for d in mitigation.manager.decisions
+              if d.lease is lease and d.action == "defer"]
+    first = defers[0].time
+    later = [d.time for d in mitigation.manager.decisions
+             if d.lease is lease and d.time > first]
+    assert later
+    return later[0] - first
+
+
+def test_reputable_app_gets_gentler_first_deferral():
+    baseline = _first_deferral_interval(120.0, with_tuner=False)
+    tuned = _first_deferral_interval(120.0, with_tuner=True)
+    assert tuned < baseline * 0.8
+
+
+def test_reputation_tracks_behavior():
+    tuner = DynamicPolicyTuner()
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation)
+    tuner.attach(mitigation.manager)
+    app = phone.install(TurnsBad(0.0))  # misbehaves from the start
+    phone.run_for(minutes=10.0)
+    assert tuner.reputation(app.uid) < 0.5
+
+
+# -- EUB advisor --------------------------------------------------------------------
+
+
+class HeavyGame(App):
+    """Full-tilt but useful: the canonical Excessive-Use app."""
+
+    app_name = "AngryBirdsUltra"
+
+    def run(self):
+        lock = self.ctx.power.new_wakelock(self, "game")
+        lock.acquire()
+        while True:
+            yield from self.compute(0.9)
+            self.post_ui_update()
+            yield self.sleep(0.1)
+
+
+def test_eub_advisor_reports_heavy_useful_apps():
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation)
+    advisor = ExcessiveUseAdvisor(phone).attach(mitigation.manager)
+    game = phone.install(HeavyGame())
+    phone.run_for(minutes=5.0)
+    report = advisor.report()
+    assert report
+    assert report[0].uid == game.uid
+    assert report[0].eub_terms >= 3
+    assert report[0].estimated_mw > 100.0
+    # EUB is surfaced, never mitigated: no deferrals happened.
+    assert all(l.deferral_count == 0
+               for l in mitigation.manager.leases_for(game.uid))
+    assert "AngryBirdsUltra" in advisor.render()
+
+
+def test_eub_advisor_silent_without_eub():
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation)
+    advisor = ExcessiveUseAdvisor(phone).attach(mitigation.manager)
+    phone.run_for(minutes=2.0)
+    assert advisor.report() == []
+    assert "No apps" in advisor.render()
+
+
+def test_eub_entry_mah_framing():
+    from repro.core.eub import EubEntry
+
+    entry = EubEntry(uid=1, app_name="g", eub_terms=2, eub_seconds=10.0,
+                     estimated_mw=385.0)
+    assert entry.estimated_mah_per_hour() == pytest.approx(100.0)
+    assert entry.estimated_mah_per_hour(voltage=7.7) == pytest.approx(50.0)

@@ -1,0 +1,151 @@
+"""Stateful fuzzing of the full LeaseOS stack with hypothesis.
+
+Random interleavings of app resource operations, user activity,
+environment changes and time advances must never violate the core
+invariants: energy conservation, valid lease states, app-view vs OS-view
+consistency, and non-negative battery.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.core.lease import LeaseState
+from repro.droid.app import App
+from repro.droid.exceptions import NetworkException
+from repro.droid.sensors import SensorType
+from repro.mitigation import LeaseOS
+
+from tests.conftest import make_phone
+
+
+class FuzzApp(App):
+    app_name = "fuzz"
+
+    def __init__(self):
+        super().__init__()
+        self.lock = None
+        self.registration = None
+        self.sensor = None
+
+    def on_start(self):
+        self.lock = self.ctx.power.new_wakelock(self, "fuzz")
+
+
+_OPS = st.sampled_from([
+    "acquire", "release", "gps_on", "gps_off", "sensor_on", "sensor_off",
+    "touch", "screen_on", "screen_off", "net_drop", "net_back",
+    "gps_weak", "gps_good", "compute",
+])
+
+
+def _apply(phone, app, op):
+    if op == "acquire":
+        if not app.lock.held:
+            app.lock.acquire()
+    elif op == "release":
+        if app.lock.held:
+            app.lock.release()
+    elif op == "gps_on":
+        if app.registration is None:
+            app.registration = phone.location.request_location_updates(
+                app, lambda loc: None, interval=3.0)
+    elif op == "gps_off":
+        if app.registration is not None:
+            app.registration.remove()
+            app.registration = None
+    elif op == "sensor_on":
+        if app.sensor is None:
+            app.sensor = phone.sensors.register_listener(
+                app, SensorType.ACCELEROMETER, lambda r: None)
+    elif op == "sensor_off":
+        if app.sensor is not None:
+            app.sensor.unregister()
+            app.sensor = None
+    elif op == "touch":
+        phone.touch(app.uid)
+    elif op == "screen_on":
+        phone.screen_on()
+    elif op == "screen_off":
+        phone.screen_off()
+    elif op == "net_drop":
+        phone.env.network.set_connected(False)
+    elif op == "net_back":
+        phone.env.network.set_connected(True)
+    elif op == "gps_weak":
+        phone.env.gps.set_quality(0.05)
+    elif op == "gps_good":
+        phone.env.gps.set_quality(0.95)
+    elif op == "compute":
+        app.spawn(app.compute(0.5))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+    script=st.lists(st.tuples(_OPS,
+                              st.floats(min_value=0.1, max_value=60.0)),
+                    min_size=1, max_size=25),
+)
+def test_random_interleavings_preserve_invariants(seed, script):
+    mitigation = LeaseOS()
+    phone = make_phone(seed=seed, mitigation=mitigation)
+    app = phone.install(FuzzApp())
+    start_battery = phone.battery.remaining_mj
+
+    for op, delay in script:
+        _apply(phone, app, op)
+        phone.run_for(seconds=delay)
+
+    phone.monitor.settle()
+    # Energy conservation: ledger total == battery drain, per-app sums.
+    total = phone.monitor.ledger.total_mj()
+    drained = start_battery - phone.battery.remaining_mj
+    assert drained == pytest.approx(total, rel=1e-9, abs=1e-6)
+    assert sum(phone.monitor.ledger.by_app().values()) == pytest.approx(
+        total, rel=1e-9, abs=1e-6)
+    # No rail may be left with a negative or absurd draw.
+    for rail, state in phone.monitor._rails.items():
+        assert state.power_mw >= 0.0, rail
+    # Lease invariants.
+    for lease in mitigation.manager.leases.values():
+        assert isinstance(lease.state, LeaseState)
+        record = lease.record
+        if lease.state is LeaseState.DEFERRED:
+            assert not record.os_active  # revoked while deferred
+        if record.os_active:
+            assert record.app_held or record.dead is False
+    # Kernel-object accounting can never run backwards.
+    for record in phone.power.records:
+        record.settle()
+        assert record.active_time <= record.held_time + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_fuzz_app_with_network_loop_never_crashes(seed):
+    """A network-looping app under random connectivity flapping."""
+
+    class Looper(App):
+        app_name = "looper"
+
+        def run(self):
+            lock = self.ctx.power.new_wakelock(self, "loop")
+            lock.acquire()
+            while True:
+                try:
+                    yield from self.http("flaky-server")
+                except NetworkException as exc:
+                    self.note_exception(exc)
+                yield self.sleep(2.0)
+
+    phone = make_phone(seed=seed, mitigation=LeaseOS())
+    phone.install(Looper())
+    import random
+
+    rng = random.Random(seed)
+    for __ in range(10):
+        phone.env.network.set_connected(rng.random() < 0.5)
+        phone.run_for(seconds=rng.uniform(1.0, 30.0))
+    phone.monitor.settle()
+    assert phone.monitor.ledger.total_mj() > 0

@@ -1,0 +1,125 @@
+"""Cross-cutting invariants of the lease machinery."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.buggy.cpu_apps import Torch
+from repro.apps.synthetic import random_slices
+from repro.core.policy import LeasePolicy
+from repro.droid.app import App
+from repro.experiments.lambda_sweep import trace_reduction
+from repro.mitigation import LeaseOS
+
+from tests.conftest import make_phone
+
+
+class SteadyWorker(App):
+    """Always-normal app: 50% duty compute under a wakelock."""
+
+    app_name = "steady"
+
+    def run(self):
+        lock = self.ctx.power.new_wakelock(self, "s")
+        lock.acquire()
+        while True:
+            yield from self.compute(0.5)
+            yield self.sleep(0.5)
+
+
+def test_update_count_bounded_by_time_over_term():
+    """With adaptive terms off, a normal app is checked exactly once per
+    term length."""
+    policy = LeasePolicy(adaptive_enabled=False)
+    mitigation = LeaseOS(policy=policy)
+    phone = make_phone(mitigation=mitigation)
+    phone.install(SteadyWorker())
+    phone.run_for(minutes=5.0)
+    updates = mitigation.manager.op_counts["update"]
+    assert updates == pytest.approx(300.0 / policy.initial_term_s, abs=2)
+
+
+def test_adaptive_terms_cut_update_count():
+    counts = {}
+    for adaptive in (False, True):
+        policy = LeasePolicy(adaptive_enabled=adaptive)
+        mitigation = LeaseOS(policy=policy)
+        phone = make_phone(mitigation=mitigation)
+        phone.install(SteadyWorker())
+        phone.run_for(minutes=10.0)
+        counts[adaptive] = mitigation.manager.op_counts["update"]
+    assert counts[True] < counts[False] / 3
+
+
+def test_deferral_never_exceeds_cap():
+    policy = LeasePolicy()
+    mitigation = LeaseOS(policy=policy)
+    phone = make_phone(mitigation=mitigation)
+    phone.install(Torch())
+    phone.run_for(minutes=30.0)
+    defers = [d for d in mitigation.manager.decisions
+              if d.action == "defer"]
+    assert len(defers) >= 3
+    # Gaps between consecutive decisions never exceed cap + max term.
+    times = sorted(d.time for d in mitigation.manager.decisions)
+    max_gap = max(b - a for a, b in zip(times, times[1:]))
+    assert max_gap <= policy.deferral_max_s + 300.0 + 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10 ** 6),
+    count=st.integers(min_value=1, max_value=30),
+    term=st.floats(min_value=1.0, max_value=60.0),
+    deferral=st.floats(min_value=0.0, max_value=600.0),
+)
+def test_trace_reduction_bounded(seed, count, term, deferral):
+    import random
+
+    slices = random_slices(random.Random(seed), count, max_slice_s=300.0)
+    reduction = trace_reduction(slices, term, deferral)
+    assert 0.0 <= reduction <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10 ** 6),
+    term=st.floats(min_value=2.0, max_value=30.0),
+)
+def test_trace_reduction_monotone_in_deferral(seed, term):
+    import random
+
+    slices = random_slices(random.Random(seed), 20, max_slice_s=300.0)
+    low = trace_reduction(slices, term, term * 1.0)
+    high = trace_reduction(slices, term, term * 5.0)
+    assert high >= low - 1e-9
+
+
+def test_decisions_are_time_ordered():
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation)
+    phone.install(Torch())
+    phone.install(SteadyWorker())
+    phone.run_for(minutes=10.0)
+    times = [d.time for d in mitigation.manager.decisions]
+    assert times == sorted(times)
+    assert len(times) > 5
+
+
+def test_intermittency_soft_cap_preserves_useful_windows():
+    """An app alternating 2 min useful / 2 min idle keeps producing
+    output under LeaseOS (the escalation soft cap), while a permanently
+    idle holder escalates to the full deferral cap."""
+    from repro.apps.synthetic import IntermittentApp
+
+    slices = [("normal", 120.0), ("misbehavior", 120.0)] * 5
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation)
+    app = phone.install(IntermittentApp(slices))
+    phone.run_for(minutes=20.0)
+    # Useful windows kept producing UI updates throughout the run.
+    late_updates = app.ui_updates_in(10 * 60.0, 20 * 60.0)
+    assert late_updates > 10
+    # And the idle halves were still mitigated.
+    lease = mitigation.manager.leases_for(app.uid)[0]
+    assert lease.deferral_count >= 3

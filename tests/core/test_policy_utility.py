@@ -1,0 +1,147 @@
+"""Tests for the lease policy and utility scoring."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policy import LeasePolicy, waste_reduction_ratio
+from repro.core.utility import (
+    UtilityCounter,
+    clamp_score,
+    combine_utility,
+    generic_utility,
+)
+from repro.droid.resources import ResourceType
+
+
+# -- policy ---------------------------------------------------------------
+
+def test_paper_defaults():
+    policy = LeasePolicy()
+    assert policy.initial_term_s == 5.0
+    assert policy.deferral_s == 25.0
+    assert policy.lam == pytest.approx(5.0)
+
+
+def test_adaptive_term_growth_steps():
+    policy = LeasePolicy()
+    assert policy.next_term_length(0) == 5.0
+    assert policy.next_term_length(11) == 5.0
+    assert policy.next_term_length(12) == 60.0
+    assert policy.next_term_length(119) == 60.0
+    assert policy.next_term_length(120) == 300.0
+
+
+def test_adaptive_disabled_pins_initial_term():
+    policy = LeasePolicy(adaptive_enabled=False)
+    assert policy.next_term_length(1000) == 5.0
+
+
+def test_deferral_escalation_doubles_and_caps():
+    policy = LeasePolicy()
+    assert policy.deferral_for(1) == 25.0
+    assert policy.deferral_for(2) == 50.0
+    assert policy.deferral_for(3) == 100.0
+    assert policy.deferral_for(10) == policy.deferral_max_s
+
+
+def test_deferral_escalation_disabled():
+    policy = LeasePolicy(escalation_enabled=False)
+    assert policy.deferral_for(10) == 25.0
+
+
+def test_waste_reduction_closed_form():
+    assert waste_reduction_ratio(0) == 0.0
+    assert waste_reduction_ratio(1) == pytest.approx(0.5)
+    assert waste_reduction_ratio(5) == pytest.approx(5.0 / 6.0)
+    with pytest.raises(ValueError):
+        waste_reduction_ratio(-1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(lam=st.floats(min_value=0.0, max_value=100.0))
+def test_waste_reduction_monotone_and_bounded(lam):
+    r = waste_reduction_ratio(lam)
+    assert 0.0 <= r < 1.0
+    assert waste_reduction_ratio(lam + 1.0) > r
+
+
+# -- generic utility ----------------------------------------------------------
+
+def test_neutral_base_for_wakelock():
+    assert generic_utility(ResourceType.WAKELOCK, 60.0) == 50.0
+
+
+def test_exceptions_tank_the_score():
+    score = generic_utility(ResourceType.WAKELOCK, 5.0, exceptions=4)
+    assert score == 0.0
+
+
+def test_exception_rate_normalized_by_duration():
+    # One exception in 5 minutes is a hiccup, not misbehaviour.
+    score = generic_utility(ResourceType.WAKELOCK, 300.0, exceptions=1)
+    assert score > 45.0
+
+
+def test_ui_and_interaction_credits():
+    score = generic_utility(ResourceType.WAKELOCK, 60.0, ui_updates=2,
+                            interactions=1)
+    assert score == pytest.approx(50.0 + 20.0 + 15.0)
+
+
+def test_gps_distance_drives_base():
+    stationary = generic_utility(ResourceType.GPS, 60.0, distance_m=0.0)
+    walking = generic_utility(ResourceType.GPS, 60.0, distance_m=84.0)
+    assert stationary == 0.0
+    assert walking == pytest.approx(70.0)
+
+
+def test_sensor_base_low_without_visible_value():
+    assert generic_utility(ResourceType.SENSOR, 60.0) == 10.0
+    busy = generic_utility(ResourceType.SENSOR, 60.0, data_writes=8)
+    assert busy > 70.0
+
+
+def test_scores_always_clamped():
+    huge = generic_utility(ResourceType.WAKELOCK, 1.0, ui_updates=1000)
+    assert huge == 100.0
+    assert clamp_score(-5) == 0.0
+    assert clamp_score(105) == 100.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    duration=st.floats(min_value=0.5, max_value=600.0),
+    ui=st.integers(min_value=0, max_value=50),
+    inter=st.integers(min_value=0, max_value=50),
+    exc=st.integers(min_value=0, max_value=50),
+    writes=st.integers(min_value=0, max_value=50),
+    distance=st.floats(min_value=0.0, max_value=1000.0),
+    rtype=st.sampled_from(list(ResourceType)),
+)
+def test_generic_utility_bounded_property(duration, ui, inter, exc,
+                                          writes, distance, rtype):
+    score = generic_utility(rtype, duration, ui_updates=ui,
+                            interactions=inter, exceptions=exc,
+                            data_writes=writes, distance_m=distance)
+    assert 0.0 <= score <= 100.0
+
+
+# -- custom utility guard ---------------------------------------------------------
+
+def test_combine_honours_custom_above_floor():
+    assert combine_utility(50.0, 90.0, floor=20.0) == 90.0
+    assert combine_utility(50.0, 10.0, floor=20.0) == 10.0  # self-report low
+
+
+def test_combine_ignores_custom_below_floor():
+    assert combine_utility(5.0, 100.0, floor=20.0) == 5.0
+
+
+def test_combine_without_custom_returns_generic():
+    assert combine_utility(42.0, None, floor=20.0) == 42.0
+
+
+def test_utility_counter_is_abstract():
+    with pytest.raises(NotImplementedError):
+        UtilityCounter().get_score()

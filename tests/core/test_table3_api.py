@@ -1,0 +1,118 @@
+"""Conformance tests for the paper's Table 3 lease-manager interface.
+
+Table 3 defines: create, check, renew, remove, noteEvent, setUtility,
+registerProxy, unregisterProxy. This module pins the whole surface.
+"""
+
+import pytest
+
+from repro.apps.buggy.cpu_apps import Torch
+from repro.core.utility import UtilityCounter
+from repro.droid.resources import ResourceType
+from repro.mitigation import LeaseOS
+
+from tests.conftest import make_phone
+
+
+@pytest.fixture
+def stack():
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation)
+    app = phone.install(Torch())
+    phone.run_for(seconds=1.0)
+    manager = mitigation.manager
+    lease = manager.leases_for(app.uid)[0]
+    return phone, manager, app, lease
+
+
+def test_surface_is_complete(stack):
+    __, manager, __, __ = stack
+    for method in ("create", "check", "renew", "remove", "note_event",
+                   "set_utility", "register_proxy", "unregister_proxy"):
+        assert callable(getattr(manager, method)), method
+
+
+def test_create_returns_lease_with_descriptor(stack):
+    __, manager, app, lease = stack
+    created = manager.create(lease.rtype, app.uid, lease.record,
+                             lease.proxy)
+    assert created.descriptor != lease.descriptor
+    assert manager.remove(created.descriptor)
+
+
+def test_check_reports_active_state(stack):
+    __, manager, __, lease = stack
+    assert manager.check(lease.descriptor) is True
+    assert manager.check(424242) is False
+
+
+def test_note_event_logged_on_lease(stack):
+    phone, manager, __, lease = stack
+    assert manager.note_event(lease.descriptor, "custom-event")
+    assert not manager.note_event(999999, "nope")
+    events = lease.events_in(0.0, phone.sim.now + 1.0, "custom-event")
+    assert len(events) == 1
+
+
+def test_acquire_release_events_flow_through_proxy(stack):
+    phone, manager, app, lease = stack
+    # Torch acquired once at startup.
+    acquires = lease.events_in(0.0, phone.sim.now + 1.0, "acquire")
+    assert len(acquires) == 1
+
+
+def test_set_utility_registers_counter(stack):
+    __, manager, app, lease = stack
+
+    class Fixed(UtilityCounter):
+        def get_score(self):
+            return 77.0
+
+    manager.set_utility(app.uid, ResourceType.WAKELOCK, Fixed())
+    assert lease.custom_counter is not None
+    assert lease.custom_counter.get_score() == 77.0
+
+
+def test_remove_cleans_table(stack):
+    __, manager, __, lease = stack
+    assert manager.remove(lease.descriptor)
+    assert manager.check(lease.descriptor) is False
+    assert not manager.remove(lease.descriptor)  # idempotent-ish: False
+
+
+def test_register_unregister_proxy(stack):
+    __, manager, __, __ = stack
+
+    class DummyProxy:
+        pass
+
+    proxy = DummyProxy()
+    assert manager.register_proxy(proxy)
+    assert manager.unregister_proxy(proxy)
+    assert not manager.unregister_proxy(proxy)
+
+
+def test_wakelock_timeout_variant(stack):
+    """The Android acquire(timeout) overload self-releases."""
+    phone, manager, app, lease = stack
+    from repro.droid.app import App
+
+    polite = phone.install(App(name="polite"), start=False)
+    lock = phone.power.new_wakelock(polite, "timed")
+    lock.acquire(timeout_s=10.0)
+    assert lock.held
+    phone.run_for(seconds=11.0)
+    assert not lock.held
+    assert not lock._record.os_active
+
+
+def test_listener_proxies_note_release_events(stack):
+    phone, manager, app, __ = stack
+    registration = phone.location.request_location_updates(
+        app, lambda loc: None, interval=5.0
+    )
+    loc_lease = [l for l in manager.leases_for(app.uid)
+                 if l.rtype is ResourceType.GPS][0]
+    registration.remove()
+    events = loc_lease.events_in(0.0, phone.sim.now + 1.0, "release")
+    assert len(events) == 1

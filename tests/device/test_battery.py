@@ -1,0 +1,63 @@
+"""Unit + property tests for the battery model."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.device.battery import Battery
+from repro.device.profiles import PIXEL_XL
+
+
+def test_capacity_math():
+    battery = Battery(capacity_mah=1000.0, voltage=4.0)
+    assert battery.capacity_mj == pytest.approx(1000 * 4.0 * 3600.0)
+    assert battery.level == 1.0
+
+
+def test_for_profile_uses_profile_values():
+    battery = Battery.for_profile(PIXEL_XL)
+    assert battery.capacity_mj == pytest.approx(
+        PIXEL_XL.battery_mah * PIXEL_XL.battery_voltage * 3600.0
+    )
+
+
+def test_partial_initial_level():
+    battery = Battery(100.0, 4.0, level=0.5)
+    assert battery.level == pytest.approx(0.5)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        Battery(0.0)
+    with pytest.raises(ValueError):
+        Battery(100.0, level=1.5)
+
+
+def test_drain_clamps_at_empty():
+    battery = Battery(1.0, 1.0)  # 3600 mJ
+    drained = battery.drain_mj(5000.0)
+    assert drained == pytest.approx(3600.0)
+    assert battery.empty
+    assert battery.remaining_mj == 0.0
+
+
+def test_drain_rejects_negative():
+    with pytest.raises(ValueError):
+        Battery(1.0).drain_mj(-1.0)
+
+
+def test_hours_remaining():
+    battery = Battery(1.0, 1.0)  # 3600 mJ
+    assert battery.hours_remaining(1.0) == pytest.approx(1.0)
+    assert battery.hours_remaining(0.0) == float("inf")
+
+
+@settings(max_examples=50, deadline=None)
+@given(drains=st.lists(st.floats(min_value=0.0, max_value=1000.0),
+                       max_size=20))
+def test_battery_never_negative(drains):
+    battery = Battery(1.0, 1.0)
+    for amount in drains:
+        battery.drain_mj(amount)
+        assert 0.0 <= battery.remaining_mj <= battery.capacity_mj
+        assert 0.0 <= battery.level <= 1.0

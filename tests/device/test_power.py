@@ -1,0 +1,130 @@
+"""Unit + property tests for the energy ledger and power monitor."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.device.battery import Battery
+from repro.device.power import EnergyLedger, PowerMonitor, SYSTEM_UID
+from repro.device.profiles import PIXEL_XL
+from repro.sim.engine import Simulator
+
+
+def make_monitor(battery=None):
+    sim = Simulator()
+    return sim, PowerMonitor(sim, PIXEL_XL, battery)
+
+
+def test_ledger_accumulates_and_totals():
+    ledger = EnergyLedger()
+    ledger.add(1, "cpu", 10.0)
+    ledger.add(1, "gps", 5.0)
+    ledger.add(2, "cpu", 3.0)
+    assert ledger.total_mj() == pytest.approx(18.0)
+    assert ledger.app_total_mj(1) == pytest.approx(15.0)
+    assert ledger.app_rail_mj(1, "gps") == pytest.approx(5.0)
+    assert ledger.rail_total_mj("cpu") == pytest.approx(13.0)
+    assert ledger.by_app() == {1: 15.0, 2: 3.0}
+
+
+def test_ledger_rejects_negative_energy():
+    with pytest.raises(ValueError):
+        EnergyLedger().add(1, "cpu", -1.0)
+
+
+def test_rail_integration_exact():
+    sim, monitor = make_monitor()
+    monitor.set_rail("cpu", 100.0, (42,))
+    sim.run_until(10.0)
+    assert monitor.app_energy_mj(42) == pytest.approx(1000.0)
+
+
+def test_rail_attribution_split_across_owners():
+    sim, monitor = make_monitor()
+    monitor.set_rail("gps", 90.0, (1, 2, 3))
+    sim.run_until(10.0)
+    monitor.settle()
+    for uid in (1, 2, 3):
+        assert monitor.ledger.app_total_mj(uid) == pytest.approx(300.0)
+
+
+def test_unowned_rail_attributed_to_system():
+    sim, monitor = make_monitor()
+    monitor.set_rail("screen", 50.0, ())
+    sim.run_until(4.0)
+    monitor.settle()
+    assert monitor.ledger.app_total_mj(SYSTEM_UID) == pytest.approx(200.0)
+
+
+def test_rail_change_settles_previous_segment():
+    sim, monitor = make_monitor()
+    monitor.set_rail("cpu", 100.0, (1,))
+    sim.run_until(5.0)
+    monitor.set_rail("cpu", 10.0, (1,))
+    sim.run_until(10.0)
+    assert monitor.app_energy_mj(1) == pytest.approx(550.0)
+
+
+def test_rail_power_must_be_nonnegative():
+    __, monitor = make_monitor()
+    with pytest.raises(ValueError):
+        monitor.set_rail("cpu", -5.0, ())
+
+
+def test_clear_rail_zeroes_draw():
+    sim, monitor = make_monitor()
+    monitor.set_rail("cpu", 100.0, (1,))
+    sim.run_until(1.0)
+    monitor.clear_rail("cpu")
+    sim.run_until(10.0)
+    assert monitor.app_energy_mj(1) == pytest.approx(100.0)
+
+
+def test_instantaneous_power_sums_rails():
+    __, monitor = make_monitor()
+    monitor.set_rail("a", 10.0, ())
+    monitor.set_rail("b", 20.0, (1,))
+    assert monitor.instantaneous_power_mw() == pytest.approx(30.0)
+    assert monitor.app_power_mw(1) == pytest.approx(20.0)
+
+
+def test_battery_drained_by_settle():
+    battery = Battery(capacity_mah=1.0, voltage=1.0)  # 3600 mJ
+    sim, monitor = make_monitor(battery)
+    monitor.set_rail("cpu", 100.0, ())
+    sim.run_until(18.0)  # 1800 mJ
+    monitor.settle()
+    assert battery.remaining_mj == pytest.approx(1800.0)
+
+
+def test_add_energy_drains_battery_and_ledger():
+    battery = Battery(capacity_mah=1.0, voltage=1.0)
+    __, monitor = make_monitor(battery)
+    monitor.add_energy(7, "lease_mgmt", 100.0)
+    assert monitor.ledger.app_total_mj(7) == pytest.approx(100.0)
+    assert battery.remaining_mj == pytest.approx(3500.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    segments=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=500.0),  # power
+            st.floats(min_value=0.01, max_value=100.0),  # duration
+            st.sampled_from([(), (1,), (1, 2), (2, 3, 4)]),  # owners
+        ),
+        min_size=1, max_size=10,
+    )
+)
+def test_energy_conservation_property(segments):
+    """Sum of per-app energy always equals total rail energy."""
+    sim, monitor = make_monitor()
+    expected_total = 0.0
+    for power, duration, owners in segments:
+        monitor.set_rail("r", power, owners)
+        sim.run_until(sim.now + duration)
+        expected_total += power * duration
+    monitor.settle()
+    total = monitor.ledger.total_mj()
+    assert total == pytest.approx(expected_total, rel=1e-9)
+    assert sum(monitor.ledger.by_app().values()) == pytest.approx(total)

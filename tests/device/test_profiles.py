@@ -1,0 +1,46 @@
+"""Tests for the device profiles."""
+
+from repro.device.profiles import (
+    GALAXY_S4,
+    MOTO_G,
+    NEXUS_4,
+    NEXUS_5X,
+    NEXUS_6,
+    PIXEL_XL,
+    PROFILES,
+)
+
+
+def test_all_six_paper_phones_present():
+    assert len(PROFILES) == 6
+    assert PIXEL_XL.name in PROFILES
+    assert NEXUS_5X.name in PROFILES
+
+
+def test_profiles_are_frozen():
+    import dataclasses
+    import pytest
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        PIXEL_XL.cpu_cores = 8
+
+
+def test_speed_factors_reflect_tiers():
+    # The paper observes ~2x differences between high- and low-end phones.
+    assert PIXEL_XL.speed_factor == 1.0
+    assert MOTO_G.speed_factor <= 0.55
+    assert NEXUS_4.speed_factor < NEXUS_6.speed_factor
+
+
+def test_power_rail_sanity():
+    for profile in PROFILES.values():
+        assert profile.cpu_sleep_mw < profile.cpu_awake_idle_mw
+        assert profile.cpu_awake_idle_mw < profile.cpu_active_mw
+        assert profile.gps_search_mw > profile.gps_locked_mw
+        assert profile.screen_dim_mw < profile.screen_on_mw
+        assert profile.battery_mah > 0
+
+
+def test_pixel_battery_matches_paper_spec():
+    # §7.1: Pixel XL has a 3,450 mAh battery.
+    assert PIXEL_XL.battery_mah == 3450.0

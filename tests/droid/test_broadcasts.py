@@ -1,0 +1,69 @@
+"""Tests for the broadcast system."""
+
+import pytest
+
+from repro.droid.app import App
+from repro.droid.broadcasts import BroadcastManager
+
+
+class Listener(App):
+    app_name = "listener"
+
+    def __init__(self):
+        super().__init__()
+        self.events = []
+
+    def on_start(self):
+        self.registration = self.ctx.broadcasts.register(
+            self, BroadcastManager.CONNECTIVITY_CHANGE, self.events.append
+        )
+
+
+def test_connectivity_broadcast_wired_to_environment(phone):
+    app = phone.install(Listener())
+    phone.env.network.set_connected(False)
+    phone.env.network.set_connected(True, kind="cellular")
+    assert app.events == [
+        {"connected": False, "kind": None},
+        {"connected": True, "kind": "cellular"},
+    ]
+
+
+def test_broadcast_wakes_suspended_device(phone):
+    phone.install(Listener())
+    phone.run_for(seconds=10.0)
+    assert phone.suspend.suspended
+    phone.env.network.set_connected(False)
+    assert phone.suspend.awake  # delivery window
+    phone.run_for(seconds=5.0)
+    assert phone.suspend.suspended
+
+
+def test_unregister_stops_delivery(phone):
+    app = phone.install(Listener())
+    app.registration.unregister()
+    phone.env.network.set_connected(False)
+    assert app.events == []
+
+
+def test_kill_app_unregisters(phone):
+    app = phone.install(Listener())
+    phone.kill_app(app.uid)
+    phone.env.network.set_connected(False)
+    assert app.events == []
+
+
+def test_publish_with_no_receivers_is_cheap(phone):
+    delivered = phone.broadcasts.publish("custom-action", {"x": 1})
+    assert delivered == 0
+    assert phone.suspend.suspended or phone.suspend.awake  # no crash
+
+
+def test_custom_action_roundtrip(phone):
+    app = phone.install(Listener())
+    got = []
+    phone.broadcasts.register(app, "battery-low", got.append)
+    count = phone.broadcasts.publish(BroadcastManager.BATTERY_LOW,
+                                     {"level": 0.05})
+    assert count == 1
+    assert got == [{"level": 0.05}]

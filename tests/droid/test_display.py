@@ -1,0 +1,57 @@
+"""Tests for the DisplayService."""
+
+import pytest
+
+from repro.droid.app import App
+from repro.droid.display import ScreenState
+from repro.droid.power_manager import WakeLockLevel
+
+
+class Holder(App):
+    app_name = "holder"
+
+
+def test_user_screen_toggling(phone):
+    assert phone.display.state is ScreenState.OFF
+    phone.screen_on()
+    assert phone.display.state is ScreenState.ON
+    assert "screen" in phone.suspend.reasons
+    phone.screen_off()
+    assert phone.display.state is ScreenState.OFF
+    assert "screen" not in phone.suspend.reasons
+
+
+def test_screen_power_is_system_when_user_driven(phone):
+    phone.screen_on()
+    assert phone.monitor.rail_owners("screen") == ()
+    assert phone.monitor.rail_power("screen") == phone.profile.screen_on_mw
+
+
+def test_screen_power_owned_by_wakelock_when_user_absent(phone):
+    app = phone.install(Holder(), start=False)
+    lock = phone.power.new_wakelock(app, "s",
+                                    level=WakeLockLevel.SCREEN_BRIGHT)
+    lock.acquire()
+    assert phone.monitor.rail_owners("screen") == (app.uid,)
+    phone.screen_on()  # user takes over
+    assert phone.monitor.rail_owners("screen") == ()
+    phone.screen_off()
+    assert phone.monitor.rail_owners("screen") == (app.uid,)
+
+
+def test_dimming_reduces_power(phone):
+    phone.screen_on()
+    phone.display.set_dimmed(True)
+    assert phone.display.state is ScreenState.DIM
+    assert phone.monitor.rail_power("screen") == \
+        phone.profile.screen_dim_mw
+    # turning the screen on again (user action) un-dims
+    phone.display.set_user_screen(True)
+    assert phone.display.state is ScreenState.ON
+
+
+def test_interaction_timestamp(phone):
+    phone.screen_on()
+    phone.run_for(seconds=5.0)
+    phone.touch()
+    assert phone.display.last_interaction == pytest.approx(5.0)

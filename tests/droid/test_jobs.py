@@ -1,0 +1,99 @@
+"""Tests for the JobScheduler and its Doze integration."""
+
+import pytest
+
+from repro.droid.app import App
+from repro.mitigation.doze import Doze, DozeState
+
+from tests.conftest import make_phone
+
+
+class SyncApp(App):
+    app_name = "syncapp"
+
+    def __init__(self, requires_network=False):
+        super().__init__()
+        self.requires_network = requires_network
+        self.runs = []
+
+    def on_start(self):
+        self.job = self.ctx.jobs.schedule(
+            self, 30.0, self._sync, requires_network=self.requires_network
+        )
+
+    def _sync(self):
+        self.runs.append(self.ctx.sim.now)
+        yield from self.compute(0.5)
+        self.note_data_write()
+
+
+def test_job_runs_periodically_even_from_deep_sleep(phone):
+    app = phone.install(SyncApp())
+    phone.run_for(minutes=5.0)
+    assert len(app.runs) == pytest.approx(10, abs=2)
+    # Between runs the device actually sleeps.
+    assert phone.suspend.suspend_count > 3
+
+
+def test_job_wakelock_released_after_run(phone):
+    app = phone.install(SyncApp())
+    phone.run_for(minutes=2.0)
+    phone.run_for(seconds=15.0)  # mid-interval
+    records = [r for r in phone.power.records if r.uid == app.uid]
+    assert records
+    assert not any(r.app_held for r in records)
+
+
+def test_network_constraint_defers_runs(phone_factory):
+    phone = phone_factory(connected=False)
+    app = phone.install(SyncApp(requires_network=True))
+    phone.run_for(minutes=3.0)
+    assert app.runs == []
+    assert app.job.deferred_count >= 3
+    phone.env.network.set_connected(True)
+    phone.run_for(minutes=2.0)
+    assert app.runs  # retried once the constraint was met
+
+
+def test_cancelled_job_stops(phone):
+    app = phone.install(SyncApp())
+    phone.run_for(minutes=2.0)
+    count = len(app.runs)
+    app.job.cancel()
+    phone.run_for(minutes=3.0)
+    assert len(app.runs) == count
+
+
+def test_doze_defers_jobs_until_maintenance():
+    doze = Doze(aggressive=True, maintenance_interval_s=300.0,
+                maintenance_window_s=20.0)
+    phone = make_phone(mitigation=doze)
+    app = phone.install(SyncApp())
+    phone.run_for(minutes=4.0)
+    assert doze.state is DozeState.DOZING
+    runs_before_maintenance = len(app.runs)
+    phone.run_for(minutes=2.0)  # through the maintenance window
+    assert len(app.runs) > runs_before_maintenance
+    # Dozing swallowed most of the ~8 would-be runs.
+    assert len(app.runs) < 6
+
+
+def test_dumpsys_batterystats_blames_heavy_app(phone):
+    class Burner(App):
+        app_name = "burner"
+
+        def run(self):
+            lock = self.ctx.power.new_wakelock(self, "b")
+            lock.acquire()
+            while True:
+                yield from self.compute(0.8)
+                yield self.sleep(0.2)
+
+    app = phone.install(Burner())
+    phone.run_for(minutes=5.0)
+    report = phone.dumpsys_batterystats()
+    assert "burner" in report
+    assert "deep sleep" in report
+    first_app_line = [l for l in report.splitlines()
+                      if "burner" in l][0]
+    assert "mW" in first_app_line

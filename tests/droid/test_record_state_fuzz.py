@@ -1,0 +1,59 @@
+"""Stateful fuzz of one wakelock record's held/active clocks.
+
+Random interleavings of acquire / release / revoke / restore / advance
+must keep the kernel-object accounting consistent: active time never
+exceeds held time, both are monotone, and the app view is never
+corrupted by governor operations.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.droid.app import App
+
+from tests.conftest import make_phone
+
+_OPS = st.sampled_from(["acquire", "release", "revoke", "restore",
+                        "advance"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=st.lists(st.tuples(_OPS,
+                                 st.floats(min_value=0.1, max_value=30.0)),
+                       min_size=1, max_size=30))
+def test_wakelock_record_clock_invariants(script):
+    phone = make_phone()
+    app = phone.install(App(name="fuzz"), start=False)
+    lock = phone.power.new_wakelock(app, "fuzz")
+    record = lock._record
+
+    prev_held = prev_active = 0.0
+    for op, delay in script:
+        if op == "acquire" and not lock.held:
+            lock.acquire()
+        elif op == "release" and lock.held:
+            lock.release()
+        elif op == "revoke":
+            phone.power.revoke(record)
+        elif op == "restore":
+            phone.power.restore(record)
+        elif op == "advance":
+            phone.run_for(seconds=delay)
+
+        record.settle()
+        # Monotone clocks.
+        assert record.held_time >= prev_held - 1e-9
+        assert record.active_time >= prev_active - 1e-9
+        prev_held, prev_active = record.held_time, record.active_time
+        # Honoured time can never outrun the app's holding time.
+        assert record.active_time <= record.held_time + 1e-6
+        # A governor can only suppress, never fabricate, holding.
+        if record.os_active:
+            assert record.app_held
+        # The app's own view matches its refcount.
+        assert record.app_held == lock.held
+
+    # Final consistency: suspend reason tracks honoured locks.
+    honoured = any(r.os_active for r in phone.power.records)
+    assert ("wakelock" in phone.suspend.reasons) == honoured

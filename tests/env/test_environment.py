@@ -1,0 +1,40 @@
+"""Tests for the Environment composite and scheduled scenario changes."""
+
+from repro.env.environment import Environment
+from repro.sim.engine import Simulator
+
+
+def test_defaults():
+    env = Environment(Simulator())
+    assert env.network.connected
+    assert env.gps.quality == 0.9
+    assert env.gps.speed_mps == 0.0
+
+
+def test_constructor_overrides():
+    env = Environment(Simulator(), connected=False, gps_quality=0.2,
+                      movement_mps=1.5)
+    assert not env.network.connected
+    assert env.gps.quality == 0.2
+    assert env.gps.speed_mps == 1.5
+
+
+def test_scheduled_network_change():
+    sim = Simulator()
+    env = Environment(sim, connected=True)
+    env.schedule_network_change(10.0, False)
+    env.schedule_network_change(20.0, True, kind="cellular")
+    sim.run_until(15.0)
+    assert not env.network.connected
+    sim.run_until(25.0)
+    assert env.network.connected
+    assert env.network.kind == "cellular"
+
+
+def test_scheduled_gps_quality():
+    sim = Simulator()
+    env = Environment(sim, gps_quality=0.9)
+    env.schedule_gps_quality(30.0, 0.1)
+    sim.run_until(31.0)
+    assert env.gps.quality == 0.1
+    assert not env.gps.lock_possible

@@ -1,0 +1,53 @@
+"""Tests for the GPS signal environment."""
+
+import random
+
+import pytest
+
+from repro.env.gps import GpsEnvironment
+from repro.sim.engine import Simulator
+
+
+def make_gps(quality=0.9, speed=0.0):
+    return GpsEnvironment(Simulator(), quality=quality, speed_mps=speed)
+
+
+def test_good_signal_locks():
+    gps = make_gps(0.9)
+    assert gps.lock_possible
+    ttf = gps.time_to_fix(random.Random(1))
+    assert ttf is not None
+    assert 0 < ttf < 20.0
+
+
+def test_weak_signal_never_locks():
+    gps = make_gps(0.1)
+    assert not gps.lock_possible
+    assert gps.time_to_fix(random.Random(1)) is None
+
+
+def test_quality_bounds_enforced():
+    gps = make_gps()
+    with pytest.raises(ValueError):
+        gps.set_quality(1.5)
+    with pytest.raises(ValueError):
+        gps.set_quality(-0.1)
+
+
+def test_worse_signal_means_slower_fix():
+    rng_values = [random.Random(7), random.Random(7)]
+    fast = make_gps(1.0).time_to_fix(rng_values[0])
+    slow = make_gps(0.4).time_to_fix(rng_values[1])
+    assert slow > fast
+
+
+def test_distance_moved_scales_with_speed():
+    gps = make_gps(speed=2.0)
+    assert gps.distance_moved(10.0) == pytest.approx(20.0)
+    gps.speed_mps = 0.0
+    assert gps.distance_moved(10.0) == 0.0
+
+
+def test_threshold_boundary():
+    gps = make_gps(GpsEnvironment.LOCK_THRESHOLD)
+    assert gps.lock_possible

@@ -1,0 +1,78 @@
+"""Tests for the network environment."""
+
+import random
+
+import pytest
+
+from repro.env.network import NetworkEnvironment, ServerMode
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def net():
+    return NetworkEnvironment(Simulator())
+
+
+def test_defaults_connected_wifi(net):
+    assert net.connected
+    assert net.kind == "wifi"
+
+
+def test_disconnect_clears_kind(net):
+    net.set_connected(False)
+    assert not net.connected
+    assert net.kind is None
+
+
+def test_change_listener_fires_on_transition(net):
+    events = []
+    net.on_change(lambda c, k: events.append((c, k)))
+    net.set_connected(False)
+    net.set_connected(False)  # no change, no event
+    net.set_connected(True, kind="cellular")
+    assert events == [(False, None), (True, "cellular")]
+
+
+def test_kind_change_while_connected_fires(net):
+    events = []
+    net.on_change(lambda c, k: events.append(k))
+    net.set_connected(True, kind="cellular")
+    assert events == ["cellular"]
+
+
+def test_server_mode_defaults_ok(net):
+    assert net.server_mode("anything") is ServerMode.OK
+
+
+def test_set_server_requires_enum(net):
+    with pytest.raises(TypeError):
+        net.set_server("s", "error")
+
+
+def test_ok_request_outcome(net):
+    rng = random.Random(1)
+    outcome = net.request_outcome("server", rng, payload_s=1.0)
+    assert outcome.ok
+    assert outcome.duration >= 1.0
+
+
+def test_error_server_outcome(net):
+    net.set_server("bad", ServerMode.ERROR)
+    outcome = net.request_outcome("bad", random.Random(1))
+    assert outcome.status == "error"
+    assert not outcome.ok
+    assert 0 < outcome.duration < 1.0
+
+
+def test_down_server_times_out(net):
+    net.set_server("dead", ServerMode.DOWN)
+    outcome = net.request_outcome("dead", random.Random(1))
+    assert outcome.status == "timeout"
+    assert outcome.duration == NetworkEnvironment.TIMEOUT
+
+
+def test_disconnected_fails_fast(net):
+    net.set_connected(False)
+    outcome = net.request_outcome("server", random.Random(1))
+    assert outcome.status == "no_network"
+    assert outcome.duration < 0.1

@@ -1,0 +1,84 @@
+"""Tests for the stochastic user model."""
+
+import random
+
+from repro.env.user import UserModel
+from repro.sim.engine import Simulator
+
+
+class FakePhone:
+    def __init__(self):
+        self.log = []
+
+    def screen_on(self):
+        self.log.append("screen_on")
+
+    def screen_off(self):
+        self.log.append("screen_off")
+
+    def set_foreground(self, uid):
+        self.log.append(("fg", uid))
+
+    def touch(self, uid):
+        self.log.append(("touch", uid))
+
+
+def run_session(seed=5, uids=(1, 2), duration=120.0, **kwargs):
+    sim = Simulator()
+    phone = FakePhone()
+    user = UserModel(sim, phone, random.Random(seed))
+    sim.spawn(user.active_session(list(uids), duration, **kwargs))
+    sim.run_until(duration + 1.0)
+    return phone.log
+
+
+def test_session_turns_screen_on_then_off():
+    log = run_session()
+    assert log[0] == "screen_on"
+    assert log[-1] == "screen_off"
+    assert ("fg", None) in log
+
+
+def test_session_touches_foreground_app():
+    log = run_session(duration=60.0, touch_interval=5.0)
+    touches = [entry for entry in log if isinstance(entry, tuple)
+               and entry[0] == "touch"]
+    assert len(touches) >= 5
+    assert all(t[1] in (1, 2) for t in touches)
+
+
+def test_session_switches_apps():
+    log = run_session(duration=300.0, switch_interval=20.0)
+    foregrounds = {entry[1] for entry in log
+                   if isinstance(entry, tuple) and entry[0] == "fg"}
+    assert {1, 2, None} <= foregrounds
+
+
+def test_single_app_never_switches():
+    log = run_session(uids=(9,), duration=200.0, switch_interval=10.0)
+    foregrounds = [entry[1] for entry in log
+                   if isinstance(entry, tuple) and entry[0] == "fg"]
+    assert set(foregrounds) == {9, None}
+
+
+def test_deterministic_under_seed():
+    assert run_session(seed=11) == run_session(seed=11)
+    assert run_session(seed=11) != run_session(seed=12)
+
+
+def test_empty_uids_rejected():
+    import pytest
+
+    sim = Simulator()
+    user = UserModel(sim, FakePhone(), random.Random(1))
+    with pytest.raises(ValueError):
+        list(user.active_session([], 10.0))
+
+
+def test_idle_session_turns_screen_off():
+    sim = Simulator()
+    phone = FakePhone()
+    user = UserModel(sim, phone, random.Random(1))
+    sim.spawn(user.idle_session(60.0))
+    sim.run_until(61.0)
+    assert phone.log == ["screen_off"]

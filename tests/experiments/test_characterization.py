@@ -1,0 +1,71 @@
+"""Shape tests for the Figs. 1-4 characterization study."""
+
+import statistics
+
+import pytest
+
+from repro.experiments.characterization import (
+    fig1_betterweather,
+    fig2_k9_bad_server,
+    fig3_kontalk,
+    fig4_k9_disconnected,
+    render_series,
+)
+
+
+def test_fig1_gps_try_duration_high_and_fixless():
+    samples = fig1_betterweather(minutes=10.0)
+    assert len(samples) == 10
+    # "the app spends around 60% of the time asking for the GPS lock"
+    # (ours searches continuously; the key signature is high + no fixes).
+    assert all(s.gps_search_time > 36.0 for s in samples)
+    assert sum(s.gps_fixes for s in samples) == 0
+
+
+def test_fig2_long_holds_with_ultralow_cpu():
+    samples = fig2_k9_bad_server(minutes=10.0)
+    mean_hold = statistics.mean(s.wakelock_time for s in samples)
+    mean_cpu = statistics.mean(s.cpu_time for s in samples)
+    assert mean_hold > 10.0  # long holds every interval
+    assert mean_cpu / mean_hold < 0.05  # the ultralow (<5%) pattern
+
+
+def test_fig3_pattern_consistent_across_phones():
+    results = fig3_kontalk(minutes=10.0)
+    assert len(results) == 2
+    for samples in results.values():
+        # after auth the wakelock is held every minute with ~zero CPU
+        tail = samples[2:]
+        assert all(s.wakelock_time > 50.0 for s in tail)
+        assert all(s.cpu_over_wakelock < 0.02 for s in tail)
+
+
+def test_fig4_ratio_exceeds_one_hundred_percent():
+    samples = fig4_k9_disconnected(minutes=6.0)
+    ratios = [s.cpu_over_wakelock for s in samples]
+    assert all(r > 1.0 for r in ratios)
+    # and the wakelock is held essentially continuously
+    assert all(s.wakelock_time == pytest.approx(60.0, abs=1.0)
+               for s in samples)
+
+
+def test_render_series_formats_rows():
+    samples = fig1_betterweather(minutes=2.0)
+    text = render_series(samples, ["gps_search_time"])
+    lines = text.splitlines()
+    assert "gps_search_time" in lines[0]
+    assert len(lines) == 5  # header + 2 rows + blank + sparkline summary
+    assert lines[-1].startswith("gps_search_time [")
+
+
+def test_cross_phone_variability_roughly_two_x():
+    from repro.experiments.characterization import cross_phone_variability
+    from repro.device.profiles import MOTO_G, PIXEL_XL
+
+    rates = cross_phone_variability(minutes=5.0)
+    fast = rates[PIXEL_XL.name]
+    slow = rates[MOTO_G.name]
+    assert fast > slow  # the fast phone spins through more retries
+    # "the absolute holding time and frequency of abnormal intervals
+    # differ by 2x" (2.3): ratio lands in the 1.5-3x band.
+    assert 1.4 < fast / slow < 3.5

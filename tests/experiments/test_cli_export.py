@@ -1,0 +1,121 @@
+"""Tests for the CLI and the CSV exporters."""
+
+import csv
+import io
+import os
+
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+from repro.experiments.export import (
+    lambda_csv,
+    lease_activity_csv,
+    samples_csv,
+    table5_csv,
+    write_csv,
+)
+
+
+def test_parser_knows_every_command():
+    parser = build_parser()
+    for name in list(COMMANDS) + ["all"]:
+        args = parser.parse_args([name])
+        assert args.command == name
+
+
+def test_parser_rejects_unknown_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["frobnicate"])
+
+
+def test_cli_runs_study_and_writes_artifact(tmp_path):
+    out = str(tmp_path / "artifacts")
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["--out", out, "study"])
+    assert code == 0
+    assert "Table 1" in buffer.getvalue()
+    assert os.path.exists(os.path.join(out, "study_tables.txt"))
+
+
+def test_cli_fig9_prints_paper_comparison():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        main(["fig9"])
+    text = buffer.getvalue()
+    assert "Fig. 9(a)" in text and "paper (s)" in text
+
+
+def test_write_csv_roundtrip(tmp_path):
+    path = str(tmp_path / "data.csv")
+    write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+    with open(path) as handle:
+        rows = list(csv.reader(handle))
+    assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+def test_samples_csv(tmp_path):
+    from repro.experiments.characterization import fig1_betterweather
+
+    samples = fig1_betterweather(minutes=3.0)
+    path = samples_csv(str(tmp_path / "fig1.csv"), samples,
+                       ["gps_search_time", "gps_fixes"])
+    with open(path) as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["time_s", "gps_search_time", "gps_fixes"]
+    assert len(rows) == 4
+
+
+def test_table5_csv(tmp_path):
+    from repro.apps.buggy import CASES_BY_KEY
+    from repro.experiments import table5
+
+    rows = table5.run(cases=[CASES_BY_KEY["torch"]], minutes=5.0)
+    path = table5_csv(str(tmp_path / "t5.csv"), rows)
+    with open(path) as handle:
+        parsed = list(csv.DictReader(handle))
+    assert parsed[0]["case"] == "torch"
+    assert float(parsed[0]["leaseos_reduction_pct"]) > 50.0
+
+
+def test_lambda_csv(tmp_path):
+    from repro.experiments import lambda_sweep
+
+    results = lambda_sweep.run(cases=10, slices_per_case=20)
+    path = lambda_csv(str(tmp_path / "lam.csv"), results)
+    with open(path) as handle:
+        parsed = list(csv.DictReader(handle))
+    assert len(parsed) == 5
+    assert 0.0 < float(parsed[0]["reduction"]) < 1.0
+
+
+def test_lease_activity_csv(tmp_path):
+    from repro.experiments import lease_activity
+
+    result = lease_activity.run(active_minutes=3.0, idle_minutes=2.0,
+                                app_count=3)
+    path = lease_activity_csv(str(tmp_path / "fig11.csv"), result)
+    with open(path) as handle:
+        parsed = list(csv.reader(handle))
+    assert parsed[0] == ["time_s", "active_leases"]
+    assert len(parsed) > 5
+
+
+def test_parser_covers_derived_commands():
+    parser = build_parser()
+    for name in ("fix", "containment", "robustness", "verdict",
+                 "extensions", "table5"):
+        args = parser.parse_args([name])
+        assert args.command == name
+
+
+def test_out_flag_accepted_after_subcommand(tmp_path):
+    out = str(tmp_path / "later")
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["study", "--out", out])
+    assert code == 0
+    assert os.path.exists(os.path.join(out, "study_tables.txt"))

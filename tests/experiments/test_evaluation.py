@@ -1,0 +1,101 @@
+"""Shape tests for the main evaluation harnesses (Table 5, Figs. 13/14,
+usability, battery life, microbench, lease activity, study tables)."""
+
+import pytest
+
+from repro.apps.buggy import CASES_BY_KEY
+from repro.experiments import (
+    battery_life,
+    lease_activity,
+    latency,
+    microbench,
+    overhead,
+    study_tables,
+    table5,
+    usability,
+)
+
+
+def test_table5_subset_preserves_paper_ordering():
+    cases = [CASES_BY_KEY[k] for k in ("torch", "connectbot-screen",
+                                       "betterweather")]
+    rows = table5.run(cases=cases, minutes=10.0)
+    by_key = {r.case.key: r for r in rows}
+    # LeaseOS beats both baselines on every one of these rows.
+    for row in rows:
+        assert row.leaseos_reduction > row.doze_reduction
+        assert row.leaseos_reduction > 60.0
+    # Doze cannot touch screen wakelocks.
+    assert by_key["connectbot-screen"].doze_reduction < 5.0
+    # DefDroid is much weaker than LeaseOS on GPS.
+    bw = by_key["betterweather"]
+    assert bw.defdroid_reduction < bw.leaseos_reduction - 20.0
+    # Rendering runs without error and mentions the averages.
+    assert "Average reduction" in table5.render(rows)
+
+
+def test_usability_contrast():
+    rows = usability.run(minutes=15.0)
+    assert all(r.leaseos_disruptions == 0 for r in rows)
+    assert all(r.leaseos_deferrals == 0 for r in rows)
+    assert all(r.throttle_disruptions >= 1 for r in rows)
+    assert "Usability" in usability.render(rows)
+
+
+def test_overhead_below_one_percent():
+    settings = [s for s in overhead.SETTINGS
+                if s.key in ("idle", "youtube")]
+    rows = overhead.run(settings=settings, repeats=2)
+    for __, base, lease in rows:
+        pct = 100.0 * (lease - base) / base
+        assert abs(pct) < 1.0
+    assert "Fig. 13" in overhead.render(rows)
+
+
+def test_latency_overhead_negligible():
+    results = latency.run(touches=6)
+    for kind, (without, with_lease) in results.items():
+        assert without > 0
+        assert abs(with_lease - without) / without < 0.02, kind
+    assert "Fig. 14" in latency.render(results)
+
+
+def test_battery_life_extension():
+    result = battery_life.run(max_hours=30.0)
+    assert result.hours_leaseos > result.hours_vanilla
+    # Paper: +3 h on 12 h (+25%); the battery must be big enough that
+    # standby (where the buggy GPS app wastes) dominates the contrast.
+    assert result.extension_pct > 15.0
+    assert "extends life" in battery_life.render(result)
+
+
+def test_microbench_shape_update_dominates():
+    wall = microbench.measure_wall_clock_ms(iterations=300)
+    assert wall["update"] > wall["check_accept"]
+    assert wall["update"] > wall["renew"]
+    assert wall["check_accept"] < 0.5  # all ops are cheap in absolute terms
+    assert "Table 4" in microbench.render(wall)
+
+
+def test_microbench_modelled_latencies_expose_paper_numbers():
+    modelled = microbench.modelled_latencies_ms()
+    assert modelled["create"] == pytest.approx(0.357)
+    assert modelled["update"] == pytest.approx(4.79)
+
+
+def test_lease_activity_stats_plausible():
+    result = lease_activity.run(active_minutes=10.0, idle_minutes=10.0,
+                                app_count=6)
+    assert result.created_total > 20
+    assert result.samples
+    assert result.mean_terms >= 1.0
+    assert "created total" in lease_activity.render(result)
+
+
+def test_study_tables_render():
+    table1 = study_tables.render_table1()
+    assert "GPS" in table1 and "yes*" in table1
+    table2 = study_tables.render_table2()
+    assert "Finding 1" in table2
+    assert "Finding 2" in table2
+    assert "31%" in table2 or "31.0" in table2 or "EUB" in table2

@@ -1,0 +1,83 @@
+"""Tests for Fig. 9 (lease terms) and Fig. 12 (lambda sweep)."""
+
+import random
+
+import pytest
+
+from repro.apps.synthetic import random_slices
+from repro.core.policy import waste_reduction_ratio
+from repro.experiments.lambda_sweep import (
+    PAPER_FIG12,
+    _Trace,
+    run as lambda_run,
+    trace_reduction,
+)
+from repro.experiments.lease_term import (
+    PAPER_FIG9A,
+    PAPER_FIG9B,
+    run_fig9a,
+    run_fig9b,
+)
+
+
+def test_fig9a_matches_paper_within_tolerance():
+    results = run_fig9a(minutes=30.0)
+    for term, expected in PAPER_FIG9A.items():
+        assert results[term] == pytest.approx(expected, rel=0.05), term
+
+
+def test_fig9b_lambda_one_equalizes_terms():
+    results = run_fig9b(minutes=30.0)
+    for term, expected in PAPER_FIG9B.items():
+        assert results[term] == pytest.approx(expected, rel=0.05), term
+
+
+def test_no_lease_baseline_holds_full_duration():
+    results = run_fig9a(minutes=10.0)
+    assert results[float("inf")] == pytest.approx(600.0, abs=2.0)
+
+
+# -- lambda sweep ------------------------------------------------------------
+
+def test_trace_misbehavior_accounting():
+    trace = _Trace([("misbehavior", 10.0), ("normal", 10.0),
+                    ("misbehavior", 5.0)])
+    assert trace.total == 25.0
+    assert trace.misbehavior_in(0.0, 25.0) == pytest.approx(15.0)
+    assert trace.misbehavior_in(5.0, 15.0) == pytest.approx(5.0)
+    assert trace.misbehavior_in(10.0, 20.0) == pytest.approx(0.0)
+    assert trace.misbehavior_in(20.0, 25.0) == pytest.approx(5.0)
+    assert trace.misbehavior_in(7.0, 7.0) == 0.0
+
+
+def test_single_misbehavior_slice_approaches_closed_form():
+    """A long pure-misbehaviour trace follows r = lambda/(1+lambda)."""
+    slices = [("misbehavior", 3600.0)]
+    for lam in (1, 2, 5):
+        reduction = trace_reduction(slices, term_s=5.0,
+                                    deferral_s=5.0 * lam)
+        assert reduction == pytest.approx(waste_reduction_ratio(lam),
+                                          abs=0.01)
+
+
+def test_pure_normal_trace_reduces_nothing():
+    assert trace_reduction([("normal", 600.0)], 5.0, 25.0) == 0.0
+
+
+def test_lambda_sweep_matches_paper_fig12():
+    results = lambda_run(cases=60, slices_per_case=60, seed=7)
+    for lam, expected in PAPER_FIG12.items():
+        assert results[lam] == pytest.approx(expected, abs=0.04), lam
+
+
+def test_lambda_sweep_monotone():
+    results = lambda_run(cases=30, slices_per_case=40, seed=11)
+    values = [results[lam] for lam in sorted(results)]
+    assert values == sorted(values)
+
+
+def test_trace_reduction_deterministic():
+    rng = random.Random(5)
+    slices = random_slices(rng, 50)
+    assert trace_reduction(slices, 5.0, 25.0) == \
+        trace_reduction(slices, 5.0, 25.0)

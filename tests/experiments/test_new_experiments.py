@@ -1,0 +1,74 @@
+"""Scaled-down unit coverage for the derived experiments."""
+
+import math
+
+import pytest
+
+from repro.experiments import containment, fix_comparison, term_sweep
+
+
+def test_containment_measure_shapes():
+    results = containment.run()
+    names = {r.mitigation for r in results}
+    assert names == {"vanilla", "leaseos", "doze", "defdroid"}
+    by_name = {r.mitigation: r for r in results}
+    assert by_name["vanilla"].latency_s is None
+    assert by_name["leaseos"].latency_s is not None
+    text = containment.render(results)
+    assert "healthy work preserved" in text
+
+
+def test_term_sweep_tradeoff_monotone():
+    rows = term_sweep.run(minutes=10.0, terms=(2.0, 10.0, 30.0))
+    reductions = [r.reduction_pct for r in rows]
+    updates = [r.normal_updates for r in rows]
+    assert reductions == sorted(reductions, reverse=True)
+    assert updates == sorted(updates, reverse=True)
+    for row in rows:
+        assert not math.isnan(row.first_deferral_s)
+    assert "Lease-term sweep" in term_sweep.render(rows)
+
+
+def test_fix_comparison_single_pair():
+    pair = fix_comparison.PAIRS[1]  # Kontalk: the fastest cell
+    grid = fix_comparison.run(minutes=10.0, pairs=(pair,))
+    label = pair[0]
+    assert grid[(label, "buggy", "leaseos")] < \
+        0.2 * grid[(label, "buggy", "vanilla")]
+    assert grid[(label, "fixed", "leaseos")] == pytest.approx(
+        grid[(label, "fixed", "vanilla")], abs=0.5)
+    assert label in fix_comparison.render(grid, pairs=(pair,))
+
+
+def test_baseline_zoo_small():
+    from repro.experiments import baseline_zoo
+
+    grid = baseline_zoo.run(minutes=8.0, case_keys=("torch",))
+    assert grid[("torch", "LeaseOS")] < 0.2 * grid[("torch", "vanilla")]
+    assert grid[("torch", "Amplify")] == pytest.approx(
+        grid[("torch", "vanilla")], rel=0.05)
+    text = baseline_zoo.render(grid, case_keys=("torch",))
+    assert "Amplify" in text
+
+
+def test_deployment_estimate_scaled():
+    from repro.experiments import deployment, table5
+    from repro.apps.buggy import CASES_BY_KEY
+
+    rows = table5.run(
+        cases=[CASES_BY_KEY[k] for k in ("torch", "betterweather", "k9")],
+        minutes=5.0,
+    )
+    estimate = deployment.run(devices=300, rows=rows)
+    assert len(estimate.savings_mw) == 300
+    assert estimate.mean_savings_mw >= 0.0
+    assert 0.0 <= estimate.share_with_savings <= 1.0
+    assert "population metric" in deployment.render(estimate)
+
+
+def test_misleading_classifier_rows_shape():
+    from repro.experiments import misleading_classifier
+
+    rows = misleading_classifier.run(minutes=8.0)
+    assert len(rows) == 6
+    assert {r.name.split(" ")[-1] for r in rows} == {"(buggy)", "(normal)"}

@@ -1,0 +1,53 @@
+"""Tests for the plain-text plotting helpers."""
+
+from repro.experiments.plotting import bar_chart, sparkline, time_series_plot
+
+
+def test_sparkline_scales_to_range():
+    line = sparkline([0, 5, 10])
+    assert len(line) == 3
+    assert line[0] == "."  # minimum maps to the lowest level
+    assert line[-1] == "@"  # maximum maps to the highest
+
+
+def test_sparkline_flat_series():
+    line = sparkline([3.0, 3.0, 3.0])
+    assert len(line) == 3
+    assert len(set(line)) == 1
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_resampling_width():
+    line = sparkline(list(range(100)), width=10)
+    assert len(line) == 10
+
+
+def test_bar_chart_alignment_and_peak():
+    chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10, unit="mW")
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("#") == 10  # the peak fills the width
+    assert lines[0].count("#") == 5
+    assert "mW" in lines[0]
+
+
+def test_bar_chart_empty():
+    assert bar_chart([], []) == ""
+
+
+def test_time_series_plot_over_samples():
+    class Sample:
+        def __init__(self, v):
+            self.metric = v
+
+    samples = [Sample(float(i)) for i in range(5)]
+    text = time_series_plot(samples, "metric")
+    assert text.startswith("metric [0.00..4.00]")
+    assert len(text.split()[-1]) == 5
+
+
+def test_time_series_plot_no_samples():
+    assert "(no samples)" in time_series_plot([], "metric")

@@ -1,0 +1,128 @@
+"""Cross-module integration scenarios exercising the whole stack."""
+
+import pytest
+
+from repro.apps.buggy.cpu_apps import K9Mail, Torch
+from repro.apps.buggy.gps_apps import BetterWeather
+from repro.apps.normal.background import RunKeeper, Spotify
+from repro.core.lease import LeaseState
+from repro.mitigation import DefDroid, Doze, LeaseOS
+
+from tests.conftest import make_phone
+
+
+def test_mixed_device_buggy_and_normal_apps_coexist():
+    """One phone, one buggy and two healthy apps, LeaseOS installed:
+    the buggy app is contained, the healthy ones untouched."""
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation, gps_quality=0.95,
+                       movement_mps=2.0)
+    torch = phone.install(Torch())
+    runkeeper = phone.install(RunKeeper())
+    spotify = phone.install(Spotify())
+    mark = phone.energy_mark()
+    phone.run_for(minutes=20.0)
+
+    assert not runkeeper.disruptions
+    assert not spotify.disruptions
+    manager = mitigation.manager
+    torch_deferrals = sum(
+        l.deferral_count for l in manager.leases_for(torch.uid))
+    healthy_deferrals = sum(
+        l.deferral_count
+        for uid in (runkeeper.uid, spotify.uid)
+        for l in manager.leases_for(uid)
+    )
+    assert torch_deferrals >= 3
+    assert healthy_deferrals == 0
+    # Torch's residual power is a sliver of the awake-idle cost.
+    assert phone.power_since(mark, torch.uid) < 5.0
+
+
+def test_environment_recovery_restores_app():
+    """K-9's misbehaviour stops when the network returns (§4.5): the
+    lease returns to normal renewals -- continuous examine-renew, not
+    one-shot throttling."""
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation, connected=False)
+    app = phone.install(K9Mail(scenario="disconnected"))
+    phone.run_for(minutes=5.0)
+    lease = mitigation.manager.leases_for(app.uid)[0]
+    assert lease.deferral_count >= 2
+    deferrals_before = lease.deferral_count
+
+    recovery_time = phone.sim.now
+    phone.env.network.set_connected(True)
+    phone.run_for(minutes=6.0)
+    # After recovery the app finishes its sync and releases the lock:
+    # once the (escalated) deferral drains, the lease settles into
+    # renew/inactive decisions instead of endless deferrals.
+    later = [d for d in mitigation.manager.decisions
+             if d.lease is lease and d.time > recovery_time]
+    assert any(d.action in ("renew", "inactive") for d in later)
+    recent_deferrals = sum(1 for d in later if d.action == "defer")
+    assert recent_deferrals <= 1
+    assert lease.deferral_count >= deferrals_before
+    assert lease.state is not LeaseState.DEFERRED
+
+
+def test_all_mitigations_on_same_seed_are_reproducible():
+    powers = {}
+    for run in range(2):
+        for name, factory in [("lease", LeaseOS),
+                              ("doze", lambda: Doze(aggressive=True)),
+                              ("defdroid", DefDroid)]:
+            phone = make_phone(mitigation=factory(), gps_quality=0.1)
+            app = phone.install(BetterWeather())
+            mark = phone.energy_mark()
+            phone.run_for(minutes=10.0)
+            key = (name, run)
+            powers[key] = phone.power_since(mark, app.uid)
+    for name in ("lease", "doze", "defdroid"):
+        assert powers[(name, 0)] == pytest.approx(powers[(name, 1)])
+
+
+def test_lease_lifecycle_end_to_end():
+    """Create -> renew -> defer -> restore -> inactive -> dead."""
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation)
+    app = phone.install(Torch())
+    phone.run_for(seconds=6.0)
+    lease = mitigation.manager.leases_for(app.uid)[0]
+    assert lease.state is LeaseState.DEFERRED
+    phone.run_for(minutes=2.0)
+    assert lease.deferral_count >= 2
+    phone.kill_app(app.uid)
+    assert mitigation.manager.leases_for(app.uid) == []
+
+
+def test_energy_conservation_across_full_stack():
+    """Total ledger energy equals the battery drain, and per-app energy
+    sums to the total."""
+    from repro.device.battery import Battery
+
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation, gps_quality=0.95)
+    start_battery = phone.battery.remaining_mj
+    phone.install(Torch())
+    phone.install(Spotify())
+    phone.run_for(minutes=10.0)
+    phone.monitor.settle()
+    total = phone.monitor.ledger.total_mj()
+    drained = start_battery - phone.battery.remaining_mj
+    assert drained == pytest.approx(total, rel=1e-9)
+    assert sum(phone.monitor.ledger.by_app().values()) == \
+        pytest.approx(total, rel=1e-9)
+
+
+def test_dumpsys_views_after_mixed_run():
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation, gps_quality=0.95)
+    phone.install(Torch())
+    phone.install(Spotify())
+    phone.run_for(minutes=10.0)
+    battery_report = phone.dumpsys_batterystats()
+    assert "Spotify" in battery_report and "Torch" in battery_report
+    lease_report = mitigation.manager.dump_table()
+    assert "Torch" in lease_report
+    assert "deferrals=" in lease_report

@@ -1,0 +1,80 @@
+"""Tests for the Battery Saver mitigation."""
+
+import pytest
+
+from repro.apps.buggy.cpu_apps import Torch
+from repro.apps.normal.background import Spotify
+from repro.droid.broadcasts import BroadcastManager
+from repro.mitigation import BatterySaver
+
+from tests.conftest import make_phone
+
+
+def saver_phone(level, threshold=0.15):
+    saver = BatterySaver(threshold_level=threshold)
+    phone = make_phone(mitigation=saver, battery_level=level)
+    return phone, saver
+
+
+def test_inactive_above_threshold():
+    phone, saver = saver_phone(level=0.9)
+    app = phone.install(Torch())
+    phone.run_for(minutes=5.0)
+    assert not saver.active
+    assert app.lock._record.os_active
+
+
+def test_activates_below_threshold_and_revokes_background():
+    phone, saver = saver_phone(level=0.10)
+    app = phone.install(Torch())
+    phone.run_for(minutes=2.0)
+    assert saver.active
+    assert saver.activations == 1
+    assert app.lock.held
+    assert not app.lock._record.os_active
+
+
+def test_exempts_foreground_service_apps():
+    phone, saver = saver_phone(level=0.10)
+    app = phone.install(Spotify())
+    phone.run_for(minutes=5.0)
+    assert saver.active
+    assert not app.disruptions
+
+
+def test_blocks_background_network_when_active():
+    phone, saver = saver_phone(level=0.10)
+    app = phone.install(Torch())
+    phone.run_for(minutes=1.0)
+    assert not phone.net.restrictor(app.uid)
+
+
+def test_publishes_battery_low_broadcast():
+    events = []
+    phone, saver = saver_phone(level=0.10)
+    app = phone.install(Torch())
+    phone.broadcasts.register(app, BroadcastManager.BATTERY_LOW,
+                              events.append)
+    phone.run_for(minutes=1.0)
+    assert events and events[0]["level"] <= 0.15
+
+
+def test_screen_dimmed_while_active():
+    phone, saver = saver_phone(level=0.10)
+    phone.screen_on()
+    phone.run_for(minutes=1.0)
+    from repro.droid.display import ScreenState
+
+    assert phone.display.state is ScreenState.DIM
+
+
+def test_saver_cuts_leaky_app_power():
+    results = {}
+    for level in (0.9, 0.10):
+        phone, saver = saver_phone(level=level)
+        app = phone.install(Torch())
+        phone.run_for(minutes=1.0)  # let the saver engage (or not)
+        mark = phone.energy_mark()
+        phone.run_for(minutes=10.0)
+        results[level] = phone.power_since(mark, app.uid)
+    assert results[0.10] < 0.2 * results[0.9]

@@ -1,0 +1,128 @@
+"""Tests for DefDroid-style throttling and pure timed throttling."""
+
+import pytest
+
+from repro.droid.app import App
+from repro.droid.resources import ResourceType
+from repro.mitigation.defdroid import DefDroid, ThrottleRule
+from repro.mitigation.throttle import TimedThrottle
+
+from tests.conftest import make_phone
+
+
+class Holder(App):
+    app_name = "holder"
+
+    def run(self):
+        self.lock = self.ctx.power.new_wakelock(self, "h")
+        self.lock.acquire()
+        while True:
+            yield self.sleep(600.0)
+
+
+class GpsHog(App):
+    app_name = "gps-hog"
+
+    def on_start(self):
+        self.registration = self.ctx.location.request_location_updates(
+            self, lambda loc: None, interval=5.0
+        )
+
+
+class Churner(App):
+    """Recycles fresh GPS registrations (the WHERE evasion pattern)."""
+
+    app_name = "churner"
+
+    def on_start(self):
+        self.registration = None
+        self._request()
+        self.ctx.alarms.set_repeating(self.uid, 20.0, self._request)
+
+    def _request(self):
+        if self.registration is not None:
+            self.registration.remove()
+        self.registration = self.ctx.location.request_location_updates(
+            self, lambda loc: None, interval=5.0
+        )
+
+
+def test_defdroid_throttles_long_held_wakelock():
+    defdroid = DefDroid()
+    phone = make_phone(mitigation=defdroid)
+    app = phone.install(Holder())
+    phone.run_for(seconds=30.0)
+    assert app.lock._record.os_active  # under threshold
+    phone.run_for(seconds=60.0)
+    assert not app.lock._record.os_active  # throttled
+    assert defdroid.throttle_events >= 1
+    assert app.lock.held  # app never notices
+
+
+def test_defdroid_restores_after_penalty():
+    rules = {ResourceType.WAKELOCK: ThrottleRule(
+        ResourceType.WAKELOCK, 20.0, 30.0)}
+    defdroid = DefDroid(rules=rules)
+    phone = make_phone(mitigation=defdroid)
+    app = phone.install(Holder())
+    phone.run_for(seconds=35.0)
+    assert not app.lock._record.os_active
+    phone.run_for(seconds=27.0)  # t=62: restored, next budget not yet spent
+    assert app.lock._record.os_active  # restored, budget restarts
+
+
+def test_defdroid_aggregates_per_app_across_registrations():
+    defdroid = DefDroid()
+    phone = make_phone(mitigation=defdroid, gps_quality=0.95)
+    app = phone.install(Churner())
+    phone.run_for(minutes=4.0)
+    # Fresh registrations must not dodge the per-app budget.
+    assert defdroid.throttle_events >= 1
+
+
+def test_defdroid_gps_duty_cycles_gently():
+    defdroid = DefDroid()
+    phone = make_phone(mitigation=defdroid, gps_quality=0.95)
+    app = phone.install(GpsHog())
+    mark = phone.energy_mark()
+    phone.run_for(minutes=20.0)
+    power = phone.power_since(mark, app.uid)
+    locked = phone.profile.gps_locked_mw
+    # Reduced, but far less than LeaseOS would: between 25% and 65% cut.
+    assert 0.35 * locked < power < 0.8 * locked
+
+
+def test_timed_throttle_revokes_after_single_term():
+    throttle = TimedThrottle(term_s=60.0)
+    phone = make_phone(mitigation=throttle)
+    app = phone.install(Holder())
+    phone.run_for(seconds=50.0)
+    assert app.lock._record.os_active
+    phone.run_for(seconds=30.0)
+    assert not app.lock._record.os_active
+    # No utility check, no automatic restore: it stays revoked.
+    phone.run_for(minutes=10.0)
+    assert not app.lock._record.os_active
+    assert throttle.revocations == 1
+
+
+def test_timed_throttle_fresh_budget_on_reacquire():
+    throttle = TimedThrottle(term_s=30.0)
+    phone = make_phone(mitigation=throttle)
+    app = phone.install(Holder())
+    phone.run_for(seconds=40.0)
+    assert not app.lock._record.os_active
+    app.lock.release()
+    app.lock.acquire()  # explicit re-acquire restarts the budget
+    assert app.lock._record.os_active
+    phone.run_for(seconds=10.0)
+    assert app.lock._record.os_active
+
+
+def test_timed_throttle_breaks_listener_style_apps():
+    throttle = TimedThrottle(term_s=60.0)
+    phone = make_phone(mitigation=throttle, gps_quality=0.95)
+    app = phone.install(GpsHog())
+    phone.run_for(minutes=5.0)
+    # Registered once, never re-acquires: permanently dark.
+    assert not app.registration.record.os_active

@@ -1,0 +1,134 @@
+"""Tests for the Doze reimplementation."""
+
+import pytest
+
+from repro.droid.app import App
+from repro.droid.power_manager import WakeLockLevel
+from repro.mitigation.doze import Doze, DozeState
+
+from tests.conftest import make_phone
+
+
+class Holder(App):
+    app_name = "holder"
+
+    level = WakeLockLevel.PARTIAL
+
+    def run(self):
+        self.lock = self.ctx.power.new_wakelock(self, "h", level=self.level)
+        self.lock.acquire()
+        while True:
+            yield self.sleep(600.0)
+
+
+class ScreenHolder(Holder):
+    app_name = "screen-holder"
+    level = WakeLockLevel.SCREEN_BRIGHT
+
+
+class ExemptHolder(Holder):
+    app_name = "exempt"
+    foreground_service = True
+
+
+def dozing_phone(**doze_kwargs):
+    doze = Doze(aggressive=True, **doze_kwargs)
+    phone = make_phone(mitigation=doze)
+    return phone, doze
+
+
+def test_aggressive_doze_enters_immediately():
+    phone, doze = dozing_phone()
+    phone.run_for(seconds=1.0)
+    assert doze.state is DozeState.DOZING
+    assert doze.doze_entries == 1
+
+
+def test_doze_revokes_background_wakelock():
+    phone, doze = dozing_phone()
+    app = phone.install(Holder())
+    phone.run_for(seconds=6.0)  # past the app-launch awake window
+    assert app.lock.held
+    assert not app.lock._record.os_active
+    assert phone.suspend.suspended
+
+
+def test_doze_never_touches_screen_wakelocks():
+    phone, doze = dozing_phone()
+    app = phone.install(ScreenHolder())
+    phone.run_for(seconds=2.0)
+    assert app.lock._record.os_active
+    assert phone.display.screen_on
+
+
+def test_foreground_service_apps_exempt():
+    phone, doze = dozing_phone()
+    app = phone.install(ExemptHolder())
+    phone.run_for(seconds=2.0)
+    assert app.lock._record.os_active
+
+
+def test_user_activity_exits_doze():
+    phone, doze = dozing_phone()
+    app = phone.install(Holder())
+    phone.run_for(seconds=2.0)
+    assert doze.state is DozeState.DOZING
+    phone.touch()
+    assert doze.state is DozeState.ACTIVE
+    assert app.lock._record.os_active  # restored
+
+
+def test_doze_reenters_after_idle():
+    phone, doze = dozing_phone()
+    phone.install(Holder())
+    phone.run_for(seconds=2.0)
+    phone.touch()
+    assert doze.state is DozeState.ACTIVE
+    phone.run_for(minutes=3.0)
+    assert doze.state is DozeState.DOZING
+    assert doze.doze_entries >= 2
+
+
+def test_maintenance_window_restores_then_rerevokes():
+    phone, doze = dozing_phone(maintenance_interval_s=60.0,
+                               maintenance_window_s=10.0)
+    app = phone.install(Holder())
+    phone.run_for(seconds=5.0)
+    assert not app.lock._record.os_active
+    phone.run_for(seconds=60.0)  # into the maintenance window
+    assert doze.state is DozeState.MAINTENANCE
+    assert app.lock._record.os_active
+    phone.run_for(seconds=15.0)
+    assert doze.state is DozeState.DOZING
+    assert not app.lock._record.os_active
+
+
+def test_doze_defers_background_alarms_to_exit():
+    phone, doze = dozing_phone()
+    fired = []
+    app = phone.install(Holder())
+    phone.run_for(seconds=2.0)
+    phone.alarms.set(app.uid, 5.0, lambda: fired.append(phone.sim.now))
+    phone.run_for(seconds=30.0)
+    assert fired == []  # queued while dozing
+    phone.touch()  # exit doze flushes the queue
+    assert len(fired) == 1
+
+
+def test_doze_blocks_background_network():
+    phone, doze = dozing_phone()
+    app = phone.install(Holder())
+    phone.run_for(seconds=2.0)
+    assert not phone.net.restrictor(app.uid)
+    phone.touch()
+    assert phone.net.restrictor(app.uid)
+
+
+def test_nonaggressive_doze_needs_long_idle():
+    doze = Doze(aggressive=False, idle_threshold_s=600.0)
+    phone = make_phone(mitigation=doze)
+    phone.install(Holder())
+    phone.run_for(minutes=5.0)
+    assert doze.state is DozeState.ACTIVE
+    phone.run_for(minutes=10.0)
+    assert doze.state is DozeState.DOZING

@@ -1,0 +1,40 @@
+"""Tests for the LeaseOS mitigation's installation wiring."""
+
+from repro.core.policy import LeasePolicy
+from repro.mitigation import LeaseOS
+
+from tests.conftest import make_phone
+
+
+def test_install_registers_all_proxies():
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation)
+    assert set(mitigation.proxies) == {
+        "power", "location", "sensors", "wifi", "audio", "bluetooth",
+    }
+    assert phone.lease_manager is mitigation.manager
+    assert len(mitigation.manager.proxies) == 6
+
+
+def test_proxies_hooked_into_service_gates_and_listeners():
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation)
+    for service in (phone.power, phone.location, phone.sensors,
+                    phone.wifi, phone.audio, phone.bluetooth):
+        assert service.gates, type(service).__name__
+        assert service.listeners, type(service).__name__
+
+
+def test_custom_policy_threaded_through():
+    policy = LeasePolicy(initial_term_s=2.0)
+    mitigation = LeaseOS(policy=policy)
+    make_phone(mitigation=mitigation)
+    assert mitigation.manager.policy is policy
+
+
+def test_each_phone_gets_its_own_manager():
+    a, b = LeaseOS(), LeaseOS()
+    phone_a = make_phone(mitigation=a)
+    phone_b = make_phone(mitigation=b)
+    assert a.manager is not b.manager
+    assert phone_a.lease_manager is not phone_b.lease_manager

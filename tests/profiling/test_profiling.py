@@ -1,0 +1,71 @@
+"""Tests for the Trepn-like sampler and Monsoon-like monitor."""
+
+import pytest
+
+from repro.apps.buggy.cpu_apps import Torch
+from repro.profiling.monsoon import MonsoonMonitor
+from repro.profiling.trepn import TrepnSampler
+
+from tests.conftest import make_phone
+
+
+def test_trepn_samples_wakelock_and_cpu_deltas():
+    phone = make_phone()
+    app = phone.install(Torch())
+    sampler = TrepnSampler(phone, [app.uid], interval_s=60.0).start()
+    phone.run_for(minutes=5.0)
+    sampler.stop()
+    rows = sampler.rows(app.uid)
+    assert len(rows) == 5
+    for row in rows:
+        assert row.wakelock_time == pytest.approx(60.0, abs=0.5)
+        assert row.cpu_time == pytest.approx(0.0, abs=0.2)
+        assert row.power_mw > 0
+
+
+def test_trepn_ratio_handles_zero_wakelock():
+    phone = make_phone()
+    from repro.droid.app import App
+
+    class NoLock(App):
+        app_name = "nolock"
+
+    app = phone.install(NoLock())
+    sampler = TrepnSampler(phone, [app.uid], interval_s=30.0).start()
+    phone.run_for(minutes=1.0)
+    for row in sampler.rows(app.uid):
+        assert row.cpu_over_wakelock == 0.0
+
+
+def test_trepn_stop_halts_sampling():
+    phone = make_phone()
+    app = phone.install(Torch())
+    sampler = TrepnSampler(phone, [app.uid], interval_s=10.0).start()
+    phone.run_for(seconds=30.0)
+    sampler.stop()
+    count = len(sampler.rows(app.uid))
+    phone.run_for(seconds=60.0)
+    assert len(sampler.rows(app.uid)) == count
+
+
+def test_monsoon_exact_interval_average():
+    phone = make_phone()
+    phone.monitor.set_rail("x", 200.0, ())
+    monsoon = MonsoonMonitor(phone)
+    mark = monsoon.mark()
+    phone.run_for(seconds=50.0)
+    measured = monsoon.average_power_mw(mark)
+    # 200 mW rail + idle baselines
+    assert measured == pytest.approx(
+        200.0 + phone.monitor.instantaneous_power_mw() - 200.0, rel=0.01
+    )
+
+
+def test_monsoon_sampler_collects_series():
+    phone = make_phone()
+    monsoon = MonsoonMonitor(phone, sample_interval_s=1.0).start_sampling()
+    phone.run_for(seconds=10.0)
+    monsoon.stop_sampling()
+    assert len(monsoon.samples) == 10
+    times = [t for t, __ in monsoon.samples]
+    assert times == sorted(times)

@@ -1,0 +1,162 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run_until_fires_in_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.run_until(2.5)
+    assert fired == ["a", "b"]
+    sim.run_until(10.0)
+    assert fired == ["a", "b", "c"]
+
+
+def test_run_until_sets_clock_even_without_events():
+    sim = Simulator()
+    sim.run_until(42.0)
+    assert sim.now == 42.0
+
+
+def test_simultaneous_events_run_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for name in "abcde":
+        sim.schedule(5.0, lambda n=name: fired.append(n))
+    sim.run_until(5.0)
+    assert fired == list("abcde")
+
+
+def test_zero_delay_runs_at_current_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.0, lambda: fired.append(sim.now))
+    sim.run_until(0.0)
+    assert fired == [0.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_cannot_run_backwards():
+    sim = Simulator()
+    sim.run_until(10.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(5.0)
+
+
+def test_timer_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, lambda: fired.append(1))
+    timer.cancel()
+    sim.run_until(2.0)
+    assert fired == []
+    assert not timer.pending
+
+
+def test_timer_pending_lifecycle():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    assert timer.pending
+    sim.run_until(1.0)
+    assert timer.fired
+    assert not timer.pending
+
+
+def test_callback_scheduling_new_event_same_instant():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: fired.append("x")))
+    sim.run_until(1.0)
+    assert fired == ["x"]
+
+
+def test_at_schedules_absolute_time():
+    sim = Simulator()
+    sim.run_until(5.0)
+    fired = []
+    sim.at(8.0, lambda: fired.append(sim.now))
+    sim.run_until(10.0)
+    assert fired == [8.0]
+
+
+def test_every_fires_periodically_until_cancelled():
+    sim = Simulator()
+    fired = []
+    handle = sim.every(2.0, lambda: fired.append(sim.now))
+    sim.run_until(7.0)
+    assert fired == [2.0, 4.0, 6.0]
+    handle.cancel()
+    sim.run_until(20.0)
+    assert fired == [2.0, 4.0, 6.0]
+
+
+def test_every_start_after_override():
+    sim = Simulator()
+    fired = []
+    sim.every(5.0, lambda: fired.append(sim.now), start_after=1.0)
+    sim.run_until(12.0)
+    assert fired == [1.0, 6.0, 11.0]
+
+
+def test_every_rejects_nonpositive_interval():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.every(0.0, lambda: None)
+
+
+def test_run_drains_queue():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(100.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1, 2]
+    assert sim.now == 100.0
+
+
+def test_pending_events_counts_uncancelled():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    timer = sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    timer.cancel()
+    assert sim.pending_events == 1
+
+
+def test_reentrancy_rejected():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run_until(10.0)
+
+    sim.schedule(1.0, reenter)
+    sim.run_until(2.0)
+
+
+def test_process_exception_propagates_to_driver():
+    """Errors never pass silently: a crashing process surfaces in the
+    run_until() call that stepped it."""
+    sim = Simulator()
+
+    def crasher():
+        yield from ()  # makes this a generator function
+        raise RuntimeError("boom")
+
+    sim.spawn(crasher())
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run_until(1.0)

@@ -1,0 +1,115 @@
+"""Unit tests for Timeout and Event."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, Timeout
+
+
+def test_timeout_rejects_negative_delay():
+    with pytest.raises(ValueError):
+        Timeout(-0.5)
+
+
+def test_timeout_stores_delay():
+    assert Timeout(3).delay == 3.0
+
+
+def test_event_fire_delivers_value_to_waiters():
+    sim = Simulator()
+    event = Event(sim, "e")
+    got = []
+    event.add_waiter(got.append)
+    event.add_waiter(got.append)
+    event.fire("value")
+    assert got == ["value", "value"]
+    assert event.fired
+    assert event.value == "value"
+
+
+def test_event_double_fire_rejected():
+    sim = Simulator()
+    event = Event(sim)
+    event.fire()
+    with pytest.raises(RuntimeError):
+        event.fire()
+
+
+def test_waiter_on_fired_event_delivered_asynchronously():
+    sim = Simulator()
+    event = Event(sim)
+    event.fire(7)
+    got = []
+    event.add_waiter(got.append)
+    assert got == []  # not synchronous
+    sim.run_until(0.0)
+    assert got == [7]
+
+
+def test_remove_waiter():
+    sim = Simulator()
+    event = Event(sim)
+    got = []
+    event.add_waiter(got.append)
+    event.remove_waiter(got.append)
+    event.fire(1)
+    assert got == []
+
+
+def test_remove_missing_waiter_is_noop():
+    sim = Simulator()
+    event = Event(sim)
+    event.remove_waiter(lambda v: None)  # must not raise
+
+
+def test_after_fires_at_delay():
+    from repro.sim.events import after
+
+    sim = Simulator()
+    event = after(sim, 5.0)
+    sim.run_until(4.0)
+    assert not event.fired
+    sim.run_until(5.0)
+    assert event.fired
+
+
+def test_any_of_first_wins():
+    from repro.sim.events import after, any_of
+
+    sim = Simulator()
+    slow = after(sim, 10.0, "slow")
+    fast = after(sim, 2.0, "fast")
+    combined = any_of(sim, slow, fast)
+    got = []
+
+    def worker():
+        winner, value = yield combined
+        got.append(winner.name)
+
+    sim.spawn(worker())
+    sim.run_until(20.0)
+    assert got == ["fast"]
+
+
+def test_any_of_with_already_fired_event():
+    from repro.sim.events import after, any_of
+
+    sim = Simulator()
+    done = Event(sim, "done")
+    done.fire("x")
+    combined = any_of(sim, done, after(sim, 5.0))
+    sim.run_until(0.0)
+    assert combined.fired
+    winner, value = combined.value
+    assert winner is done and value == "x"
+
+
+def test_any_of_ignores_later_events():
+    from repro.sim.events import after, any_of
+
+    sim = Simulator()
+    a = after(sim, 1.0, "a")
+    b = after(sim, 2.0, "b")
+    combined = any_of(sim, a, b)
+    sim.run_until(10.0)  # b fires later: must not double-fire combined
+    assert combined.value[0] is a

@@ -1,0 +1,135 @@
+"""Tests for the 109-case study dataset and Table 1/2 aggregation."""
+
+import pytest
+
+from repro.core.behavior import BehaviorType
+from repro.study.cases import (
+    CASES,
+    RootCause,
+    TABLE2_TARGETS,
+    prevalence_findings,
+    table2_counts,
+)
+from repro.study.taxonomy import applicability_matrix, can_exhibit
+
+
+def test_exactly_109_cases():
+    assert len(CASES) == 109
+
+
+def test_case_ids_unique_and_sequential():
+    ids = [c.case_id for c in CASES]
+    assert ids == list(range(1, 110))
+
+
+def test_table2_marginals_match_paper_exactly():
+    counts = table2_counts()
+    assert counts["FAB"] == {"bug": 10, "config": 1, "enhance": 1,
+                             "n/a": 0, "total": 12}
+    assert counts["LHB"] == {"bug": 18, "config": 5, "enhance": 0,
+                             "n/a": 0, "total": 23}
+    assert counts["LUB"] == {"bug": 23, "config": 4, "enhance": 1,
+                             "n/a": 0, "total": 28}
+    assert counts["EUB"] == {"bug": 8, "config": 18, "enhance": 5,
+                             "n/a": 3, "total": 34}
+    assert counts["N/A"] == {"bug": 0, "config": 0, "enhance": 0,
+                             "n/a": 12, "total": 12}
+    assert sum(row["total"] for row in counts.values()) == 109
+
+
+def test_targets_sum_to_109():
+    assert sum(TABLE2_TARGETS.values()) == 109
+
+
+def test_findings_match_paper():
+    clear_share, bug_share, eub_nonbug = prevalence_findings()
+    assert clear_share == pytest.approx(0.58, abs=0.01)  # Finding 1
+    assert bug_share == pytest.approx(0.80, abs=0.02)  # Finding 2
+    assert eub_nonbug == pytest.approx(0.77, abs=0.02)
+
+
+def test_paper_cited_cases_present_and_flagged():
+    cited = [c for c in CASES if c.provenance == "paper-cited"]
+    assert len(cited) >= 20
+    names = {c.app for c in cited}
+    assert {"K-9 Mail", "Kontalk", "BetterWeather", "TapAndTurn"} <= names
+    reconstructed = [c for c in CASES if c.provenance == "reconstructed"]
+    assert len(cited) + len(reconstructed) == 109
+
+
+def test_fab_cases_are_gps_only():
+    # Table 1: only GPS can exhibit Frequent-Ask.
+    fab = [c for c in CASES if c.behavior is BehaviorType.FAB]
+    assert fab
+    assert all(c.resource == "gps" for c in fab)
+
+
+def test_root_causes_valid():
+    assert all(isinstance(c.root_cause, RootCause) for c in CASES)
+
+
+def test_table1_matrix_matches_paper():
+    matrix = applicability_matrix()
+    assert matrix["GPS"][BehaviorType.FAB] == "yes"
+    assert matrix["CPU, Screen, Wi-Fi radio, Audio"][BehaviorType.FAB] \
+        == "no"
+    assert matrix["Sensors, Bluetooth"][BehaviorType.LHB] == "yes*"
+    assert matrix["GPS"][BehaviorType.LHB] == "yes*"
+    for group in matrix:
+        assert matrix[group][BehaviorType.NORMAL] == "yes"
+        assert matrix[group][BehaviorType.EUB] == "yes"
+
+
+def test_can_exhibit_helper():
+    assert can_exhibit("GPS", BehaviorType.FAB)
+    assert not can_exhibit("CPU, Screen, Wi-Fi radio, Audio",
+                           BehaviorType.FAB)
+    assert can_exhibit("Sensors, Bluetooth", BehaviorType.LHB)
+
+
+def test_query_helpers():
+    from repro.study.queries import (
+        cases_by_app,
+        cases_by_resource,
+        cases_by_source,
+        distinct_apps,
+        resource_distribution,
+        source_distribution,
+    )
+
+    k9 = cases_by_app("K-9 Mail")
+    assert len(k9) == 1 and k9[0].resource == "wakelock"
+    assert len(cases_by_source("github")) > 10
+    gps = cases_by_resource("gps")
+    assert all(c.resource == "gps" for c in gps)
+    dist = resource_distribution()
+    assert sum(dist.values()) == 109
+    assert dist["gps"] >= 12  # at least every FAB case
+    assert sum(source_distribution().values()) == 109
+    apps = distinct_apps()
+    assert 30 < len(apps) <= 109
+
+
+def test_export_csv(tmp_path):
+    import csv as csv_module
+
+    from repro.study.queries import export_csv
+
+    path = export_csv(str(tmp_path / "cases.csv"))
+    with open(path) as handle:
+        rows = list(csv_module.DictReader(handle))
+    assert len(rows) == 109
+    assert rows[0]["app"]
+    behaviors = {row["behavior"] for row in rows}
+    assert {"frequent-ask", "long-holding", "low-utility",
+            "excessive-use", "n/a"} == behaviors
+
+
+def test_resource_crosstab_sums_to_109():
+    from repro.experiments.study_tables import render_resource_crosstab
+
+    text = render_resource_crosstab()
+    assert "gps" in text
+    # The Total column across all resource rows must sum to 109.
+    totals = [int(line.split()[-1]) for line in text.splitlines()[3:]]
+    assert sum(totals) == 109

@@ -1,0 +1,52 @@
+"""Golden-output tests: deterministic artifacts rendered verbatim.
+
+Everything here is seed- and float-deterministic, so the rendered text
+must be byte-stable across runs and platforms. If one of these fails
+after an intentional change, re-bless by updating the expected strings.
+"""
+
+from repro.core.policy import waste_reduction_ratio
+from repro.experiments.runner import format_table
+from repro.experiments.study_tables import render_table1
+
+
+def test_golden_table1():
+    expected = (
+        "Table 1: energy misbehaviour applicability per resource "
+        "(yes* = different semantic)\n"
+        "Resource                         FAB  LHB   LUB  EUB  Normal\n"
+        "-------------------------------  ---  ----  ---  ---  ------\n"
+        "CPU, Screen, Wi-Fi radio, Audio  no   yes   yes  yes  yes   \n"
+        "GPS                              yes  yes*  yes  yes  yes   \n"
+        "Sensors, Bluetooth               no   yes*  yes  yes  yes   "
+    )
+    assert render_table1() == expected
+
+
+def test_golden_format_table():
+    expected = (
+        "a    bee \n"
+        "---  ----\n"
+        "1    2.50\n"
+        "xyz  4.00"
+    )
+    assert format_table(["a", "bee"], [[1, 2.5], ["xyz", 4.0]]) == expected
+
+
+def test_golden_closed_form_values():
+    assert "{:.6f}".format(waste_reduction_ratio(1)) == "0.500000"
+    assert "{:.6f}".format(waste_reduction_ratio(5)) == "0.833333"
+
+
+def test_golden_study_counts_stable():
+    from repro.study.cases import CASES
+
+    fingerprint = ",".join(
+        "{}:{}:{}".format(c.case_id, c.behavior.value if c.behavior
+                          else "na", c.root_cause.value)
+        for c in CASES[:5]
+    )
+    assert fingerprint == (
+        "1:low-utility:bug,2:long-holding:bug,3:frequent-ask:bug,"
+        "4:long-holding:bug,5:long-holding:bug"
+    )
