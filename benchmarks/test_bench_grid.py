@@ -1,0 +1,93 @@
+"""Grid-runner benchmark: serial vs parallel vs warm-cache wall time.
+
+Records the measurements into ``results/BENCH_grid.json``:
+
+- the Table 5 grid at jobs=1 vs jobs=4 (the parallel speedup is bounded
+  by the machine's core count -- ``cpu_count`` is recorded alongside so
+  a 1-core box reporting ~1x is interpretable);
+- a warm-cache re-run of the same grid (must be >=2x faster -- cache
+  hits perform zero simulation);
+- the ledger micro-benchmark: ``app_total_mj`` latency at 8 vs 512
+  rails (running totals make it O(1), so it must not scale with rails).
+"""
+
+import json
+import os
+import time
+
+from repro.apps.buggy import BUGGY_CASES
+from repro.device.power import EnergyLedger
+from repro.experiments import table5
+from repro.experiments.grid import GridRunner
+
+#: Simulated minutes per case: scaled up so per-job compute dominates
+#: pool startup, mirroring production-size sweeps.
+MINUTES = 150.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _ledger_query_latency(rail_count, queries=20000):
+    ledger = EnergyLedger()
+    for index in range(rail_count):
+        ledger.add(1000, "rail{}".format(index), 1.0)
+    ledger.add(7, "cpu", 1.0)
+    start = time.perf_counter()
+    for __ in range(queries):
+        ledger.app_total_mj(7)
+    return (time.perf_counter() - start) / queries
+
+
+def test_bench_grid_speedup(results_path, tmp_path):
+    cases = BUGGY_CASES
+    cache_dir = str(tmp_path / "grid-cache")
+
+    serial_rows, serial_s = _timed(
+        lambda: table5.run(cases=cases, minutes=MINUTES,
+                           runner=GridRunner(jobs=1)))
+
+    cold = GridRunner(jobs=4, cache=cache_dir)
+    parallel_rows, parallel_s = _timed(
+        lambda: table5.run(cases=cases, minutes=MINUTES, runner=cold))
+    assert table5.render(parallel_rows) == table5.render(serial_rows)
+    assert cold.stats.executed == len(cases) * len(table5.MITIGATIONS)
+
+    warm = GridRunner(jobs=4, cache=cache_dir)
+    warm_rows, warm_s = _timed(
+        lambda: table5.run(cases=cases, minutes=MINUTES, runner=warm))
+    assert table5.render(warm_rows) == table5.render(serial_rows)
+    assert warm.stats.executed == 0, "warm cache must run no simulations"
+
+    small = _ledger_query_latency(8)
+    large = _ledger_query_latency(512)
+
+    payload = {
+        "grid": "table5",
+        "cases": len(cases),
+        "jobs_parallel": 4,
+        "minutes_per_case": MINUTES,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "warm_cache_s": round(warm_s, 3),
+        "cache_speedup": round(serial_s / warm_s, 2),
+        "ledger_app_total_us_8_rails": round(small * 1e6, 3),
+        "ledger_app_total_us_512_rails": round(large * 1e6, 3),
+        "ledger_scaling_ratio": round(large / small, 2),
+    }
+    with open(results_path("BENCH_grid.json"), "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    # A warm cache re-runs nothing, so it must beat serial comfortably.
+    assert serial_s / warm_s >= 2.0
+    # O(1) running totals: latency must not scale with the rail count.
+    assert large / small < 8.0
+    # Fan-out only pays on multi-core hardware; gate there, record anywhere.
+    if (os.cpu_count() or 1) >= 4 and cold.stats.pool_fallbacks == 0:
+        assert serial_s / parallel_s >= 2.0

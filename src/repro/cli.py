@@ -1,6 +1,7 @@
 """Command-line interface: run any paper experiment from the shell.
 
     python -m repro table5
+    python -m repro table5 --jobs 4            # fan out over 4 workers
     python -m repro fig9
     python -m repro usability --minutes 20
     python -m repro all --out results/
@@ -8,6 +9,12 @@
 Each subcommand maps to one :mod:`repro.experiments` harness and prints
 the paper-style table/series; ``--out DIR`` additionally writes the text
 artifact into DIR.
+
+Grid-shaped experiments accept ``--jobs N`` (parallel workers; default 1
+== serial, or the ``REPRO_JOBS`` environment variable), ``--no-cache``
+(disable the on-disk result cache) and ``--cache-dir DIR`` (default
+``results/.cache``). Cached jobs are keyed by a content hash of the job
+spec, so a warm re-run performs no fresh simulation.
 """
 
 import argparse
@@ -15,10 +22,20 @@ import os
 import sys
 
 
+def _grid_runner(args):
+    """The per-invocation GridRunner built from --jobs/--no-cache/
+    --cache-dir (cached on args so 'all' shares one runner)."""
+    if getattr(args, "grid_runner", None) is None:
+        from repro.experiments.grid import runner_from_args
+
+        args.grid_runner = runner_from_args(args)
+    return args.grid_runner
+
+
 def _cmd_table5(args):
     from repro.experiments import table5
 
-    rows = table5.run(minutes=args.minutes)
+    rows = table5.run(minutes=args.minutes, runner=_grid_runner(args))
     return "table5_buggy_apps.txt", table5.render(rows)
 
 
@@ -42,7 +59,7 @@ def _cmd_fig12(args):
     from repro.experiments import lambda_sweep
 
     return "fig12_lambda_sweep.txt", lambda_sweep.render(
-        lambda_sweep.run()
+        lambda_sweep.run(runner=_grid_runner(args))
     )
 
 
@@ -77,7 +94,9 @@ def _cmd_usability(args):
 def _cmd_battery(args):
     from repro.experiments import battery_life
 
-    return "battery_life_7_6.txt", battery_life.render(battery_life.run())
+    return "battery_life_7_6.txt", battery_life.render(
+        battery_life.run(runner=_grid_runner(args))
+    )
 
 
 def _cmd_study(args):
@@ -96,14 +115,16 @@ def _cmd_characterization(args):
 
     buffer = io.StringIO()
     with redirect_stdout(buffer):
-        characterization.main()
+        characterization.main(runner=_grid_runner(args))
     return "characterization_figs1_4.txt", buffer.getvalue()
 
 
 def _cmd_ablations(args):
     from repro.experiments import ablations
 
-    return "ablations.txt", ablations.render(ablations.run())
+    return "ablations.txt", ablations.render(
+        ablations.run(runner=_grid_runner(args))
+    )
 
 
 def _cmd_extensions(args):
@@ -115,8 +136,10 @@ def _cmd_extensions(args):
 def _cmd_robustness(args):
     from repro.experiments import robustness
 
+    runner = _grid_runner(args)
     return "robustness.txt", robustness.render(
-        robustness.seed_sweep(), robustness.profile_sweep()
+        robustness.seed_sweep(runner=runner),
+        robustness.profile_sweep(runner=runner),
     )
 
 
@@ -144,7 +167,7 @@ def _cmd_zoo(args):
     from repro.experiments import baseline_zoo
 
     return "baseline_zoo.txt", baseline_zoo.render(
-        baseline_zoo.run(minutes=args.minutes)
+        baseline_zoo.run(minutes=args.minutes, runner=_grid_runner(args))
     )
 
 
@@ -202,6 +225,17 @@ def build_parser():
     parser.add_argument("--out", metavar="DIR", default=None,
                         help="also write the artifact text into DIR")
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_grid_args(sub):
+        sub.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="parallel simulation workers (default: "
+                              "serial; env REPRO_JOBS)")
+        sub.add_argument("--no-cache", action="store_true",
+                         help="disable the on-disk result cache")
+        sub.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="result cache directory (default: "
+                              "results/.cache; env REPRO_CACHE_DIR)")
+
     for name, (__, help_text) in COMMANDS.items():
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("--minutes", type=float, default=30.0,
@@ -210,17 +244,20 @@ def build_parser():
         # working: the subparser only overrides when given explicitly.
         sub.add_argument("--out", metavar="DIR", default=argparse.SUPPRESS,
                          help="also write the artifact text into DIR")
+        add_grid_args(sub)
     all_parser = subparsers.add_parser(
         "all", help="run every experiment in sequence")
     all_parser.add_argument("--minutes", type=float, default=30.0)
     all_parser.add_argument("--out", metavar="DIR",
                             default=argparse.SUPPRESS)
+    add_grid_args(all_parser)
     return parser
 
 
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
+    args.grid_runner = None  # built lazily by grid-aware subcommands
     names = list(COMMANDS) if args.command == "all" else [args.command]
     for name in names:
         handler, __ = COMMANDS[name]
@@ -233,6 +270,11 @@ def main(argv=None):
             with open(path, "w") as handle:
                 handle.write(text + "\n")
             print("[written to {}]".format(path), file=sys.stderr)
+    if args.grid_runner is not None and args.grid_runner.stats.submitted:
+        stats = args.grid_runner.stats
+        print("[grid: {} jobs, {} executed, {} cache hits, jobs={}]"
+              .format(stats.submitted, stats.executed, stats.cache_hits,
+                      args.grid_runner.jobs), file=sys.stderr)
     return 0
 
 

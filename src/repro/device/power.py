@@ -18,36 +18,45 @@ SYSTEM_UID = 1000
 
 
 class EnergyLedger:
-    """Accumulated energy per (uid, rail) in millijoules."""
+    """Accumulated energy per (uid, rail) in millijoules.
+
+    Alongside the raw (uid, rail) map the ledger maintains per-uid,
+    per-rail and grand running totals, so the hot queries
+    (:meth:`app_total_mj`, :meth:`by_app`, :meth:`total_mj`) are O(1)
+    in the number of rails instead of scanning every key.
+    """
 
     def __init__(self):
         self._energy_mj = defaultdict(float)  # (uid, rail) -> mJ
+        self._by_uid = defaultdict(float)  # uid -> mJ
+        self._by_rail = defaultdict(float)  # rail -> mJ
+        self._total_mj = 0.0
 
     def add(self, uid, rail, energy_mj):
         if energy_mj < 0:
             raise ValueError("energy must be non-negative, got {}".format(energy_mj))
         self._energy_mj[(uid, rail)] += energy_mj
+        self._by_uid[uid] += energy_mj
+        self._by_rail[rail] += energy_mj
+        self._total_mj += energy_mj
 
     def total_mj(self):
         """Total energy consumed by the whole device, in mJ."""
-        return sum(self._energy_mj.values())
+        return self._total_mj
 
     def app_total_mj(self, uid):
         """Total energy attributed to ``uid`` across all rails, in mJ."""
-        return sum(e for (u, __), e in self._energy_mj.items() if u == uid)
+        return self._by_uid.get(uid, 0.0)
 
     def app_rail_mj(self, uid, rail):
         return self._energy_mj.get((uid, rail), 0.0)
 
     def rail_total_mj(self, rail):
-        return sum(e for (__, r), e in self._energy_mj.items() if r == rail)
+        return self._by_rail.get(rail, 0.0)
 
     def by_app(self):
         """Mapping of uid -> total mJ."""
-        totals = defaultdict(float)
-        for (uid, __), energy in self._energy_mj.items():
-            totals[uid] += energy
-        return dict(totals)
+        return dict(self._by_uid)
 
     def snapshot(self):
         """A copy of the raw (uid, rail) -> mJ mapping."""
@@ -77,6 +86,9 @@ class PowerMonitor:
         self.battery = battery
         self.ledger = EnergyLedger()
         self._rails = defaultdict(_Rail)
+        #: Rails with a positive draw -- the only ones settle() must
+        #: integrate (zero rails stay registered but cost nothing).
+        self._drawing = {}
         self._last_settle = sim.now
 
     # -- rail manipulation -------------------------------------------------
@@ -86,13 +98,26 @@ class PowerMonitor:
 
         ``owners`` is an iterable of UIDs the draw is split across; empty
         means the system. A draw of 0 keeps the rail registered but free.
+        Re-asserting an unchanged draw and owner set is a no-op (no
+        settle), which keeps chatty callers off the integration path.
         """
         if power_mw < 0:
             raise ValueError("rail power must be >= 0, got {}".format(power_mw))
+        power_mw = float(power_mw)
+        owners = tuple(owners)
+        state = self._rails.get(rail)
+        if state is not None and state.power_mw == power_mw \
+                and state.owners == owners:
+            return
         self.settle()
-        state = self._rails[rail]
-        state.power_mw = float(power_mw)
-        state.owners = tuple(owners)
+        if state is None:
+            state = self._rails[rail]
+        state.power_mw = power_mw
+        state.owners = owners
+        if power_mw > 0.0:
+            self._drawing[rail] = state
+        else:
+            self._drawing.pop(rail, None)
 
     def clear_rail(self, rail):
         """Zero a rail (same as ``set_rail(rail, 0.0)``)."""
@@ -107,16 +132,18 @@ class PowerMonitor:
     # -- integration -------------------------------------------------------
 
     def settle(self):
-        """Integrate all rails from the last settle point to now."""
+        """Integrate all drawing rails from the last settle point to now."""
         now = self.sim.now
+        if now == self._last_settle:
+            return
         elapsed = now - self._last_settle
-        if elapsed <= 0:
+        if elapsed <= 0 or not self._drawing:
+            # Nothing drew over the interval: advance the settle point
+            # without walking the rail table.
             self._last_settle = now
             return
         drained_mj = 0.0
-        for rail, state in self._rails.items():
-            if state.power_mw <= 0.0:
-                continue
+        for rail, state in self._drawing.items():
             energy_mj = state.power_mw * elapsed  # mW == mJ/s
             drained_mj += energy_mj
             owners = state.owners or (SYSTEM_UID,)
@@ -140,15 +167,13 @@ class PowerMonitor:
     # -- queries -----------------------------------------------------------
 
     def instantaneous_power_mw(self):
-        """Current total system draw in mW (sum of all rails)."""
-        return sum(s.power_mw for s in self._rails.values())
+        """Current total system draw in mW (sum of all drawing rails)."""
+        return sum(s.power_mw for s in self._drawing.values())
 
     def app_power_mw(self, uid):
         """Current draw attributed to ``uid`` in mW."""
         total = 0.0
-        for state in self._rails.values():
-            if state.power_mw <= 0:
-                continue
+        for state in self._drawing.values():
             owners = state.owners or (SYSTEM_UID,)
             if uid in owners:
                 total += state.power_mw / len(owners)

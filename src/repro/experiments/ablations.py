@@ -24,6 +24,7 @@ from repro.droid.app import App
 from repro.droid.exceptions import AppException
 from repro.droid.phone import Phone
 from repro.droid.resources import ResourceType
+from repro.experiments.grid import FuncSpec, GridRunner
 from repro.experiments.runner import format_table, reduction_pct
 from repro.mitigation import LeaseOS
 
@@ -45,29 +46,66 @@ def _app_power(app_factory, policy, minutes=20.0, seed=53, **phone_kwargs):
     return phone, app, phone.power_since(mark, app.uid)
 
 
-def ablate_escalation(minutes=20.0, seed=53):
+def _torch_power_job(escalate, minutes, seed):
+    """Torch power: unmitigated (escalate=None) or fixed/escalating τ."""
+    policy = None if escalate is None \
+        else LeasePolicy(escalation_enabled=escalate)
+    __, __, power = _app_power(Torch, policy, minutes, seed)
+    return power
+
+
+def _adaptive_job(adaptive, minutes, seed):
+    policy = LeasePolicy(adaptive_enabled=adaptive)
+    phone, __, __ = _app_power(Spotify, policy, minutes, seed)
+    return float(phone.lease_manager.op_counts["update"])
+
+
+def _guard_job(floor, minutes, seed):
+    policy = LeasePolicy(custom_utility_floor=floor)
+    phone, app, __ = _app_power(_LyingApp, policy, minutes, seed)
+    return float(sum(l.deferral_count
+                     for l in phone.lease_manager.leases_for(app.uid)))
+
+
+def _smoothing_job(terms, minutes, seed):
+    policy = LeasePolicy(utility_smoothing_terms=terms)
+    phone, app, __ = _app_power(Haven, policy, minutes, seed)
+    return float(sum(l.deferral_count
+                     for l in phone.lease_manager.leases_for(app.uid)))
+
+
+def ablate_escalation(minutes=20.0, seed=53, runner=None):
     """Reduction on a persistent LHB app, fixed vs escalating deferral."""
-    __, __, vanilla = _app_power(Torch, None, minutes, seed)
-    rows = []
-    for label, escalate in (("fixed tau", False), ("escalating tau", True)):
-        policy = LeasePolicy(escalation_enabled=escalate)
-        __, __, power = _app_power(Torch, policy, minutes, seed)
-        rows.append(AblationRow("escalation", label, "reduction %",
-                                reduction_pct(vanilla, power)))
-    return rows
+    runner = runner if runner is not None else GridRunner()
+    variants = (("fixed tau", False), ("escalating tau", True))
+    specs = [FuncSpec.make(_torch_power_job, escalate=None,
+                           minutes=minutes, seed=seed)]
+    specs.extend(FuncSpec.make(_torch_power_job, escalate=escalate,
+                               minutes=minutes, seed=seed)
+                 for __, escalate in variants)
+    results = runner.run(specs)
+    vanilla = results[0]
+    return [
+        AblationRow("escalation", label, "reduction %",
+                    reduction_pct(vanilla, power))
+        for (label, __), power in zip(variants, results[1:])
+    ]
 
 
-def ablate_adaptive_terms(minutes=30.0, seed=53):
+def ablate_adaptive_terms(minutes=30.0, seed=53, runner=None):
     """Lease-stat updates for a normal app, fixed vs adaptive terms."""
-    rows = []
-    for label, adaptive in (("fixed 5 s term", False),
-                            ("adaptive terms", True)):
-        policy = LeasePolicy(adaptive_enabled=adaptive)
-        phone, __, __ = _app_power(Spotify, policy, minutes, seed)
-        updates = phone.lease_manager.op_counts["update"]
-        rows.append(AblationRow("adaptive terms", label,
-                                "stat updates / 30 min", float(updates)))
-    return rows
+    runner = runner if runner is not None else GridRunner()
+    variants = (("fixed 5 s term", False), ("adaptive terms", True))
+    results = runner.run([
+        FuncSpec.make(_adaptive_job, adaptive=adaptive, minutes=minutes,
+                      seed=seed)
+        for __, adaptive in variants
+    ])
+    return [
+        AblationRow("adaptive terms", label, "stat updates / 30 min",
+                    updates)
+        for (label, __), updates in zip(variants, results)
+    ]
 
 
 class _LyingCounter(UtilityCounter):
@@ -98,44 +136,43 @@ class _LyingApp(App):
             yield self.sleep(0.3)
 
 
-def ablate_custom_utility_guard(minutes=20.0, seed=53):
+def ablate_custom_utility_guard(minutes=20.0, seed=53, runner=None):
     """Deferral count for a lying app, with and without the floor guard."""
-    rows = []
-    for label, floor in (("guard on (floor 20)", 20.0),
-                         ("guard off (floor 0)", 0.0)):
-        policy = LeasePolicy(custom_utility_floor=floor)
-        phone, app, __ = _app_power(_LyingApp, policy, minutes, seed)
-        deferrals = sum(
-            l.deferral_count
-            for l in phone.lease_manager.leases_for(app.uid)
-        )
-        rows.append(AblationRow("custom-utility guard", label,
-                                "deferrals", float(deferrals)))
-    return rows
+    runner = runner if runner is not None else GridRunner()
+    variants = (("guard on (floor 20)", 20.0), ("guard off (floor 0)", 0.0))
+    results = runner.run([
+        FuncSpec.make(_guard_job, floor=floor, minutes=minutes, seed=seed)
+        for __, floor in variants
+    ])
+    return [
+        AblationRow("custom-utility guard", label, "deferrals", deferrals)
+        for (label, __), deferrals in zip(variants, results)
+    ]
 
 
-def ablate_smoothing(minutes=20.0, seed=53):
+def ablate_smoothing(minutes=20.0, seed=53, runner=None):
     """Wrongful deferrals of a slow-cadence useful app vs smoothing."""
-    rows = []
-    for label, terms in (("no smoothing (1 term)", 1),
-                         ("smoothing (12 terms)", 12)):
-        policy = LeasePolicy(utility_smoothing_terms=terms)
-        phone, app, __ = _app_power(Haven, policy, minutes, seed)
-        deferrals = sum(
-            l.deferral_count
-            for l in phone.lease_manager.leases_for(app.uid)
-        )
-        rows.append(AblationRow("utility smoothing", label,
-                                "wrongful deferrals", float(deferrals)))
-    return rows
+    runner = runner if runner is not None else GridRunner()
+    variants = (("no smoothing (1 term)", 1), ("smoothing (12 terms)", 12))
+    results = runner.run([
+        FuncSpec.make(_smoothing_job, terms=terms, minutes=minutes,
+                      seed=seed)
+        for __, terms in variants
+    ])
+    return [
+        AblationRow("utility smoothing", label, "wrongful deferrals",
+                    deferrals)
+        for (label, __), deferrals in zip(variants, results)
+    ]
 
 
-def run():
+def run(runner=None):
+    runner = runner if runner is not None else GridRunner()
     rows = []
-    rows.extend(ablate_escalation())
-    rows.extend(ablate_adaptive_terms())
-    rows.extend(ablate_custom_utility_guard())
-    rows.extend(ablate_smoothing())
+    rows.extend(ablate_escalation(runner=runner))
+    rows.extend(ablate_adaptive_terms(runner=runner))
+    rows.extend(ablate_custom_utility_guard(runner=runner))
+    rows.extend(ablate_smoothing(runner=runner))
     return rows
 
 

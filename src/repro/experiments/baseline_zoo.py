@@ -13,39 +13,40 @@ spot in one table:
 - the utilitarian lease contains all three bug classes.
 """
 
-from repro.apps.buggy import CASES_BY_KEY
-from repro.experiments.runner import format_table, run_case
-from repro.mitigation import (
-    Amplify,
-    BatterySaver,
-    DefDroid,
-    Doze,
-    LeaseOS,
-    TimedThrottle,
-)
+from repro.experiments.grid import GridRunner, JobSpec
+from repro.experiments.runner import format_table
 
 CASE_KEYS = ("torch", "connectbot-screen", "betterweather")
 
+#: Display name -> grid-registry mitigation name.
 MITIGATIONS = (
-    ("vanilla", lambda: None),
-    ("LeaseOS", LeaseOS),
-    ("Doze*", lambda: Doze(aggressive=True)),
-    ("DefDroid", DefDroid),
-    ("Amplify", Amplify),
-    ("TimedThrottle", TimedThrottle),
-    ("BatterySaver", lambda: BatterySaver(threshold_level=0.15)),
+    ("vanilla", "vanilla"),
+    ("LeaseOS", "leaseos"),
+    ("Doze*", "doze-aggressive"),
+    ("DefDroid", "defdroid"),
+    ("Amplify", "amplify"),
+    ("TimedThrottle", "throttle"),
+    ("BatterySaver", "battery-saver-full"),
 )
 
 
-def run(minutes=20.0, seed=83, case_keys=CASE_KEYS):
+def run(minutes=20.0, seed=83, case_keys=CASE_KEYS, runner=None):
     """Returns {(case, mitigation): mW}. Battery Saver runs at a full
     battery, so its (non-)effect at normal charge is what shows."""
+    runner = runner if runner is not None else GridRunner()
+    specs = [
+        JobSpec.make(key, mitigation=grid_name, minutes=minutes,
+                     seed=seed)
+        for key in case_keys
+        for __, grid_name in MITIGATIONS
+    ]
+    results = runner.run(specs)
     grid = {}
+    index = 0
     for key in case_keys:
-        case = CASES_BY_KEY[key]
-        for name, factory in MITIGATIONS:
-            result = run_case(case, factory, minutes=minutes, seed=seed)
-            grid[(key, name)] = result.app_power_mw
+        for name, __ in MITIGATIONS:
+            grid[(key, name)] = results[index].app_power_mw
+            index += 1
     return grid
 
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.apps.buggy.gps_apps import GPSLogger
 from repro.apps.normal.interactive import InteractiveApp
 from repro.droid.phone import Phone
-from repro.mitigation import LeaseOS
+from repro.experiments.grid import FuncSpec, GridRunner
 
 
 @dataclass
@@ -82,19 +82,38 @@ def _run_day(mitigation, seed, battery_level, max_hours,
     return phone.sim.now / 3600.0
 
 
-def run(seed=47, battery_level=0.52, max_hours=48.0, with_saver=False):
+def _day_job(regime, seed, battery_level, max_hours):
+    """One scripted day under one regime; returns hours until empty."""
+    if regime == "vanilla":
+        mitigation = None
+    elif regime == "leaseos":
+        from repro.mitigation import LeaseOS
+
+        mitigation = LeaseOS()
+    elif regime == "saver":
+        from repro.mitigation import BatterySaver
+
+        mitigation = BatterySaver()
+    else:
+        raise ValueError("unknown regime {!r}".format(regime))
+    return _run_day(mitigation, seed, battery_level, max_hours)
+
+
+def run(seed=47, battery_level=0.52, max_hours=48.0, with_saver=False,
+        runner=None):
     """Hours until empty, vanilla vs LeaseOS (vs Battery Saver with
     ``with_saver``). ``battery_level`` scales capacity so the vanilla
     run lands near the paper's ~12 h."""
-    hours_vanilla = _run_day(None, seed, battery_level, max_hours)
-    hours_leaseos = _run_day(LeaseOS(), seed, battery_level, max_hours)
-    hours_saver = None
-    if with_saver:
-        from repro.mitigation import BatterySaver
-
-        hours_saver = _run_day(BatterySaver(), seed, battery_level,
-                               max_hours)
-    return BatteryLifeResult(hours_vanilla, hours_leaseos, hours_saver)
+    runner = runner if runner is not None else GridRunner()
+    regimes = ["vanilla", "leaseos"] + (["saver"] if with_saver else [])
+    specs = [
+        FuncSpec.make(_day_job, regime=regime, seed=seed,
+                      battery_level=battery_level, max_hours=max_hours)
+        for regime in regimes
+    ]
+    hours = runner.run(specs)
+    hours_saver = hours[2] if with_saver else None
+    return BatteryLifeResult(hours[0], hours[1], hours_saver)
 
 
 def render(result):

@@ -27,6 +27,7 @@ from repro.device.profiles import (
 )
 from repro.droid.phone import Phone
 from repro.env.network import ServerMode
+from repro.experiments.grid import FuncSpec, GridRunner
 from repro.profiling.trepn import TrepnSampler
 
 #: The five §2.1 study phones (the Nexus 5X is the §7.1 Monsoon rig).
@@ -62,14 +63,23 @@ def fig2_k9_bad_server(minutes=55.0, seed=13):
                         seed, configure)
 
 
-def fig3_kontalk(minutes=55.0, seed=13):
+def _kontalk_job(profile_name, minutes, seed):
+    from repro.device.profiles import PROFILES
+
+    return _profile_app(Kontalk(), minutes, PROFILES[profile_name], seed)
+
+
+def fig3_kontalk(minutes=55.0, seed=13, runner=None):
     """Kontalk on two phones: {profile name: samples}."""
-    results = {}
-    for profile in (NEXUS_6, GALAXY_S4):
-        results[profile.name] = _profile_app(
-            Kontalk(), minutes, profile, seed
-        )
-    return results
+    runner = runner if runner is not None else GridRunner()
+    profiles = (NEXUS_6, GALAXY_S4)
+    samples = runner.run([
+        FuncSpec.make(_kontalk_job, profile_name=profile.name,
+                      minutes=minutes, seed=seed)
+        for profile in profiles
+    ])
+    return {profile.name: rows
+            for profile, rows in zip(profiles, samples)}
 
 
 def fig4_k9_disconnected(minutes=12.0, seed=13):
@@ -81,7 +91,21 @@ def fig4_k9_disconnected(minutes=12.0, seed=13):
                         seed, configure)
 
 
-def five_phone_study(minutes=15.0, seed=13):
+def _study_phone_job(profile_name, minutes, seed):
+    """K-9 vs failing server on one phone: (mean hold, mean CPU)."""
+    from repro.device.profiles import PROFILES
+
+    def configure(phone):
+        phone.env.network.set_server("mail-server", ServerMode.ERROR)
+
+    samples = _profile_app(K9Mail(scenario="bad_server"), minutes,
+                           PROFILES[profile_name], seed, configure)
+    mean_hold = statistics.mean(s.wakelock_time for s in samples)
+    mean_cpu = statistics.mean(s.cpu_time for s in samples)
+    return (mean_hold, mean_cpu)
+
+
+def five_phone_study(minutes=15.0, seed=13, runner=None):
     """The §2.1 setup: the same buggy app on all five study phones.
 
     Runs the Fig. 2 scenario (K-9 vs a failing mail server) on each
@@ -89,17 +113,14 @@ def five_phone_study(minutes=15.0, seed=13):
     exceptions/min)} -- absolute values vary with the ecosystem, the
     ultralow-utilization *pattern* does not (the paper's §2.3 point).
     """
-    results = {}
-    for profile in STUDY_PHONES:
-        def configure(phone):
-            phone.env.network.set_server("mail-server", ServerMode.ERROR)
-
-        samples = _profile_app(K9Mail(scenario="bad_server"), minutes,
-                               profile, seed, configure)
-        mean_hold = statistics.mean(s.wakelock_time for s in samples)
-        mean_cpu = statistics.mean(s.cpu_time for s in samples)
-        results[profile.name] = (mean_hold, mean_cpu)
-    return results
+    runner = runner if runner is not None else GridRunner()
+    results = runner.run([
+        FuncSpec.make(_study_phone_job, profile_name=profile.name,
+                      minutes=minutes, seed=seed)
+        for profile in STUDY_PHONES
+    ])
+    return {profile.name: measured
+            for profile, measured in zip(STUDY_PHONES, results)}
 
 
 def render_five_phone(results):
@@ -118,7 +139,18 @@ def render_five_phone(results):
     )
 
 
-def cross_phone_variability(minutes=10.0, seed=13):
+def _variability_job(profile_name, minutes, seed):
+    from repro.device.profiles import PROFILES
+
+    phone = Phone(profile=PROFILES[profile_name], seed=seed,
+                  connected=False, ambient=False)
+    app = K9Mail(scenario="disconnected")
+    phone.install(app)
+    phone.run_for(minutes=minutes)
+    return phone.exceptions.total(app.uid) / minutes
+
+
+def cross_phone_variability(minutes=10.0, seed=13, runner=None):
     """§2.3's cross-ecosystem observation: the same buggy app's absolute
     behaviour differs ~2x between a high-end and a low-end phone.
 
@@ -126,15 +158,15 @@ def cross_phone_variability(minutes=10.0, seed=13):
     {profile name: exceptions per minute} -- each retry cycle raises one
     exception, and cycles take ~2x longer on the slow phone.
     """
-    rates = {}
-    for profile in (PIXEL_XL, MOTO_G):
-        phone = Phone(profile=profile, seed=seed, connected=False,
-                      ambient=False)
-        app = K9Mail(scenario="disconnected")
-        phone.install(app)
-        phone.run_for(minutes=minutes)
-        rates[profile.name] = phone.exceptions.total(app.uid) / minutes
-    return rates
+    runner = runner if runner is not None else GridRunner()
+    profiles = (PIXEL_XL, MOTO_G)
+    rates = runner.run([
+        FuncSpec.make(_variability_job, profile_name=profile.name,
+                      minutes=minutes, seed=seed)
+        for profile in profiles
+    ])
+    return {profile.name: rate
+            for profile, rate in zip(profiles, rates)}
 
 
 def render_series(samples, fields):
@@ -154,7 +186,7 @@ def render_series(samples, fields):
     return "\n".join(lines)
 
 
-def main():
+def main(runner=None):
     print("Fig. 1 - BetterWeather GPS try duration (s per 60 s):")
     print(render_series(fig1_betterweather(), ["gps_search_time",
                                                "gps_fixes"]))
@@ -162,7 +194,7 @@ def main():
     print(render_series(fig2_k9_bad_server(),
                         ["wakelock_time", "cpu_time"]))
     print("\nFig. 3 - Kontalk on two phones:")
-    for name, samples in fig3_kontalk().items():
+    for name, samples in fig3_kontalk(runner=runner).items():
         print(" ", name)
         print(render_series(samples, ["wakelock_time",
                                       "cpu_over_wakelock"]))

@@ -1,0 +1,482 @@
+"""Parallel experiment grid runner with deterministic result caching.
+
+Every headline artifact of the reproduction (Table 5, the sweeps, the
+robustness seeds, the battery projection) is a grid of *independent*
+simulations. This module makes that structure first-class:
+
+- a job is a declarative, hashable spec -- either a :class:`JobSpec`
+  (one ``run_case`` invocation, referenced by case key and mitigation
+  name) or a :class:`FuncSpec` (a module-level function plus scalar
+  kwargs);
+- :class:`GridRunner` fans specs out over a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs`` argument, or the
+  ``REPRO_JOBS`` environment variable; ``jobs=1`` or an unavailable pool
+  degrades gracefully to in-process serial execution) and always returns
+  results in *spec order*, regardless of completion order;
+- completed jobs are memoised in a content-addressed on-disk cache
+  (JSON files under ``results/.cache/`` by default) keyed by a stable
+  hash of the spec plus a code-version salt, so re-running a sweep after
+  an unrelated edit is near-instant.
+
+Only the *scalar* fields of a case run cross process boundaries (see
+:class:`JobResult`); app and phone objects stay worker-local. Callers
+that need live objects (e.g. ``lease_activity`` sampling the lease
+manager) keep calling :func:`repro.experiments.runner.run_case` directly,
+or pass ``full=True`` to :meth:`GridRunner.run` which forces serial,
+uncached, in-process execution and returns full ``CaseRun`` objects.
+"""
+
+import hashlib
+import importlib
+import json
+import os
+import tempfile
+
+from dataclasses import dataclass, field, fields, is_dataclass
+from enum import Enum
+
+#: Bump when simulation semantics change in a way that invalidates cached
+#: results. Unrelated edits leave it alone, which is what makes a warm
+#: cache survive ordinary development. ``REPRO_CACHE_SALT`` adds an
+#: operator-controlled component on top.
+CODE_VERSION = "1"
+
+#: Default on-disk cache location (relative to the working directory,
+#: overridable with ``REPRO_CACHE_DIR``).
+DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
+
+
+def _mitigation_factories():
+    """Name -> factory for every mitigation a grid job can name.
+
+    Resolved lazily (and in the worker process) so importing this module
+    stays cheap and the registry never pickles factory callables.
+    """
+    from repro.mitigation import (
+        Amplify,
+        BatterySaver,
+        DefDroid,
+        Doze,
+        LeaseOS,
+        TimedThrottle,
+    )
+
+    return {
+        "vanilla": None,
+        "leaseos": LeaseOS,
+        "doze": Doze,
+        "doze-aggressive": lambda: Doze(aggressive=True),
+        "defdroid": DefDroid,
+        "amplify": Amplify,
+        "throttle": TimedThrottle,
+        "battery-saver": BatterySaver,
+        "battery-saver-full": lambda: BatterySaver(threshold_level=0.15),
+    }
+
+
+MITIGATION_NAMES = (
+    "vanilla", "leaseos", "doze", "doze-aggressive", "defdroid",
+    "amplify", "throttle", "battery-saver", "battery-saver-full",
+)
+
+
+def resolve_case(key):
+    """Look a case key up in the Table 5 registry (worker-side)."""
+    from repro.apps.buggy import CASES_BY_KEY
+
+    return CASES_BY_KEY[key]
+
+
+def resolve_mitigation_factory(name):
+    factories = _mitigation_factories()
+    if name not in factories:
+        raise KeyError("unknown mitigation {!r}; known: {}".format(
+            name, ", ".join(sorted(factories))))
+    return factories[name]
+
+
+def _import_obj(path):
+    """Import ``"package.module:Qual.Name"`` back into an object."""
+    module_name, __, qualname = path.partition(":")
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _obj_path(obj):
+    return "{}:{}".format(obj.__module__, obj.__qualname__)
+
+
+# -- JSON codec for results ---------------------------------------------------
+#
+# Cache files are JSON; results may contain tuples, enums, frozensets and
+# flat dataclasses (rows). The codec round-trips those through tagged
+# dicts so a cache hit reconstructs exactly what the worker returned.
+
+def encode_result(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Enum):
+        return {"__enum__": _obj_path(type(value)), "name": value.name}
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_result(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_result(v) for v in value]
+    if isinstance(value, (frozenset, set)):
+        items = sorted((encode_result(v) for v in value), key=repr)
+        return {"__frozenset__": items}
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": _obj_path(type(value)),
+            "fields": {
+                f.name: encode_result(getattr(value, f.name))
+                for f in fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {"__map__": [[encode_result(k), encode_result(v)]
+                            for k, v in value.items()]}
+    raise TypeError("cannot encode {!r} for the result cache".format(value))
+
+
+def decode_result(value):
+    if isinstance(value, list):
+        return [decode_result(v) for v in value]
+    if not isinstance(value, dict):
+        return value
+    if "__enum__" in value:
+        return getattr(_import_obj(value["__enum__"]), value["name"])
+    if "__tuple__" in value:
+        return tuple(decode_result(v) for v in value["__tuple__"])
+    if "__frozenset__" in value:
+        return frozenset(decode_result(v) for v in value["__frozenset__"])
+    if "__dataclass__" in value:
+        cls = _import_obj(value["__dataclass__"])
+        return cls(**{k: decode_result(v)
+                      for k, v in value["fields"].items()})
+    if "__map__" in value:
+        return {decode_result(k): decode_result(v)
+                for k, v in value["__map__"]}
+    return {k: decode_result(v) for k, v in value.items()}
+
+
+# -- job specs ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class JobResult:
+    """The scalar fields of a ``CaseRun`` -- all that crosses processes."""
+
+    case_key: str
+    mitigation: str
+    app_power_mw: float
+    system_power_mw: float
+    disruptions: int
+    observed_behaviors: frozenset = frozenset()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One declarative ``run_case`` invocation, hashable and cacheable.
+
+    ``phone_overrides`` is a sorted tuple of ``(name, value)`` pairs with
+    JSON-scalar values; device profiles are referenced by name so the
+    spec never captures live objects.
+    """
+
+    case_key: str
+    mitigation: str = "vanilla"
+    minutes: float = 30.0
+    seed: int = 7
+    warmup_s: float = 0.0
+    phone_overrides: tuple = ()
+
+    @classmethod
+    def make(cls, case, mitigation="vanilla", minutes=30.0, seed=7,
+             warmup_s=0.0, **phone_overrides):
+        """Build a spec from a case (object or key) plus overrides."""
+        key = case if isinstance(case, str) else case.key
+        normalized = []
+        for name, value in sorted(phone_overrides.items()):
+            if name == "profile" and not isinstance(value, str):
+                value = value.name
+            if not isinstance(value, (type(None), bool, int, float, str)):
+                raise TypeError(
+                    "phone override {}={!r} is not a JSON scalar; pass "
+                    "profiles by name and keep overrides declarative"
+                    .format(name, value))
+            normalized.append((name, value))
+        return cls(case_key=key, mitigation=mitigation,
+                   minutes=float(minutes), seed=int(seed),
+                   warmup_s=float(warmup_s),
+                   phone_overrides=tuple(normalized))
+
+    def cache_token(self):
+        return {
+            "kind": "case",
+            "case_key": self.case_key,
+            "mitigation": self.mitigation,
+            "minutes": self.minutes,
+            "seed": self.seed,
+            "warmup_s": self.warmup_s,
+            "phone_overrides": [list(pair) for pair in self.phone_overrides],
+        }
+
+    def _resolved_overrides(self):
+        from repro.device.profiles import PROFILES
+
+        overrides = dict(self.phone_overrides)
+        if isinstance(overrides.get("profile"), str):
+            overrides["profile"] = PROFILES[overrides["profile"]]
+        return overrides
+
+    def execute(self, full=False):
+        """Run the case. ``full=True`` returns the live ``CaseRun``."""
+        from repro.experiments.runner import run_case
+
+        case = resolve_case(self.case_key)
+        factory = resolve_mitigation_factory(self.mitigation)
+        result = run_case(case, factory, minutes=self.minutes,
+                          seed=self.seed, warmup_s=self.warmup_s,
+                          **self._resolved_overrides())
+        if full:
+            return result
+        return JobResult(
+            case_key=result.case_key,
+            mitigation=result.mitigation,
+            app_power_mw=result.app_power_mw,
+            system_power_mw=result.system_power_mw,
+            disruptions=result.disruptions,
+            observed_behaviors=result.observed_behaviors,
+        )
+
+
+@dataclass(frozen=True)
+class FuncSpec:
+    """A module-level function plus scalar kwargs, as a declarative job.
+
+    The function is referenced by import path (``module:qualname``), so
+    the spec pickles cheaply and hashes stably; the callable itself is
+    resolved inside the worker.
+    """
+
+    func: str
+    kwargs: tuple = ()
+
+    @classmethod
+    def make(cls, func, **kwargs):
+        path = func if isinstance(func, str) else _obj_path(func)
+        if not isinstance(func, str):
+            try:
+                resolved = _import_obj(path)
+            except (ImportError, AttributeError):
+                resolved = None
+            if resolved is not func:
+                raise ValueError(
+                    "{!r} is not importable as {!r}; grid jobs must be "
+                    "module-level functions".format(func, path))
+        for name, value in kwargs.items():
+            if not isinstance(value, (type(None), bool, int, float, str,
+                                      tuple)):
+                raise TypeError(
+                    "kwarg {}={!r} is not declarative (scalars and "
+                    "tuples of scalars only)".format(name, value))
+        return cls(func=path, kwargs=tuple(sorted(kwargs.items())))
+
+    def cache_token(self):
+        return {
+            "kind": "func",
+            "func": self.func,
+            "kwargs": [[k, list(v) if isinstance(v, tuple) else v]
+                       for k, v in self.kwargs],
+        }
+
+    def execute(self, full=False):
+        return _import_obj(self.func)(**dict(self.kwargs))
+
+
+def _execute_spec(spec):
+    """Module-level trampoline so specs run under a process pool."""
+    return spec.execute()
+
+
+# -- the cache ----------------------------------------------------------------
+
+class ResultCache:
+    """Content-addressed JSON store for completed grid jobs."""
+
+    def __init__(self, directory=None, salt=None):
+        if directory is None:
+            directory = os.environ.get("REPRO_CACHE_DIR",
+                                       DEFAULT_CACHE_DIR)
+        if salt is None:
+            salt = os.environ.get("REPRO_CACHE_SALT", "")
+        self.directory = directory
+        self.salt = salt
+
+    def key_for(self, spec):
+        token = json.dumps(
+            {"v": CODE_VERSION, "salt": self.salt,
+             "spec": spec.cache_token()},
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(token.encode("utf-8")).hexdigest()[:32]
+
+    def _path(self, key):
+        return os.path.join(self.directory, key + ".json")
+
+    def load(self, spec):
+        """The decoded cached result, or None on miss/corruption."""
+        try:
+            with open(self._path(self.key_for(spec))) as handle:
+                payload = json.load(handle)
+            return decode_result(payload["result"])
+        except (OSError, ValueError, KeyError, AttributeError,
+                ImportError, TypeError):
+            return None
+
+    def store(self, spec, result):
+        try:
+            payload = {"spec": spec.cache_token(),
+                       "result": encode_result(result)}
+        except TypeError:
+            return False  # result not cache-serialisable; run uncached
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(self.key_for(spec))
+        # Atomic publish so concurrent runners never read a torn file.
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.directory, suffix=".tmp", delete=False)
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            return False
+        return True
+
+
+# -- the runner ---------------------------------------------------------------
+
+@dataclass
+class RunnerStats:
+    """Counters for one runner's lifetime (summed over ``run`` calls)."""
+
+    submitted: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    pool_batches: int = 0
+    serial_batches: int = 0
+    pool_fallbacks: int = 0
+
+    def as_dict(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def _default_jobs():
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+class GridRunner:
+    """Fans declarative job specs out over workers, with memoisation.
+
+    ``jobs``: worker count; ``None`` reads ``REPRO_JOBS`` (default 1 ==
+    serial in-process). ``cache``: ``None``/``False`` disables caching,
+    ``True`` uses the default directory, a string is a directory, or
+    pass a :class:`ResultCache`. ``REPRO_CACHE=0`` force-disables.
+    """
+
+    def __init__(self, jobs=None, cache=None, salt=None):
+        self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
+        if os.environ.get("REPRO_CACHE", "1") == "0":
+            cache = None
+        if cache is True:
+            cache = ResultCache(salt=salt)
+        elif isinstance(cache, str):
+            cache = ResultCache(cache, salt=salt)
+        elif cache is False:
+            cache = None
+        self.cache = cache
+        self.stats = RunnerStats()
+
+    def run(self, specs, full=False):
+        """Execute ``specs``; results come back in spec order.
+
+        ``full=True`` is the live-object opt-out: serial, in-process,
+        uncached, for callers that need ``CaseRun.phone``/``app``.
+        """
+        specs = list(specs)
+        self.stats.submitted += len(specs)
+        if full:
+            self.stats.serial_batches += 1
+            self.stats.executed += len(specs)
+            return [spec.execute(full=True) for spec in specs]
+
+        results = [None] * len(specs)
+        pending = {}  # spec -> [indices]; dedups repeats within a batch
+        for index, spec in enumerate(specs):
+            if self.cache is not None and spec not in pending:
+                cached = self.cache.load(spec)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    results[index] = cached
+                    continue
+                self.stats.cache_misses += 1
+            pending.setdefault(spec, []).append(index)
+
+        if pending:
+            fresh = self._execute(list(pending))
+            for spec, result in fresh.items():
+                for index in pending[spec]:
+                    results[index] = result
+                if self.cache is not None:
+                    self.cache.store(spec, result)
+        return results
+
+    def run_one(self, spec, full=False):
+        return self.run([spec], full=full)[0]
+
+    # -- internals ---------------------------------------------------------
+
+    def _execute(self, specs):
+        workers = min(self.jobs, len(specs))
+        if workers > 1:
+            try:
+                return self._execute_pool(specs, workers)
+            except Exception:  # pool unavailable: sandboxes, no sem, ...
+                self.stats.pool_fallbacks += 1
+        self.stats.serial_batches += 1
+        self.stats.executed += len(specs)
+        return {spec: spec.execute() for spec in specs}
+
+    def _execute_pool(self, specs, workers):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {spec: pool.submit(_execute_spec, spec)
+                       for spec in specs}
+            out = {spec: future.result()
+                   for spec, future in futures.items()}
+        self.stats.pool_batches += 1
+        self.stats.executed += len(specs)
+        return out
+
+
+def runner_from_args(args):
+    """Build a runner from CLI args (``--jobs/--no-cache/--cache-dir``).
+
+    The CLI caches by default (under ``results/.cache``); library calls
+    that construct ``GridRunner()`` themselves default to uncached so
+    programmatic behaviour is unchanged unless opted in.
+    """
+    no_cache = getattr(args, "no_cache", False)
+    cache_dir = getattr(args, "cache_dir", None)
+    cache = None if no_cache else (cache_dir or True)
+    return GridRunner(jobs=getattr(args, "jobs", None), cache=cache)

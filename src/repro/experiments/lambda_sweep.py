@@ -17,6 +17,7 @@ import random
 
 from repro.apps.synthetic import random_slices
 from repro.core.policy import waste_reduction_ratio
+from repro.experiments.grid import FuncSpec, GridRunner
 from repro.experiments.runner import format_table
 
 PAPER_FIG12 = {1: 0.49, 2: 0.66, 3: 0.74, 4: 0.78, 5: 0.82}
@@ -82,8 +83,20 @@ def trace_reduction(slices, term_s, deferral_s):
     return 1.0 - incurred / total_waste
 
 
+def _lambda_job(lam, cases, slices_per_case, term_s, seed, max_slice_s):
+    """One λ's average reduction ratio (a grid job; rebuilds the seeded
+    trace set worker-locally, so every λ walks identical traces)."""
+    rng = random.Random(seed)
+    traces = [_Trace(random_slices(rng, slices_per_case, max_slice_s))
+              for __ in range(cases)]
+    deferral = lam * term_s
+    ratios = [trace_reduction(trace, term_s, deferral)
+              for trace in traces]
+    return sum(ratios) / len(ratios)
+
+
 def run(cases=200, slices_per_case=200, lams=(1, 2, 3, 4, 5),
-        term_s=5.0, seed=2019, max_slice_s=600.0):
+        term_s=5.0, seed=2019, max_slice_s=600.0, runner=None):
     """Average reduction ratio per λ. Returns {λ: ratio}.
 
     Defaults are scaled down from the paper's 1000x1000 (the estimator
@@ -91,16 +104,15 @@ def run(cases=200, slices_per_case=200, lams=(1, 2, 3, 4, 5),
     expensive in pure Python); pass ``cases=1000,
     slices_per_case=1000`` to run the paper-size experiment.
     """
-    rng = random.Random(seed)
-    traces = [_Trace(random_slices(rng, slices_per_case, max_slice_s))
-              for __ in range(cases)]
-    results = {}
-    for lam in lams:
-        deferral = lam * term_s
-        ratios = [trace_reduction(trace, term_s, deferral)
-                  for trace in traces]
-        results[lam] = sum(ratios) / len(ratios)
-    return results
+    runner = runner if runner is not None else GridRunner()
+    specs = [
+        FuncSpec.make(_lambda_job, lam=lam, cases=cases,
+                      slices_per_case=slices_per_case, term_s=term_s,
+                      seed=seed, max_slice_s=max_slice_s)
+        for lam in lams
+    ]
+    ratios = runner.run(specs)
+    return dict(zip(lams, ratios))
 
 
 def render(results):

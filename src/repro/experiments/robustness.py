@@ -18,36 +18,58 @@ import statistics
 from repro.apps.buggy import CASES_BY_KEY
 from repro.device.profiles import MOTO_G, NEXUS_6, PIXEL_XL
 from repro.experiments import table5
-from repro.experiments.runner import format_table, run_case
-from repro.mitigation import LeaseOS
+from repro.experiments.grid import GridRunner, JobSpec
+from repro.experiments.runner import format_table
 
 #: A representative slice: one case per resource class.
 DEFAULT_SUBSET = ("torch", "k9", "connectbot-screen", "betterweather",
                   "tapandturn")
 
 
-def seed_sweep(seeds=(7, 21, 99), case_keys=DEFAULT_SUBSET, minutes=15.0):
-    """Per-seed Table 5 averages. Returns {seed: averages dict}."""
+def seed_sweep(seeds=(7, 21, 99), case_keys=DEFAULT_SUBSET, minutes=15.0,
+               runner=None):
+    """Per-seed Table 5 averages. Returns {seed: averages dict}.
+
+    All seeds' grids are submitted through the runner as one batch, so
+    the whole sweep fans out (and caches) at once.
+    """
+    runner = runner if runner is not None else GridRunner()
     cases = [CASES_BY_KEY[k] for k in case_keys]
-    results = {}
+    specs = []
     for seed in seeds:
-        rows = table5.run(cases=cases, minutes=minutes, seed=seed)
+        specs.extend(table5.grid_specs(cases, minutes=minutes, seed=seed))
+    flat = runner.run(specs)
+    per_seed = len(cases) * len(table5.MITIGATIONS)
+    results = {}
+    for offset, seed in enumerate(seeds):
+        chunk = flat[offset * per_seed:(offset + 1) * per_seed]
+        rows = table5.rows_from_results(cases, chunk)
         results[seed] = table5.averages(rows)
     return results
 
 
 def profile_sweep(profiles=(PIXEL_XL, NEXUS_6, MOTO_G),
-                  case_keys=DEFAULT_SUBSET, minutes=15.0, seed=7):
+                  case_keys=DEFAULT_SUBSET, minutes=15.0, seed=7,
+                  runner=None):
     """LeaseOS reduction per phone profile. Returns {name: avg pct}."""
+    runner = runner if runner is not None else GridRunner()
     cases = [CASES_BY_KEY[k] for k in case_keys]
+    specs = [
+        JobSpec.make(case, mitigation=mitigation, minutes=minutes,
+                     seed=seed, profile=profile.name)
+        for profile in profiles
+        for case in cases
+        for mitigation in ("vanilla", "leaseos")
+    ]
+    flat = runner.run(specs)
     results = {}
-    for profile in profiles:
+    per_profile = 2 * len(cases)
+    for offset, profile in enumerate(profiles):
+        chunk = flat[offset * per_profile:(offset + 1) * per_profile]
         reductions = []
-        for case in cases:
-            vanilla = run_case(case, None, minutes=minutes, seed=seed,
-                               profile=profile)
-            leased = run_case(case, LeaseOS, minutes=minutes, seed=seed,
-                              profile=profile)
+        for index in range(len(cases)):
+            vanilla = chunk[2 * index]
+            leased = chunk[2 * index + 1]
             if vanilla.app_power_mw > 0:
                 reductions.append(
                     100.0 * (1.0 - leased.app_power_mw

@@ -14,6 +14,7 @@ from repro.apps.buggy.cpu_apps import Torch
 from repro.core.policy import LeasePolicy
 from repro.droid.app import App
 from repro.droid.phone import Phone
+from repro.experiments.grid import FuncSpec, GridRunner
 from repro.experiments.runner import format_table
 from repro.mitigation import LeaseOS
 
@@ -42,39 +43,59 @@ class TermSweepRow:
     first_deferral_s: float
 
 
-def run(minutes=30.0, seed=67, terms=TERMS_S):
+def _vanilla_job(minutes, seed):
+    """Unmitigated Torch power (the sweep's shared baseline)."""
     phone = Phone(seed=seed, ambient=False)
     app = phone.install(Torch())
     mark = phone.energy_mark()
     phone.run_for(minutes=minutes)
-    vanilla_mw = phone.power_since(mark, app.uid)
+    return phone.power_since(mark, app.uid)
 
+
+def _term_job(term, minutes, seed):
+    """One term's buggy + steady runs; returns the scalar measurements."""
+    policy = LeasePolicy(initial_term_s=term, adaptive_enabled=False,
+                         escalation_enabled=False)
+    mitigation = LeaseOS(policy=policy)
+    phone = Phone(seed=seed, mitigation=mitigation, ambient=False)
+    app = phone.install(Torch())
+    mark = phone.energy_mark()
+    phone.run_for(minutes=minutes)
+    power = phone.power_since(mark, app.uid)
+    defers = [d for d in mitigation.manager.decisions
+              if d.action == "defer"]
+    # The steady-state overhead side: the same term on a normal app.
+    normal_mitigation = LeaseOS(policy=LeasePolicy(
+        initial_term_s=term, adaptive_enabled=False,
+        escalation_enabled=False))
+    normal_phone = Phone(seed=seed, mitigation=normal_mitigation,
+                         ambient=False)
+    normal_phone.install(_SteadyWorker())
+    normal_phone.run_for(minutes=minutes)
+    return {
+        "power": power,
+        "buggy_updates": mitigation.manager.op_counts["update"],
+        "normal_updates": normal_mitigation.manager.op_counts["update"],
+        "first_deferral_s": defers[0].time if defers else float("nan"),
+    }
+
+
+def run(minutes=30.0, seed=67, terms=TERMS_S, runner=None):
+    runner = runner if runner is not None else GridRunner()
+    specs = [FuncSpec.make(_vanilla_job, minutes=minutes, seed=seed)]
+    specs.extend(FuncSpec.make(_term_job, term=term, minutes=minutes,
+                               seed=seed)
+                 for term in terms)
+    results = runner.run(specs)
+    vanilla_mw = results[0]
     rows = []
-    for term in terms:
-        policy = LeasePolicy(initial_term_s=term, adaptive_enabled=False,
-                             escalation_enabled=False)
-        mitigation = LeaseOS(policy=policy)
-        phone = Phone(seed=seed, mitigation=mitigation, ambient=False)
-        app = phone.install(Torch())
-        mark = phone.energy_mark()
-        phone.run_for(minutes=minutes)
-        power = phone.power_since(mark, app.uid)
-        defers = [d for d in mitigation.manager.decisions
-                  if d.action == "defer"]
-        # The steady-state overhead side: the same term on a normal app.
-        normal_mitigation = LeaseOS(policy=LeasePolicy(
-            initial_term_s=term, adaptive_enabled=False,
-            escalation_enabled=False))
-        normal_phone = Phone(seed=seed, mitigation=normal_mitigation,
-                             ambient=False)
-        normal_phone.install(_SteadyWorker())
-        normal_phone.run_for(minutes=minutes)
+    for term, measured in zip(terms, results[1:]):
         rows.append(TermSweepRow(
             term_s=term,
-            reduction_pct=100.0 * (1.0 - power / vanilla_mw),
-            buggy_updates=mitigation.manager.op_counts["update"],
-            normal_updates=normal_mitigation.manager.op_counts["update"],
-            first_deferral_s=defers[0].time if defers else float("nan"),
+            reduction_pct=100.0 * (1.0 - measured["power"] / vanilla_mw),
+            buggy_updates=measured["buggy_updates"],
+            normal_updates=measured["normal_updates"],
+            first_deferral_s=measured["first_deferral_s"],
         ))
     return rows
 

@@ -1,0 +1,215 @@
+"""The grid runner: determinism, caching, fallback, codec, opt-outs."""
+
+import pytest
+
+from repro.apps.buggy import CASES_BY_KEY
+from repro.core.behavior import BehaviorType
+from repro.experiments import grid, table5
+from repro.experiments.grid import (
+    FuncSpec,
+    GridRunner,
+    JobResult,
+    JobSpec,
+    ResultCache,
+    decode_result,
+    encode_result,
+)
+
+SUBSET = ("torch", "connectbot-screen")
+
+
+def subset_cases():
+    return [CASES_BY_KEY[key] for key in SUBSET]
+
+
+# -- specs -------------------------------------------------------------------
+
+def test_jobspec_is_hashable_and_stable():
+    a = JobSpec.make("torch", mitigation="leaseos", minutes=5.0, seed=7)
+    b = JobSpec.make(CASES_BY_KEY["torch"], mitigation="leaseos",
+                     minutes=5.0, seed=7)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert ResultCache("unused").key_for(a) == \
+        ResultCache("unused").key_for(b)
+
+
+def test_jobspec_normalizes_profile_objects():
+    from repro.device.profiles import MOTO_G
+
+    spec = JobSpec.make("torch", profile=MOTO_G)
+    assert spec.phone_overrides == (("profile", MOTO_G.name),)
+    # and execution resolves the name back to the profile object
+    assert spec._resolved_overrides()["profile"] is MOTO_G
+
+
+def test_jobspec_rejects_live_objects():
+    with pytest.raises(TypeError):
+        JobSpec.make("torch", mitigation_obj=object())
+
+
+def test_funcspec_requires_importable_function():
+    with pytest.raises(ValueError):
+        FuncSpec.make(lambda: 1)
+
+
+def test_unknown_mitigation_is_an_error():
+    with pytest.raises(KeyError):
+        GridRunner().run_one(JobSpec.make("torch", mitigation="nope",
+                                          minutes=1.0))
+
+
+# -- the codec ---------------------------------------------------------------
+
+def test_codec_round_trips_rich_results():
+    result = JobResult(
+        case_key="torch", mitigation="leaseos", app_power_mw=1.5,
+        system_power_mw=2.5, disruptions=3,
+        observed_behaviors=frozenset({BehaviorType.LHB, BehaviorType.FAB}),
+    )
+    payload = {
+        "rows": [result],
+        "pair": (1, "two"),
+        "by_uid": {1000: 4.2},
+        "missing": float("nan"),
+    }
+    decoded = decode_result(encode_result(payload))
+    assert decoded["rows"] == [result]
+    assert decoded["pair"] == (1, "two")
+    assert decoded["by_uid"] == {1000: 4.2}
+    assert decoded["missing"] != decoded["missing"]  # NaN survives
+
+
+# -- parallel determinism (satellite acceptance) -----------------------------
+
+def test_parallel_table5_matches_serial_byte_identical():
+    cases = subset_cases()
+    serial = table5.render(table5.run(cases=cases, minutes=2.0))
+    runner = GridRunner(jobs=2)
+    parallel = table5.render(
+        table5.run(cases=cases, minutes=2.0, runner=runner))
+    assert parallel == serial
+    assert runner.stats.executed == len(cases) * len(table5.MITIGATIONS)
+    # Only one of pool/serial paths ran; either way the output matched.
+    assert runner.stats.pool_batches + runner.stats.serial_batches == 1
+
+
+def test_warm_cache_runs_zero_fresh_simulations(tmp_path):
+    cases = subset_cases()
+    cache_dir = str(tmp_path / "cache")
+    cold = GridRunner(jobs=2, cache=cache_dir)
+    first = table5.render(table5.run(cases=cases, minutes=2.0,
+                                     runner=cold))
+    expected = len(cases) * len(table5.MITIGATIONS)
+    assert cold.stats.executed == expected
+    assert cold.stats.cache_misses == expected
+
+    warm = GridRunner(jobs=2, cache=cache_dir)
+    second = table5.render(table5.run(cases=cases, minutes=2.0,
+                                      runner=warm))
+    assert second == first
+    assert warm.stats.executed == 0
+    assert warm.stats.cache_hits == expected
+
+
+def test_cache_key_changes_with_spec_and_salt(tmp_path):
+    cache = ResultCache(str(tmp_path), salt="")
+    salted = ResultCache(str(tmp_path), salt="other")
+    a = JobSpec.make("torch", minutes=2.0)
+    b = JobSpec.make("torch", minutes=3.0)
+    assert cache.key_for(a) != cache.key_for(b)
+    assert cache.key_for(a) != salted.key_for(a)
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    spec = FuncSpec.make(_five)
+    cache.store(spec, 5)
+    path = cache._path(cache.key_for(spec))
+    with open(path, "w") as handle:
+        handle.write("{not json")
+    runner = GridRunner(cache=cache)
+    assert runner.run_one(spec) == 5
+    assert runner.stats.cache_misses == 1
+    assert runner.stats.executed == 1
+
+
+# -- fallback + opt-outs -----------------------------------------------------
+
+def _five():
+    return 5
+
+
+def _const(value):
+    return value
+
+
+def test_pool_failure_falls_back_to_serial(monkeypatch):
+    def broken(self, specs, workers):
+        raise OSError("no process pool in this sandbox")
+
+    monkeypatch.setattr(GridRunner, "_execute_pool", broken)
+    runner = GridRunner(jobs=4)
+    specs = [FuncSpec.make(_const, value=v) for v in (1, 2, 3)]
+    assert runner.run(specs) == [1, 2, 3]
+    assert runner.stats.pool_fallbacks == 1
+    assert runner.stats.executed == 3
+    assert runner.stats.serial_batches == 1
+
+
+def test_duplicate_specs_execute_once():
+    runner = GridRunner()
+    spec = JobSpec.make("torch", minutes=1.0)
+    results = runner.run([spec, spec])
+    assert results[0] == results[1]
+    assert runner.stats.executed == 1
+
+
+def test_full_opt_out_returns_live_objects():
+    runner = GridRunner(jobs=4)
+    result = runner.run_one(JobSpec.make("torch", mitigation="leaseos",
+                                         minutes=1.0), full=True)
+    assert result.phone is not None
+    assert result.app is not None
+    assert result.phone.lease_manager is not None
+    assert runner.stats.serial_batches == 1  # never crosses a process
+
+
+def test_repro_jobs_env_sets_default(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert GridRunner().jobs == 3
+    monkeypatch.setenv("REPRO_JOBS", "bogus")
+    assert GridRunner().jobs == 1
+
+
+def test_repro_cache_env_force_disables(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    assert GridRunner(cache=str(tmp_path)).cache is None
+
+
+# -- refactored harnesses stay consistent with their serial selves ----------
+
+def test_robustness_seed_sweep_through_runner_matches_direct():
+    keys = ("torch",)
+    from repro.experiments import robustness
+
+    runner = GridRunner(jobs=2)
+    swept = robustness.seed_sweep(seeds=(7, 21), case_keys=keys,
+                                  minutes=2.0, runner=runner)
+    assert runner.stats.submitted == 2 * len(table5.MITIGATIONS)
+    for seed in (7, 21):
+        rows = table5.run(cases=[CASES_BY_KEY["torch"]], minutes=2.0,
+                          seed=seed)
+        assert swept[seed] == table5.averages(rows)
+
+
+def test_unregistered_case_uses_direct_fallback():
+    import dataclasses
+
+    case = subset_cases()[0]
+    clone = type(case)(**{f.name: getattr(case, f.name)
+                          for f in dataclasses.fields(case)})
+    assert CASES_BY_KEY.get(clone.key) is not clone
+    rows = table5.run(cases=[clone], minutes=2.0)
+    baseline = table5.run(cases=[case], minutes=2.0)
+    assert table5.render(rows) == table5.render(baseline)
