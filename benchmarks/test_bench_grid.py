@@ -65,12 +65,14 @@ def test_bench_grid_speedup(results_path, tmp_path):
     small = _ledger_query_latency(8)
     large = _ledger_query_latency(512)
 
+    cpu_count = os.cpu_count() or 1
     payload = {
         "grid": "table5",
         "cases": len(cases),
         "jobs_parallel": 4,
+        "jobs_effective": cold.effective_jobs,
         "minutes_per_case": MINUTES,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
         "parallel_speedup": round(serial_s / parallel_s, 2),
@@ -80,6 +82,13 @@ def test_bench_grid_speedup(results_path, tmp_path):
         "ledger_app_total_us_512_rails": round(large * 1e6, 3),
         "ledger_scaling_ratio": round(large / small, 2),
     }
+    if cpu_count == 1:
+        # Fan-out is clamped to the single core (effective serial run),
+        # so the "parallel" column measures pool-free execution, not a
+        # speedup -- annotate rather than publish a misleading <1.0.
+        payload["parallel_note"] = (
+            "single-core machine: jobs clamped to 1, parallel_speedup "
+            "is serial-vs-serial noise, not a fan-out measurement")
     with open(results_path("BENCH_grid.json"), "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

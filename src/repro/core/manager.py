@@ -57,6 +57,9 @@ class LeaseManager:
         #: ``deferral_multiplier(lease) -> float``.
         self.deferral_advisor = None
         self.gc_removed = 0
+        #: Running count of INACTIVE leases, so the periodic GC sweep can
+        #: skip its table walk on a device with nothing to collect.
+        self._inactive_count = 0
         if self.policy.gc_sweep_interval_s > 0:
             self.sim.every(self.policy.gc_sweep_interval_s, self._gc_sweep)
 
@@ -104,6 +107,7 @@ class LeaseManager:
         if lease.state is LeaseState.DEFERRED:
             return False
         if lease.state is LeaseState.INACTIVE:
+            self._inactive_count -= 1
             lease.transition(LeaseState.ACTIVE)
             self._start_term(lease, self.policy.next_term_length(
                 lease.normal_streak))
@@ -118,6 +122,8 @@ class LeaseManager:
             return False
         self.op_counts["remove"] += 1
         self._cancel_timers(lease)
+        if lease.state is LeaseState.INACTIVE:
+            self._inactive_count -= 1
         if not lease.dead:
             lease.transition(LeaseState.DEAD)
         del self.leases[descriptor]
@@ -167,6 +173,7 @@ class LeaseManager:
             SYSTEM_UID, "lease_mgmt", self.policy.update_energy_mj
         )
         if not lease.proxy.is_held(lease):
+            self._inactive_count += 1
             lease.transition(LeaseState.INACTIVE)
             self._log(lease, BehaviorType.NORMAL, "inactive", None)
             return
@@ -324,6 +331,8 @@ class LeaseManager:
 
     def _gc_sweep(self):
         """Sweep long-idle INACTIVE leases (kernel-object GC stand-in)."""
+        if self._inactive_count == 0:
+            return  # nothing collectable: skip the table walk entirely
         now = self.sim.now
         doomed = []
         for lease in self.leases.values():

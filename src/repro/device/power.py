@@ -90,6 +90,14 @@ class PowerMonitor:
         #: integrate (zero rails stay registered but cost nothing).
         self._drawing = {}
         self._last_settle = sim.now
+        #: Cached instantaneous total; recomputed (exact, same summation
+        #: order as the historical per-call scan) only after a rail change.
+        self._instant_mw = 0.0
+        self._instant_dirty = False
+        #: Callables invoked as ``listener(rail, power_mw, owners)`` after
+        #: every *applied* rail change (no-op re-assertions don't notify).
+        #: Event-driven samplers subscribe here instead of polling.
+        self.rail_listeners = []
 
     # -- rail manipulation -------------------------------------------------
 
@@ -118,6 +126,9 @@ class PowerMonitor:
             self._drawing[rail] = state
         else:
             self._drawing.pop(rail, None)
+        self._instant_dirty = True
+        for listener in self.rail_listeners:
+            listener(rail, power_mw, owners)
 
     def clear_rail(self, rail):
         """Zero a rail (same as ``set_rail(rail, 0.0)``)."""
@@ -167,8 +178,17 @@ class PowerMonitor:
     # -- queries -----------------------------------------------------------
 
     def instantaneous_power_mw(self):
-        """Current total system draw in mW (sum of all drawing rails)."""
-        return sum(s.power_mw for s in self._drawing.values())
+        """Current total system draw in mW (sum of all drawing rails).
+
+        O(1) between rail changes: the sum is cached and only recomputed
+        after a ``set_rail`` that actually changed something. The
+        recomputation walks ``_drawing`` in the same insertion order as
+        the historical per-call scan, so values are bit-identical.
+        """
+        if self._instant_dirty:
+            self._instant_mw = sum(s.power_mw for s in self._drawing.values())
+            self._instant_dirty = False
+        return self._instant_mw
 
     def app_power_mw(self, uid):
         """Current draw attributed to ``uid`` in mW."""

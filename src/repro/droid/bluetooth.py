@@ -65,6 +65,14 @@ class BluetoothService:
         self._active = set()
         self.listeners = []
         self.gates = []
+        #: Monotonic count of activate/deactivate flips -- lets governors
+        #: fingerprint "has anything happened since my last scan?".
+        self.transitions = 0
+
+    @property
+    def active_count(self):
+        """Number of currently honoured sessions. O(1)."""
+        return len(self._active)
 
     # -- app-facing API ------------------------------------------------------
 
@@ -144,6 +152,7 @@ class BluetoothService:
         record.mark_active(True)
         record._seg_since = self.sim.now
         self._active.add(record)
+        self.transitions += 1
         self.monitor.set_rail(self._rail_name(record),
                               self._power_for(record), (record.uid,))
         self._schedule_delivery(record)
@@ -155,6 +164,7 @@ class BluetoothService:
         record.mark_active(False)
         record._seg_since = None
         self._active.discard(record)
+        self.transitions += 1
         if record._delivery_timer is not None:
             record._delivery_timer.cancel()
             record._delivery_timer = None

@@ -103,6 +103,9 @@ class LocationManagerService:
         self.rng = rng
         self.records = []
         self._active = set()  # honoured registrations
+        #: Monotonic count of activate/deactivate flips -- lets governors
+        #: fingerprint "has anything happened since my last scan?".
+        self.transitions = 0
         self.state = GpsState.OFF
         self.listeners = []
         self.gates = []
@@ -110,6 +113,11 @@ class LocationManagerService:
         self._total_distance = 0.0
         self._distance_since = None
         self._last_locked_at = None
+
+    @property
+    def active_count(self):
+        """Number of currently honoured registrations. O(1)."""
+        return len(self._active)
 
     # -- app-facing API -----------------------------------------------------
 
@@ -174,6 +182,7 @@ class LocationManagerService:
         record.mark_active(True)
         record._seg_since = self.sim.now
         self._active.add(record)
+        self.transitions += 1
         self._update_engine()
         self._refresh_rail_owners()
         if self.state is GpsState.LOCKED:
@@ -187,6 +196,7 @@ class LocationManagerService:
         record.mark_active(False)
         record._seg_since = None
         self._active.discard(record)
+        self.transitions += 1
         if record._delivery_timer is not None:
             record._delivery_timer.cancel()
             record._delivery_timer = None

@@ -112,6 +112,9 @@ class PowerManagerService:
         self._honoured = set()  # records currently os_active
         self.listeners = []
         self.gates = []  # callables (record) -> bool allow
+        #: Monotonic count of honour/unhonour flips -- lets governors
+        #: fingerprint "has anything happened since my last scan?".
+        self.transitions = 0
 
     # -- app-facing API ------------------------------------------------------
 
@@ -170,6 +173,7 @@ class PowerManagerService:
             return
         record.mark_active(True)
         self._honoured.add(record)
+        self.transitions += 1
         self._update_device_state()
 
     def _deactivate(self, record):
@@ -177,6 +181,7 @@ class PowerManagerService:
             return
         record.mark_active(False)
         self._honoured.discard(record)
+        self.transitions += 1
         self._update_device_state()
 
     def _update_device_state(self):
@@ -195,6 +200,11 @@ class PowerManagerService:
 
     def honoured_records(self):
         return frozenset(self._honoured)
+
+    @property
+    def active_count(self):
+        """Number of currently honoured records. O(1)."""
+        return len(self._honoured)
 
     def settle_stats(self):
         """Fold elapsed time into every record's counters (profiling)."""

@@ -72,6 +72,14 @@ class SensorManagerService:
         self._active = set()
         self.listeners = []
         self.gates = []
+        #: Monotonic count of activate/deactivate flips -- lets governors
+        #: fingerprint "has anything happened since my last scan?".
+        self.transitions = 0
+
+    @property
+    def active_count(self):
+        """Number of currently honoured registrations. O(1)."""
+        return len(self._active)
 
     # -- app-facing API ------------------------------------------------------
 
@@ -140,6 +148,7 @@ class SensorManagerService:
         record.mark_active(True)
         record._seg_since = self.sim.now
         self._active.add(record)
+        self.transitions += 1
         self._refresh_rail(record)
         self._schedule_delivery(record)
 
@@ -150,6 +159,7 @@ class SensorManagerService:
         record.mark_active(False)
         record._seg_since = None
         self._active.discard(record)
+        self.transitions += 1
         if record._delivery_timer is not None:
             record._delivery_timer.cancel()
             record._delivery_timer = None

@@ -56,6 +56,14 @@ class WifiService:
         self._honoured = set()
         self.listeners = []
         self.gates = []
+        #: Monotonic count of honour/unhonour flips -- lets governors
+        #: fingerprint "has anything happened since my last scan?".
+        self.transitions = 0
+
+    @property
+    def active_count(self):
+        """Number of currently honoured locks. O(1)."""
+        return len(self._honoured)
 
     def new_lock(self, app, name="wifilock"):
         app.ipc("wifi", "createWifiLock")
@@ -107,6 +115,7 @@ class WifiService:
             return
         record.mark_active(True)
         self._honoured.add(record)
+        self.transitions += 1
         self._refresh_rail()
 
     def _deactivate(self, record):
@@ -114,6 +123,7 @@ class WifiService:
             return
         record.mark_active(False)
         self._honoured.discard(record)
+        self.transitions += 1
         self._refresh_rail()
 
     def _refresh_rail(self):

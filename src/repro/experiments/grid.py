@@ -445,8 +445,18 @@ class GridRunner:
 
     # -- internals ---------------------------------------------------------
 
+    @property
+    def effective_jobs(self):
+        """Worker count after clamping to the machine's core count.
+
+        Fanning four workers out on a single core only adds pool and
+        pickling overhead on top of the same serial compute (observed as
+        a bogus <1.0 "speedup" in BENCH_grid.json on 1-core machines).
+        """
+        return min(self.jobs, os.cpu_count() or 1)
+
     def _execute(self, specs):
-        workers = min(self.jobs, len(specs))
+        workers = min(self.effective_jobs, len(specs))
         if workers > 1:
             try:
                 return self._execute_pool(specs, workers)

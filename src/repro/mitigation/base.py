@@ -11,3 +11,39 @@ class Mitigation:
 
     def __repr__(self):
         return "{}()".format(type(self).__name__)
+
+
+class QuiescenceGuard:
+    """Dirty-flag early-out for periodic resource scans.
+
+    Governors that poll the services every few seconds (DefDroid,
+    TimedThrottle) pay the full record walk even on a completely idle
+    device. This guard answers "could this scan possibly act?" in O(#services):
+
+    - if any service has an *active* (honoured) record, holding time is
+      still accruing, so a threshold may trip -- scan;
+    - otherwise, if any service gained records or flipped a record's
+      honoured state since the last scan (the ``(len(records),
+      transitions)`` fingerprint changed), aggregates may have moved --
+      scan once more;
+    - otherwise every per-record quantity the scan reads is frozen at
+      values the previous scan already judged, so the scan is provably a
+      no-op -- skip it.
+
+    Skipped scans are *exactly* no-ops, not approximately: scans only act
+    on accumulated ``active_time`` (frozen while nothing is active) and
+    record-set membership (covered by the fingerprint).
+    """
+
+    def __init__(self, services):
+        self._services = tuple(services)
+        self._seen = None
+
+    def should_scan(self):
+        fingerprint = tuple(
+            (len(s.records), s.transitions) for s in self._services
+        )
+        if fingerprint != self._seen:
+            self._seen = fingerprint
+            return True
+        return any(s.active_count for s in self._services)

@@ -25,6 +25,7 @@ class BatterySaver(Mitigation):
         self.active = False
         self.activations = 0
         self._revoked = []
+        self._last_remaining_mj = None
 
     def install(self, phone):
         self.phone = phone
@@ -66,6 +67,12 @@ class BatterySaver(Mitigation):
     # -- state ---------------------------------------------------------------
 
     def _check(self):
+        # The battery only moves at settle points; an unchanged charge
+        # re-evaluates to the exact decision the previous check made.
+        remaining = self.phone.battery.remaining_mj
+        if remaining == self._last_remaining_mj:
+            return
+        self._last_remaining_mj = remaining
         should_be_active = self.phone.battery.level <= self.threshold_level
         if should_be_active and not self.active:
             self._activate()

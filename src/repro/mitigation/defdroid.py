@@ -18,7 +18,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.droid.resources import ResourceType
-from repro.mitigation.base import Mitigation
+from repro.mitigation.base import Mitigation, QuiescenceGuard
 
 
 @dataclass(frozen=True)
@@ -76,6 +76,9 @@ class DefDroid(Mitigation):
         for service in (phone.power, phone.location, phone.sensors,
                         phone.wifi, phone.bluetooth):
             service.gates.append(self._gate)
+        self._guard = QuiescenceGuard(
+            (phone.power, phone.location, phone.sensors, phone.wifi,
+             phone.bluetooth))
         self.sim.every(self.SCAN_INTERVAL_S, self._scan)
 
     def _gate(self, record):
@@ -100,6 +103,8 @@ class DefDroid(Mitigation):
         return total
 
     def _scan(self):
+        if not self._guard.should_scan():
+            return
         seen = set()
         for record in self._all_records():
             key = (record.uid, record.rtype)

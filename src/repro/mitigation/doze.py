@@ -133,8 +133,9 @@ class Doze(Mitigation):
         idle_for = self.sim.now - self._last_activity
         threshold = (self.reentry_delay_s if self.aggressive
                      else self.idle_threshold_s)
-        stationary = self.phone.env.gps.speed_mps < 0.1
-        if idle_for >= threshold and stationary \
+        if idle_for < threshold:
+            return  # cheapest predicate first: most checks end here
+        if self.phone.env.gps.speed_mps < 0.1 \
                 and not self.phone.display.screen_on:
             self._enter_doze()
 

@@ -9,7 +9,7 @@ simply lose their resource mid-function. This is the §7.4 comparison
 that shows why leases need the utilitarian feedback loop.
 """
 
-from repro.mitigation.base import Mitigation
+from repro.mitigation.base import Mitigation, QuiescenceGuard
 
 
 class TimedThrottle(Mitigation):
@@ -34,6 +34,7 @@ class TimedThrottle(Mitigation):
         # A fresh explicit acquire restarts the budget.
         phone.power.listeners.append(self)
         phone.wifi.listeners.append(self)
+        self._guard = QuiescenceGuard(self._services)
         self.sim.every(self.SCAN_INTERVAL_S, self._scan)
 
     # acquire listeners: reset the marker so the new hold gets a new term
@@ -46,6 +47,8 @@ class TimedThrottle(Mitigation):
         self._markers[record] = record.active_time
 
     def _scan(self):
+        if not self._guard.should_scan():
+            return
         for service in self._services:
             for record in service.records:
                 if record.dead or not record.os_active:

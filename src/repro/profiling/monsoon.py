@@ -4,6 +4,14 @@ The hardware Monsoon samples total device draw at 100 ms; our power model
 is piecewise-constant, so the monitor offers both a faithful sampler (for
 time-series plots) and exact interval energy integration (for the
 Fig. 13 averages, cheaper and noise-free).
+
+The sampler is *event-driven*: instead of a periodic timer polling
+``instantaneous_power_mw`` (one dispatched event per sample, dominating
+idle-device event counts), it subscribes to the power monitor's
+rail-change notifications and lazily synthesizes the piecewise-constant
+sample series on demand. Because total draw only changes at rail
+changes, the synthesized series is exactly what the poller would have
+recorded, at zero events on the simulator's queue.
 """
 
 
@@ -13,27 +21,81 @@ class MonsoonMonitor:
     def __init__(self, phone, sample_interval_s=1.0):
         self.phone = phone
         self.sample_interval_s = sample_interval_s
-        self.samples = []  # (time, instantaneous system mW)
-        self._timer = None
+        self._samples = []  # materialized (time, mW) pairs
         self._marks = []
+        self._active = False
+        #: Power-level change points since the last materialization:
+        #: (time, total mW), ascending, coalesced per instant.
+        self._levels = []
+        self._start_time = 0.0
+        self._next_k = 1  # next sample index: t_k = start + k * interval
 
     # -- sampling -----------------------------------------------------------
 
     def start_sampling(self):
-        self._timer = self.phone.sim.every(
-            self.sample_interval_s, self._sample
-        )
+        """Begin recording the sample series from the current instant."""
+        if self._active:
+            return self
+        monitor = self.phone.monitor
+        self._active = True
+        self._start_time = self.phone.sim.now
+        self._next_k = 1
+        self._levels = [(self._start_time, monitor.instantaneous_power_mw())]
+        monitor.rail_listeners.append(self._on_rail_change)
         return self
 
     def stop_sampling(self):
-        if self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
+        """Stop recording; samples up to the current instant are kept."""
+        if not self._active:
+            return
+        self._materialize(self.phone.sim.now, inclusive=True)
+        self.phone.monitor.rail_listeners.remove(self._on_rail_change)
+        self._active = False
 
-    def _sample(self):
-        self.samples.append(
-            (self.phone.sim.now, self.phone.monitor.instantaneous_power_mw())
-        )
+    @property
+    def samples(self):
+        """The ``(time, mW)`` series a 1/interval poller would have seen.
+
+        Synthesized lazily from recorded power-level change points. A
+        sample landing on the same instant as rail changes reads the
+        level after all of that instant's changes (the poller's value
+        depended on intra-instant event ordering; no consumer relies on
+        it).
+        """
+        if self._active:
+            self._materialize(self.phone.sim.now, inclusive=True)
+        return self._samples
+
+    def _on_rail_change(self, rail, power_mw, owners):
+        now = self.phone.sim.now
+        # Samples strictly before this change still read the old level.
+        self._materialize(now, inclusive=False)
+        total = self.phone.monitor.instantaneous_power_mw()
+        last_time, last_total = self._levels[-1]
+        if last_time == now:
+            self._levels[-1] = (now, total)  # coalesce same-instant changes
+        elif total != last_total:
+            self._levels.append((now, total))
+
+    def _materialize(self, limit, inclusive):
+        """Synthesize pending samples with time < (or <=) ``limit``."""
+        interval = self.sample_interval_s
+        start = self._start_time
+        levels = self._levels
+        samples = self._samples
+        k = self._next_k
+        i = 0  # index of the level in effect at the current sample time
+        while True:
+            t = start + k * interval
+            if t > limit or (t == limit and not inclusive):
+                break
+            while i + 1 < len(levels) and levels[i + 1][0] <= t:
+                i += 1
+            samples.append((t, levels[i][1]))
+            k += 1
+        self._next_k = k
+        if i > 0:  # earlier change points can never matter again
+            del levels[:i]
 
     # -- exact interval measurement ----------------------------------------------
 

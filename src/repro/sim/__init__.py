@@ -8,15 +8,20 @@ A small, deterministic engine purpose-built for this reproduction:
   processes that can be *paused and resumed* (the mechanism used to model
   a phone entering deep sleep, which freezes app execution).
 - :class:`~repro.sim.events.Event` -- one-shot waitable events.
+- :class:`~repro.sim.trace.KernelTrace` -- opt-in kernel profiler
+  attributing dispatched events and wall time per callback site.
 """
 
-from repro.sim.engine import Simulator, Timer
+from repro.sim.engine import PeriodicTimer, SimulationError, Simulator, Timer
 from repro.sim.events import Event, Timeout, after, any_of
 from repro.sim.process import Process, ProcessKilled, ProcessState
+from repro.sim.trace import KernelTrace, SiteStats, site_for
 
 __all__ = [
     "Simulator",
+    "SimulationError",
     "Timer",
+    "PeriodicTimer",
     "Event",
     "Timeout",
     "after",
@@ -24,4 +29,7 @@ __all__ = [
     "Process",
     "ProcessKilled",
     "ProcessState",
+    "KernelTrace",
+    "SiteStats",
+    "site_for",
 ]

@@ -1,11 +1,22 @@
 """The discrete-event loop and clock.
 
-The simulator keeps a priority queue of timers keyed by ``(deadline, seq)``
-where ``seq`` is a monotonically increasing tie-breaker, so simultaneous
-events always run in scheduling order and every run is deterministic.
+The simulator keeps a priority queue of ``(deadline, seq, timer)``
+entries where ``seq`` is a monotonically increasing tie-breaker, so
+simultaneous events always run in scheduling order and every run is
+deterministic. Keying the heap by a plain tuple keeps comparisons in C
+(no Python ``__lt__`` calls on the hot path).
+
+Cancelled timers are lazily deleted: ``Timer.cancel`` only marks the
+entry and tells the simulator, and the dispatch loop skips marked
+entries when they surface. When cancelled entries come to dominate the
+heap the simulator compacts it in one O(n) pass, so workloads that arm
+and re-arm far-future watchdogs (wakelock timeouts, app watchdogs) do
+not drag a bloated heap through every push and pop.
 """
 
 import heapq
+
+from heapq import heappop as _heappop, heappush as _heappush
 
 
 class SimulationError(Exception):
@@ -19,18 +30,23 @@ class Timer:
     :meth:`Simulator.every` helper) and fire exactly once unless cancelled.
     """
 
-    __slots__ = ("deadline", "seq", "callback", "cancelled", "fired")
+    __slots__ = ("deadline", "seq", "callback", "cancelled", "fired", "_sim")
 
-    def __init__(self, deadline, seq, callback):
+    def __init__(self, deadline, seq, callback, sim=None):
         self.deadline = deadline
         self.seq = seq
         self.callback = callback
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self):
         """Prevent the timer from firing. Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if not self.fired and self._sim is not None:
+            self._sim._note_cancel()
 
     @property
     def pending(self):
@@ -59,12 +75,24 @@ class Simulator:
     or :class:`~repro.sim.events.Event` instances.
     """
 
+    #: Compaction trigger: at least this many cancelled entries *and*
+    #: cancelled entries at least half the heap. Small heaps are never
+    #: worth an O(n) rebuild.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start_time=0.0):
         self._now = float(start_time)
-        self._queue = []
+        self._queue = []  # heap of (deadline, seq, Timer)
         self._seq = 0
         self._running = False
         self._processes = []
+        self._cancelled = 0  # cancelled entries still in the heap
+        self._trace = None  # optional repro.sim.trace.KernelTrace
+        #: Total events dispatched over this simulator's lifetime
+        #: (cancelled entries skipped by the loop do not count).
+        self.dispatched = 0
+        #: Heap compactions performed (hygiene introspection).
+        self.compactions = 0
 
     @property
     def now(self):
@@ -80,13 +108,42 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError("cannot schedule in the past (delay={})".format(delay))
-        timer = Timer(self._now + delay, self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._queue, timer)
+        seq = self._seq
+        self._seq = seq + 1
+        timer = Timer(self._now + delay, seq, callback, self)
+        _heappush(self._queue, (timer.deadline, seq, timer))
+        return timer
+
+    def reschedule(self, timer, delay):
+        """Re-arm a timer that has already fired, reusing the object.
+
+        The allocation-free fast path for repeating callbacks
+        (:class:`PeriodicTimer`): no new :class:`Timer`, no new closure.
+        Only a fired, uncancelled timer may be re-armed -- a pending or
+        cancelled one may still have a live heap entry, and re-pushing it
+        would dispatch the revived timer at the stale deadline.
+        """
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past (delay={})".format(delay))
+        if not timer.fired or timer.cancelled:
+            raise SimulationError(
+                "reschedule() needs a fired, uncancelled timer, got {!r}".format(timer)
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        timer.deadline = self._now + delay
+        timer.seq = seq
+        timer.fired = False
+        _heappush(self._queue, (timer.deadline, seq, timer))
         return timer
 
     def at(self, when, callback):
         """Schedule ``callback()`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                "cannot schedule at t={} -- simulated time is already at "
+                "t={}".format(when, self._now)
+            )
         return self.schedule(when - self._now, callback)
 
     def every(self, interval, callback, start_after=None):
@@ -112,6 +169,22 @@ class Simulator:
         self._processes.append(proc)
         return proc
 
+    def set_trace(self, trace):
+        """Install a :class:`~repro.sim.trace.KernelTrace` (or ``None``).
+
+        While installed, every dispatched event is attributed (count and
+        host wall time) to its callback site. Tracing is opt-in: with no
+        trace installed the dispatch loop pays a single local ``is None``
+        check per event.
+        """
+        self._trace = trace
+        return trace
+
+    @property
+    def trace(self):
+        """The installed kernel trace, or ``None``."""
+        return self._trace
+
     def run_until(self, until):
         """Run all events with deadlines <= ``until``; set clock to ``until``."""
         if until < self._now:
@@ -121,16 +194,29 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        # Locals hoisted out of the while: the attribute loads would
+        # otherwise be re-executed per event. ``queue`` stays valid across
+        # compactions because _compact() rebuilds the list in place.
+        queue = self._queue
+        pop = _heappop
+        trace = self._trace
+        dispatched = 0
         try:
-            while self._queue and self._queue[0].deadline <= until:
-                timer = heapq.heappop(self._queue)
+            while queue and queue[0][0] <= until:
+                deadline, __, timer = pop(queue)
                 if timer.cancelled:
+                    self._cancelled -= 1
                     continue
-                self._now = timer.deadline
+                self._now = deadline
                 timer.fired = True
-                timer.callback()
+                dispatched += 1
+                if trace is None:
+                    timer.callback()
+                else:
+                    trace.dispatch(timer.callback)
             self._now = until
         finally:
+            self.dispatched += dispatched
             self._running = False
 
     def run(self):
@@ -138,28 +224,65 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        queue = self._queue
+        pop = _heappop
+        trace = self._trace
+        dispatched = 0
         try:
-            while self._queue:
-                timer = heapq.heappop(self._queue)
+            while queue:
+                deadline, __, timer = pop(queue)
                 if timer.cancelled:
+                    self._cancelled -= 1
                     continue
-                self._now = timer.deadline
+                self._now = deadline
                 timer.fired = True
-                timer.callback()
+                dispatched += 1
+                if trace is None:
+                    timer.callback()
+                else:
+                    trace.dispatch(timer.callback)
         finally:
+            self.dispatched += dispatched
             self._running = False
 
     @property
     def pending_events(self):
-        """Number of scheduled, not-yet-cancelled timers (for tests)."""
-        return sum(1 for t in self._queue if not t.cancelled)
+        """Number of scheduled, not-yet-cancelled timers. O(1)."""
+        return len(self._queue) - self._cancelled
 
     def __repr__(self):
         return "Simulator(now={:.3f}, pending={})".format(self._now, self.pending_events)
 
+    # -- heap hygiene --------------------------------------------------------
+
+    def _note_cancel(self):
+        """Account one newly cancelled in-heap entry; maybe compact."""
+        self._cancelled += 1
+        if self._cancelled >= self.COMPACT_MIN_CANCELLED \
+                and self._cancelled * 2 >= len(self._queue):
+            self._compact()
+
+    def _compact(self):
+        """Drop cancelled entries and re-heapify, in place and in O(n).
+
+        Rebuilding preserves the (deadline, seq) order of every live
+        entry, so dispatch order is exactly what it would have been with
+        pure lazy deletion. In-place so hoisted loop locals stay valid.
+        """
+        self._queue[:] = [entry for entry in self._queue
+                          if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+        self.compactions += 1
+
 
 class PeriodicTimer:
-    """Handle for a repeating callback created by :meth:`Simulator.every`."""
+    """Handle for a repeating callback created by :meth:`Simulator.every`.
+
+    Rescheduling reuses the one underlying :class:`Timer` object via
+    :meth:`Simulator.reschedule`, so a long-lived periodic costs no
+    allocations after the first firing.
+    """
 
     def __init__(self, sim, interval, callback, start_after=None):
         self._sim = sim
@@ -174,7 +297,7 @@ class PeriodicTimer:
             return
         self._callback()
         if not self._cancelled:
-            self._timer = self._sim.schedule(self._interval, self._tick)
+            self._timer = self._sim.reschedule(self._timer, self._interval)
 
     def cancel(self):
         """Stop future firings."""

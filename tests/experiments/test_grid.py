@@ -145,10 +145,13 @@ def _const(value):
 
 
 def test_pool_failure_falls_back_to_serial(monkeypatch):
+    import os
+
     def broken(self, specs, workers):
         raise OSError("no process pool in this sandbox")
 
     monkeypatch.setattr(GridRunner, "_execute_pool", broken)
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)  # defeat 1-core clamp
     runner = GridRunner(jobs=4)
     specs = [FuncSpec.make(_const, value=v) for v in (1, 2, 3)]
     assert runner.run(specs) == [1, 2, 3]
@@ -213,3 +216,22 @@ def test_unregistered_case_uses_direct_fallback():
     rows = table5.run(cases=[clone], minutes=2.0)
     baseline = table5.run(cases=[case], minutes=2.0)
     assert table5.render(rows) == table5.render(baseline)
+
+
+# -- core-count clamping -----------------------------------------------------
+
+def test_effective_jobs_clamps_to_cpu_count(monkeypatch):
+    import os
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 2)
+    assert GridRunner(jobs=4).effective_jobs == 2
+    assert GridRunner(jobs=1).effective_jobs == 1
+    monkeypatch.setattr(os, "cpu_count", lambda: None)  # unknown -> 1
+    assert GridRunner(jobs=8).effective_jobs == 1
+
+
+def test_effective_jobs_matches_real_machine():
+    import os
+
+    runner = GridRunner(jobs=4)
+    assert runner.effective_jobs == min(4, os.cpu_count() or 1)

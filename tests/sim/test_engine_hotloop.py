@@ -1,0 +1,335 @@
+"""Hot-loop overhaul tests: heap hygiene, rescheduling, and ordering.
+
+The lazy-deletion/compaction engine must be *observationally identical*
+to the seed engine -- same callbacks, same order, same clock values --
+while keeping cancelled entries from bloating the heap. The reference
+implementation below replicates the seed engine's semantics (pure
+pop-skip lazy deletion, a fresh timer per periodic firing) so randomized
+workloads can assert dispatch-order equality directly.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.engine import PeriodicTimer, SimulationError, Simulator
+
+
+class _RefTimer:
+    __slots__ = ("deadline", "seq", "callback", "cancelled", "fired")
+
+    def __init__(self, deadline, seq, callback):
+        self.deadline = deadline
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self):
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.deadline, self.seq) < (other.deadline, other.seq)
+
+
+class ReferenceSimulator:
+    """The seed engine: no cancellation accounting, no compaction."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue = []
+        self._seq = 0
+
+    @property
+    def now(self):
+        return self._now
+
+    def schedule(self, delay, callback):
+        timer = _RefTimer(self._now + delay, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, timer)
+        return timer
+
+    def every(self, interval, callback, start_after=None):
+        return _RefPeriodic(self, interval, callback, start_after)
+
+    def run_until(self, until):
+        while self._queue and self._queue[0].deadline <= until:
+            timer = heapq.heappop(self._queue)
+            if timer.cancelled:
+                continue
+            self._now = timer.deadline
+            timer.fired = True
+            timer.callback()
+        self._now = until
+
+
+class _RefPeriodic:
+    """Seed-engine periodic: a fresh timer per firing (one seq per tick,
+    matching the production engine's reschedule())."""
+
+    def __init__(self, sim, interval, callback, start_after=None):
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._cancelled = False
+        first = interval if start_after is None else start_after
+        self._timer = sim.schedule(first, self._tick)
+
+    def _tick(self):
+        if self._cancelled:
+            return
+        self._callback()
+        if not self._cancelled:
+            self._timer = self._sim.schedule(self._interval, self._tick)
+
+    def cancel(self):
+        self._cancelled = True
+        self._timer.cancel()
+
+
+def _run_workload(sim, seed, ops=2000):
+    """A seeded cancel-heavy workload; returns the dispatch log."""
+    rng = random.Random(seed)
+    log = []
+    live = []
+    periodics = []
+
+    def fire(label):
+        log.append((sim.now, label))
+
+    def spawn_from_callback(label):
+        log.append((sim.now, label))
+        timer = sim.schedule(rng.uniform(0.0, 5.0), lambda: fire(label + "+"))
+        live.append(timer)
+
+    for index in range(ops):
+        roll = rng.random()
+        if roll < 0.45:
+            delay = rng.uniform(0.0, 50.0)
+            label = "t{}".format(index)
+            if rng.random() < 0.2:
+                live.append(sim.schedule(delay, lambda l=label: spawn_from_callback(l)))
+            else:
+                live.append(sim.schedule(delay, lambda l=label: fire(l)))
+        elif roll < 0.85 and live:
+            # Heavy cancellation: this is what grows the cancelled
+            # population past the compaction threshold.
+            for __ in range(min(len(live), rng.randint(1, 6))):
+                live.pop(rng.randrange(len(live))).cancel()
+        elif roll < 0.92:
+            periodics.append(sim.every(
+                rng.uniform(0.5, 3.0),
+                lambda i=index: fire("p{}".format(i)),
+                start_after=rng.choice([None, 0, 1.0]),
+            ))
+        elif periodics:
+            periodics.pop(rng.randrange(len(periodics))).cancel()
+        if rng.random() < 0.1:
+            sim.run_until(sim.now + rng.uniform(0.0, 10.0))
+    sim.run_until(sim.now + 200.0)
+    for handle in periodics:
+        handle.cancel()
+    return log
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42, 1234])
+def test_randomized_dispatch_order_matches_seed_engine(seed):
+    engine = Simulator()
+    reference = ReferenceSimulator()
+    got = _run_workload(engine, seed)
+    expected = _run_workload(reference, seed)
+    assert got == expected
+    # The workload must actually have exercised compaction for the
+    # equivalence to mean anything.
+    assert engine.compactions >= 1
+
+
+def test_compaction_drops_cancelled_entries():
+    sim = Simulator()
+    keep = sim.schedule(1000.0, lambda: None)
+    doomed = [sim.schedule(500.0, lambda: None) for __ in range(200)]
+    for timer in doomed:
+        timer.cancel()
+    assert sim.compactions >= 1
+    assert sim.pending_events == 1
+    # Compaction physically removed the bulk; only a sub-threshold
+    # residue of cancelled entries may remain.
+    assert len(sim._queue) - 1 < Simulator.COMPACT_MIN_CANCELLED
+    assert keep.pending
+
+
+def test_small_heaps_are_never_compacted():
+    sim = Simulator()
+    for __ in range(Simulator.COMPACT_MIN_CANCELLED - 1):
+        sim.schedule(10.0, lambda: None).cancel()
+    assert sim.compactions == 0
+    assert sim.pending_events == 0
+
+
+def test_pending_events_is_exact_through_cancel_fire_and_compaction():
+    sim = Simulator()
+    timers = [sim.schedule(float(i + 1), lambda: None) for i in range(300)]
+    assert sim.pending_events == 300
+    for timer in timers[::2]:
+        timer.cancel()
+    assert sim.pending_events == 150
+    sim.run_until(100.5)  # fires the odd-deadline survivors up to 100
+    assert sim.pending_events == sum(
+        1 for t in timers if t.deadline > 100.5 and not t.cancelled)
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_cancelling_a_fired_timer_does_not_corrupt_accounting():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    sim.run_until(2.0)
+    timer.cancel()
+    timer.cancel()  # idempotent
+    assert sim.pending_events == 0
+    sim.schedule(3.0, lambda: None)
+    assert sim.pending_events == 1
+
+
+def test_dispatched_counter_counts_only_live_events():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None).cancel()
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    assert sim.dispatched == 2
+
+
+def test_at_error_names_the_absolute_time():
+    sim = Simulator()
+    sim.run_until(100.0)
+    with pytest.raises(SimulationError) as excinfo:
+        sim.at(40.0, lambda: None)
+    message = str(excinfo.value)
+    assert "t=40.0" in message and "t=100.0" in message
+    assert "-60" not in message  # the old message exposed the delay
+
+
+def test_repr_is_cheap_and_accurate():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda: None)
+    assert repr(sim) == "Simulator(now=0.000, pending=10)"
+
+
+def test_reschedule_reuses_the_timer_object():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.run_until(1.0)
+    again = sim.reschedule(timer, 2.0)
+    assert again is timer and timer.pending
+    sim.run_until(5.0)
+    assert fired == [1.0, 3.0]
+
+
+def test_reschedule_rejects_pending_and_cancelled_timers():
+    sim = Simulator()
+    pending = sim.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.reschedule(pending, 1.0)
+    fired = sim.schedule(0.5, lambda: None)
+    sim.run_until(1.5)
+    fired.cancel()
+    with pytest.raises(SimulationError):
+        sim.reschedule(fired, 1.0)
+
+
+def test_periodic_timer_reuses_one_timer_object():
+    sim = Simulator()
+    ticks = []
+    handle = sim.every(1.0, lambda: ticks.append(sim.now))
+    first = handle._timer
+    sim.run_until(5.0)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert handle._timer is first
+
+
+# -- PeriodicTimer edge cases ------------------------------------------------
+
+def test_periodic_cancel_from_inside_its_own_callback():
+    sim = Simulator()
+    fired = []
+    handle = None
+
+    def tick():
+        fired.append(sim.now)
+        if len(fired) == 3:
+            handle.cancel()
+
+    handle = sim.every(1.0, tick)
+    sim.run_until(10.0)
+    assert fired == [1.0, 2.0, 3.0]
+    assert sim.pending_events == 0
+
+
+def test_periodic_start_after_zero_fires_immediately():
+    sim = Simulator()
+    fired = []
+    sim.every(2.0, lambda: fired.append(sim.now), start_after=0)
+    sim.run_until(6.0)
+    assert fired == [0.0, 2.0, 4.0, 6.0]
+
+
+def test_periodic_start_after_zero_matches_reference_order():
+    def script(sim):
+        order = []
+        sim.schedule(0.0, lambda: order.append("plain"))
+        sim.every(1.0, lambda: order.append("tick"), start_after=0)
+        sim.schedule(0.0, lambda: order.append("late"))
+        sim.run_until(2.0)
+        return order
+
+    assert script(Simulator()) == script(ReferenceSimulator())
+
+
+def test_periodic_survives_compaction_between_firings():
+    sim = Simulator()
+    fired = []
+    handle = sim.every(10.0, lambda: fired.append(sim.now))
+    churn = [sim.schedule(5000.0, lambda: None) for __ in range(500)]
+    sim.run_until(25.0)
+    for timer in churn:
+        timer.cancel()  # triggers compaction mid-lifetime
+    assert sim.compactions >= 1
+    sim.run_until(50.0)
+    assert fired == [10.0, 20.0, 30.0, 40.0, 50.0]
+    handle.cancel()
+    sim.run_until(100.0)
+    assert fired[-1] == 50.0
+
+
+def test_periodic_reentrancy_with_compaction_interleaved():
+    """A periodic whose callback churns cancellations (forcing compaction
+    while its own reused timer is live) must keep exact cadence and
+    ordering versus the seed engine."""
+
+    def script(sim):
+        log = []
+        churn = []
+
+        def tick():
+            log.append(("tick", sim.now))
+            for timer in churn:
+                timer.cancel()
+            del churn[:]
+            churn.extend(sim.schedule(900.0, lambda: None)
+                         for __ in range(80))
+            sim.schedule(0.5, lambda: log.append(("mid", sim.now)))
+
+        sim.every(2.0, tick)
+        sim.run_until(30.0)
+        for timer in churn:
+            timer.cancel()
+        return log
+
+    engine = Simulator()
+    assert script(engine) == script(ReferenceSimulator())
+    assert engine.compactions >= 1

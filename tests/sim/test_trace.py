@@ -1,0 +1,149 @@
+"""Kernel-trace profiler: site attribution, accounting, and reporting."""
+
+import pytest
+
+from repro.sim import KernelTrace, Simulator, site_for
+
+
+class FakeClock:
+    """Deterministic perf_counter: each call advances by ``step``."""
+
+    def __init__(self, step=0.001):
+        self.step = step
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class Widget:
+    def __init__(self, log):
+        self.log = log
+
+    def poke(self):
+        self.log.append(id(self))
+
+
+def _named(log):
+    log.append("named")
+
+
+def test_site_for_plain_function():
+    assert site_for(_named) == "{}.{}".format(_named.__module__, "_named")
+
+
+def test_site_for_collapses_bound_methods_to_one_site():
+    a, b = Widget([]), Widget([])
+    assert site_for(a.poke) == site_for(b.poke)
+    assert site_for(a.poke).endswith("Widget.poke")
+
+
+def test_site_for_falls_back_to_repr_for_odd_callables():
+    class Oddball:
+        def __call__(self):
+            pass
+
+        def __repr__(self):
+            return "<Oddball " + "x" * 200 + ">"
+
+    site = site_for(Oddball())  # instance has no __qualname__
+    assert site.startswith("<Oddball")
+    assert len(site) <= 80
+
+
+def test_dispatch_counts_per_site():
+    trace = KernelTrace(clock=FakeClock())
+    log = []
+    widget = Widget(log)
+    for __ in range(3):
+        trace.dispatch(widget.poke)
+    trace.dispatch(lambda: _named(log))
+    assert trace.total_events == 4
+    counts = {s.site: s.count for s in trace.sites.values()}
+    assert counts[site_for(widget.poke)] == 3
+
+
+def test_wall_time_uses_injected_clock():
+    clock = FakeClock(step=0.5)
+    trace = KernelTrace(clock=clock)
+    trace.dispatch(lambda: None)
+    trace.dispatch(lambda: None)
+    # Each dispatch brackets the callback with two clock reads 0.5 apart.
+    assert trace.total_wall_s == pytest.approx(1.0)
+
+
+def test_dispatch_attributes_even_when_callback_raises():
+    trace = KernelTrace(clock=FakeClock())
+
+    def boom():
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        trace.dispatch(boom)
+    assert trace.total_events == 1
+    assert trace.top(1)[0].wall_s > 0.0
+
+
+def test_top_orders_by_key_and_validates_it():
+    trace = KernelTrace(clock=FakeClock())
+
+    def often():
+        pass
+
+    def rarely():
+        for __ in range(20):
+            trace._clock()  # inflate wall time relative to `often`
+
+    for __ in range(5):
+        trace.dispatch(often)
+    trace.dispatch(rarely)
+
+    by_count = trace.top(key="count")
+    assert [s.site for s in by_count][0].endswith("often")
+    by_wall = trace.top(key="wall_s")
+    assert [s.site for s in by_wall][0].endswith("rarely")
+    assert len(trace.top(1)) == 1
+    with pytest.raises(ValueError):
+        trace.top(key="bogus")
+
+
+def test_report_layout():
+    trace = KernelTrace(clock=FakeClock())
+    log = []
+    for __ in range(4):
+        trace.dispatch(lambda: _named(log))
+    report = trace.report(n=10)
+    lines = report.splitlines()
+    assert "4 events" in lines[0]
+    assert "_named" in report or "<lambda>" in report
+    assert "ev%" in lines[1]
+    # n smaller than the site count appends a truncation note
+    for index in range(20):
+        exec("def f{}(): pass".format(index), globals())
+        trace.dispatch(globals()["f{}".format(index)])
+    truncated = trace.report(n=3)
+    assert "more sites" in truncated.splitlines()[-1]
+
+
+def test_simulator_integration_and_reset():
+    sim = Simulator()
+    trace = sim.set_trace(KernelTrace())
+    assert sim.trace is trace
+    log = []
+    widget = Widget(log)
+    for i in range(10):
+        sim.schedule(float(i), widget.poke)
+    sim.schedule(100.0, widget.poke).cancel()
+    sim.run()
+    assert trace.total_events == 10  # cancelled events never reach the trace
+    assert trace.top(1)[0].site == site_for(widget.poke)
+
+    trace.reset()
+    assert trace.total_events == 0 and trace.sites == {}
+
+    sim.set_trace(None)
+    assert sim.trace is None
+    sim.schedule(200.0, widget.poke)
+    sim.run()
+    assert trace.total_events == 0  # disabled: no further attribution

@@ -1,0 +1,107 @@
+"""Byte-identical output goldens across the kernel overhaul.
+
+Every optimisation in the hot-loop PR (lazy deletion + compaction,
+timer reuse, O(1) power totals, event-driven samplers, dirty-flag
+governor scans, lease-GC early-out) claims to be *observationally
+exact*: not "close", identical. These tests pin sha256 digests of
+formatted experiment output captured on the seed engine, so any future
+"optimisation" that perturbs float summation order, dispatch order, or
+sampling cadence fails loudly instead of silently drifting the paper's
+numbers.
+
+If a digest changes because of an *intentional* semantic change, re-pin
+it in the same commit and call that out in the commit message.
+"""
+
+import hashlib
+
+from repro.apps.buggy import BUGGY_CASES
+from repro.apps.normal.background import Haven, RunKeeper, Spotify
+from repro.apps.normal.interactive import popular_apps
+from repro.droid.phone import Phone
+from repro.experiments import characterization, overhead, table5
+from repro.experiments.runner import run_case
+from repro.mitigation import BatterySaver, DefDroid, Doze, LeaseOS, TimedThrottle
+
+
+def _digest(text):
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def test_golden_fig1_betterweather():
+    text = "\n".join(
+        "{:.1f},{:.6f},{:.6f}".format(r.time, r.gps_search_time, r.power_mw)
+        for r in characterization.fig1_betterweather())
+    assert _digest(text) == (
+        "cc8213a7a1cc6b0e6d208959750b2b1c4bb5c0487eb1ac37ef1b5f9c65aa922a")
+
+
+def test_golden_fig2_k9_bad_server():
+    text = "\n".join(
+        "{:.1f},{:.6f},{:.6f},{:.6f}".format(
+            r.time, r.wakelock_time, r.cpu_time, r.power_mw)
+        for r in characterization.fig2_k9_bad_server())
+    assert _digest(text) == (
+        "f7f335029a5ee48c79e427a02ea6faff8f06e0a71b596b36c6ec862d94e0a54d")
+
+
+def test_golden_table5_rendered():
+    text = table5.render(table5.run(cases=BUGGY_CASES[:6], minutes=10.0))
+    assert _digest(text) == (
+        "6828ec214efe4c0c58b6e31856b86795bc12a09a839f2f87433830e443e74ed9")
+
+
+def test_golden_overhead_sweep():
+    rows = overhead.run(settings=overhead.SETTINGS[:3], repeats=1)
+    text = "\n".join(
+        "{}|{:.9f}|{:.9f}".format(s.key, a, b) for s, a, b in rows)
+    assert _digest(text) == (
+        "2d71423a42a6f55724074713ffd07c188864de65cbe4110742586cdd397e6a47")
+
+
+def test_golden_mitigation_scan_matrix():
+    # Exercises every dirty-flag scan path: Doze (plain + aggressive),
+    # DefDroid's per-service thresholds, TimedThrottle, BatterySaver.
+    factories = (Doze, lambda: Doze(aggressive=True), DefDroid,
+                 TimedThrottle, BatterySaver)
+    lines = []
+    for factory in factories:
+        for case in BUGGY_CASES[:4]:
+            r = run_case(case, factory, minutes=20.0)
+            lines.append("{}|{}|{:.9f}|{:.9f}|{}".format(
+                r.case_key, r.mitigation, r.app_power_mw,
+                r.system_power_mw, r.disruptions))
+    assert _digest("\n".join(lines)) == (
+        "4a01df1f0fcf19a2c7a081e0c3fda8733f0e50c520c7085ea8767ff5662fe797")
+
+
+def test_golden_six_hour_leaseos_soak():
+    # A busy mixed workload: interactive fleet with touch-driven
+    # sessions plus three background apps, under full lease management.
+    # Covers the GC early-out, the INACTIVE counter, and the running
+    # power total over tens of thousands of rail changes.
+    mit = LeaseOS()
+    phone = Phone(seed=71, mitigation=mit, gps_quality=0.95,
+                  movement_mps=1.0)
+    fleet = popular_apps(6)
+    for app in fleet:
+        phone.install(app)
+    bg = [phone.install(Spotify()), phone.install(Haven()),
+          phone.install(RunKeeper())]
+    uids = [a.uid for a in fleet]
+
+    def day():
+        while True:
+            for __ in range(3):
+                yield from phone.user.active_session(
+                    uids, 30 * 60.0, touch_interval=10.0)
+                yield from phone.user.idle_session(7 * 3600.0 / 3)
+
+    phone.sim.spawn(day(), name="soak.user")
+    phone.run_for(hours=6.0)
+    text = "{:.9f}|{}|{}|{}|{}".format(
+        phone.monitor.ledger.total_mj(), mit.manager.created_total,
+        mit.manager.op_counts["update"], mit.manager.gc_removed,
+        sum(len(a.disruptions) for a in fleet + bg))
+    assert _digest(text) == (
+        "58c76fe325f0db1c57e21b430faa40f849c3c34525764d89592090e913f6c794")
