@@ -185,6 +185,33 @@ def _cmd_misleading(args):
     )
 
 
+def _cmd_chaos(args):
+    from repro.experiments import chaos
+
+    if getattr(args, "replay", None):
+        from repro.faults.bundle import replay_bundle
+
+        result, text = replay_bundle(args.replay)
+        if result["violations"]:
+            args.exit_code = 1
+        return "chaos_replay.txt", text
+    base = args.base_seed
+    plan_seeds = tuple(range(base, base + args.seeds))
+    print("chaos: base seed {} -> fault-plan seeds {} (replayable: the "
+          "seeds fully determine the fault plans)".format(
+              base, list(plan_seeds)), file=sys.stderr)
+    report = chaos.run(plan_seeds=plan_seeds, minutes=args.minutes,
+                       runner=_grid_runner(args))
+    text = chaos.render(report)
+    if report.total_violations:
+        paths = report.write_bundles(args.bundle_dir)
+        text += "\n\nrepro bundles (replay with `python -m repro chaos " \
+                "--replay <path>`):\n" + \
+                "\n".join("  " + path for path in paths)
+        args.exit_code = 1
+    return "chaos.txt", text
+
+
 COMMANDS = {
     "table5": (_cmd_table5, "Table 5: 20 buggy apps x 4 regimes"),
     "fig9": (_cmd_fig9, "Fig. 9: lease term validation"),
@@ -213,7 +240,14 @@ COMMANDS = {
                    "population-level savings estimate (derived)"),
     "misleading": (_cmd_misleading,
                    "2.3: holding time vs utility as a classifier"),
+    "chaos": (_cmd_chaos,
+              "fault-injection sweep: Table-5 subset under sampled fault "
+              "plans with the invariant suite armed"),
 }
+
+#: Commands skipped by ``repro all``: chaos has its own seed/exit-code
+#: plumbing and is run by the dedicated CI job instead.
+EXCLUDE_FROM_ALL = ("chaos",)
 
 
 def build_parser():
@@ -238,13 +272,28 @@ def build_parser():
 
     for name, (__, help_text) in COMMANDS.items():
         sub = subparsers.add_parser(name, help=help_text)
-        sub.add_argument("--minutes", type=float, default=30.0,
+        sub.add_argument("--minutes", type=float,
+                         default=10.0 if name == "chaos" else 30.0,
                          help="simulated minutes per run where applicable")
         # SUPPRESS keeps a top-level "--out DIR" (before the subcommand)
         # working: the subparser only overrides when given explicitly.
         sub.add_argument("--out", metavar="DIR", default=argparse.SUPPRESS,
                          help="also write the artifact text into DIR")
         add_grid_args(sub)
+        if name == "chaos":
+            sub.add_argument("--seeds", type=int, default=3, metavar="N",
+                             help="number of sampled fault plans")
+            sub.add_argument("--base-seed", type=int, default=1,
+                             metavar="S",
+                             help="first fault-plan seed (CI rotates this "
+                                  "with the run number)")
+            sub.add_argument("--bundle-dir", metavar="DIR",
+                             default="results/chaos_bundles",
+                             help="where invariant-violation repro "
+                                  "bundles are written")
+            sub.add_argument("--replay", metavar="BUNDLE", default=None,
+                             help="replay a repro bundle instead of "
+                                  "running the sweep")
     all_parser = subparsers.add_parser(
         "all", help="run every experiment in sequence")
     all_parser.add_argument("--minutes", type=float, default=30.0)
@@ -258,7 +307,11 @@ def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
     args.grid_runner = None  # built lazily by grid-aware subcommands
-    names = list(COMMANDS) if args.command == "all" else [args.command]
+    args.exit_code = 0  # raised by chaos on invariant violations
+    if args.command == "all":
+        names = [n for n in COMMANDS if n not in EXCLUDE_FROM_ALL]
+    else:
+        names = [args.command]
     for name in names:
         handler, __ = COMMANDS[name]
         filename, text = handler(args)
@@ -275,7 +328,7 @@ def main(argv=None):
         print("[grid: {} jobs, {} executed, {} cache hits, jobs={}]"
               .format(stats.submitted, stats.executed, stats.cache_hits,
                       args.grid_runner.jobs), file=sys.stderr)
-    return 0
+    return args.exit_code
 
 
 if __name__ == "__main__":

@@ -38,6 +38,29 @@ class LeaseTransitionError(Exception):
     """An illegal lease state transition was attempted."""
 
 
+#: Observers called as ``hook(lease, old_state, new_state)`` after every
+#: transition that goes through :meth:`Lease.transition`. The invariant
+#: checker (:mod:`repro.faults.invariants`) uses this to shadow the state
+#: machine and detect both illegal transitions and direct ``state``
+#: mutations that bypass ``transition()`` entirely. Empty list == zero
+#: cost beyond one truthiness check per transition.
+_TRANSITION_HOOKS = []
+
+
+def add_transition_hook(hook):
+    """Register a ``hook(lease, old_state, new_state)`` observer."""
+    _TRANSITION_HOOKS.append(hook)
+    return hook
+
+
+def remove_transition_hook(hook):
+    """Unregister a previously added transition observer."""
+    try:
+        _TRANSITION_HOOKS.remove(hook)
+    except ValueError:
+        pass
+
+
 class Lease:
     """One lease: a timed capability over one kernel resource instance.
 
@@ -80,8 +103,12 @@ class Lease:
             raise LeaseTransitionError(
                 "lease {} is dead and cannot transition".format(self.descriptor)
             )
+        old_state = self.state
         if new_state is LeaseState.DEAD:
             self.state = new_state
+            if _TRANSITION_HOOKS:
+                for hook in list(_TRANSITION_HOOKS):
+                    hook(self, old_state, new_state)
             return
         if (self.state, new_state) not in _ALLOWED:
             raise LeaseTransitionError(
@@ -90,6 +117,9 @@ class Lease:
                 )
             )
         self.state = new_state
+        if _TRANSITION_HOOKS:
+            for hook in list(_TRANSITION_HOOKS):
+                hook(self, old_state, new_state)
 
     @property
     def active(self):

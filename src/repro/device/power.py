@@ -62,6 +62,29 @@ class EnergyLedger:
         """A copy of the raw (uid, rail) -> mJ mapping."""
         return dict(self._energy_mj)
 
+    def consistency_error_mj(self):
+        """Worst disagreement between the raw map and the running totals.
+
+        The ledger maintains the per-uid, per-rail and grand totals
+        incrementally; this recomputes each from the raw (uid, rail) map
+        and returns the largest absolute difference in mJ. Anything
+        beyond float-summation noise means the O(1) fast paths and the
+        ground truth have diverged -- the energy-conservation invariant
+        (:mod:`repro.faults.invariants`) checks this continuously.
+        """
+        raw_total = sum(self._energy_mj.values())
+        by_uid = defaultdict(float)
+        by_rail = defaultdict(float)
+        for (uid, rail), energy in self._energy_mj.items():
+            by_uid[uid] += energy
+            by_rail[rail] += energy
+        worst = abs(raw_total - self._total_mj)
+        for uid, energy in self._by_uid.items():
+            worst = max(worst, abs(energy - by_uid.get(uid, 0.0)))
+        for rail, energy in self._by_rail.items():
+            worst = max(worst, abs(energy - by_rail.get(rail, 0.0)))
+        return worst
+
 
 class _Rail:
     __slots__ = ("power_mw", "owners")

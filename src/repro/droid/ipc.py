@@ -29,6 +29,10 @@ class IpcCall:
 class IpcBus:
     """Records every binder transaction with its modelled latency."""
 
+    #: Modelled cost of one failed-and-retried binder transaction: the
+    #: kernel-side timeout plus the retry, charged as extra latency.
+    FAILURE_RETRY_PENALTY_S = 0.05
+
     def __init__(self, sim, base_latency_s=0.002):
         self.sim = sim
         self.base_latency_s = base_latency_s
@@ -38,16 +42,42 @@ class IpcBus:
         #: Extra latency injected by a governor for the *next* call,
         #: keyed by (uid, service); see ``add_overhead``.
         self._overhead_hooks = []
+        # Fault-injection window state (repro.faults): while a fault is
+        # armed every transaction pays ``fault_extra_latency_s`` and
+        # fails (once, with a retry penalty) with probability
+        # ``fault_failure_rate``. Both default to the no-fault fast path.
+        self.fault_extra_latency_s = 0.0
+        self.fault_failure_rate = 0.0
+        self.fault_rng = None  # dedicated Random owned by the injector
+        self.failed_calls = 0
 
     def add_overhead_hook(self, hook):
         """Register ``hook(uid, service, method) -> extra_latency_s``."""
         self._overhead_hooks.append(hook)
+
+    def set_fault_window(self, extra_latency_s=0.0, failure_rate=0.0,
+                         rng=None):
+        """Arm (or, with zeros, disarm) a binder fault window.
+
+        Used by :class:`repro.faults.injector.FaultInjector`; latency
+        spikes and transaction failures are deterministic given ``rng``.
+        """
+        self.fault_extra_latency_s = float(extra_latency_s)
+        self.fault_failure_rate = float(failure_rate)
+        if rng is not None:
+            self.fault_rng = rng
 
     def record(self, uid, service, method, extra_latency_s=0.0):
         """Record one IPC and return its total modelled latency (seconds)."""
         latency = self.base_latency_s + extra_latency_s
         for hook in self._overhead_hooks:
             latency += hook(uid, service, method)
+        if self.fault_extra_latency_s:
+            latency += self.fault_extra_latency_s
+        if self.fault_failure_rate and self.fault_rng is not None \
+                and self.fault_rng.random() < self.fault_failure_rate:
+            self.failed_calls += 1
+            latency += self.FAILURE_RETRY_PENALTY_S
         call = IpcCall(self.sim.now, uid, service, method, latency)
         self.calls.append(call)
         self._per_uid_latency[uid] += latency

@@ -156,6 +156,24 @@ class Phone:
         self.bluetooth.kill_app_sessions(uid)
         self.broadcasts.unregister_app(uid)
 
+    def restart_app(self, uid):
+        """Restart a previously killed app (crash-restart semantics).
+
+        The app keeps its uid and installed context; ``on_start`` runs
+        again and the main loop is respawned, acquiring fresh kernel
+        objects -- the old ones were cleaned by :meth:`kill_app`. Like a
+        launch, the restart holds the device awake for the startup
+        window.
+        """
+        app = self.apps[uid]
+        if app.started:
+            return app
+        self.suspend.hold_awake(
+            "launch:{}".format(app.uid), self.LAUNCH_WINDOW_S
+        )
+        app.start()
+        return app
+
     def _app_processes(self):
         for app in self.apps.values():
             for proc in app.alive_processes():

@@ -83,6 +83,11 @@ class NetworkEnvironment:
     def server_mode(self, name):
         return self._servers.get(name, ServerMode.OK)
 
+    def known_servers(self):
+        """Names of every server a mode has been declared for, in
+        declaration order (scenario servers first, then any set later)."""
+        return tuple(self._servers)
+
     def request_outcome(self, server, rng, payload_s=0.0):
         """Compute what one request to ``server`` does, without side effects.
 

@@ -1,0 +1,290 @@
+"""Chaos experiment: the Table-5 subset under sampled fault plans.
+
+The reproduction's headline numbers all come from the happy path of the
+simulator. This harness re-runs a representative Table-5 subset while a
+:class:`~repro.faults.injector.FaultInjector` perturbs the run -- binder
+storms, GPS dropouts, network flaps, app crashes, power noise, event
+jitter -- with the :mod:`~repro.faults.invariants` suite armed
+throughout, and answers two questions:
+
+1. **Does the simulator stay sound?** Any invariant violation fails the
+   run and emits a minimal repro bundle (seed + fault plan JSON) that
+   replays the failure in one command.
+2. **Which mitigation verdicts flip under faults?** A mitigation is
+   "effective" on a case when it cuts the app's power vs vanilla *under
+   the same conditions* by at least :data:`EFFECTIVE_THRESHOLD_PCT`.
+   Comparing the no-fault verdict with each fault plan's verdict shows
+   which conclusions survive misbehaving environments (the paper's §7.6
+   claim) and which are artifacts of a clean world.
+
+Every job is a :class:`~repro.experiments.grid.FuncSpec`, so chaos grids
+fan out and cache through the ordinary :class:`GridRunner`.
+"""
+
+import hashlib
+
+from repro.experiments.grid import (
+    FuncSpec,
+    GridRunner,
+    resolve_case,
+    resolve_mitigation_factory,
+)
+from repro.experiments.runner import format_table, reduction_pct
+from repro.faults.bundle import write_bundle
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FaultPlan
+
+#: Same representative slice as the robustness sweeps: one case per
+#: resource class.
+DEFAULT_SUBSET = ("torch", "k9", "connectbot-screen", "betterweather",
+                  "tapandturn")
+
+#: Regimes compared; vanilla is the in-condition baseline for verdicts.
+MITIGATIONS = ("vanilla", "leaseos", "doze-aggressive", "defdroid")
+
+#: A mitigation's verdict on a case is "effective" at or above this
+#: reduction (vs vanilla under the same fault plan).
+EFFECTIVE_THRESHOLD_PCT = 40.0
+
+#: Default bundle directory for invariant-violation repros.
+DEFAULT_BUNDLE_DIR = "results/chaos_bundles"
+
+
+def run_chaos_case(case_key, mitigation="vanilla", minutes=10.0, seed=7,
+                   plan_json="", invariant_interval_s=30.0):
+    """One case under one mitigation with a fault plan armed.
+
+    Module-level and scalar-kwarg-only so it runs as a
+    :class:`~repro.experiments.grid.FuncSpec` (parallel workers, result
+    cache). Returns a plain dict of scalars: powers, disruptions, fault
+    and invariant accounting, and a sha256 fingerprint of the outcome --
+    the determinism goldens assert the fingerprint bit-identical across
+    runs and processes.
+    """
+    case = resolve_case(case_key)
+    factory = resolve_mitigation_factory(mitigation)
+    mit = factory() if factory else None
+    phone = case.build_phone(mitigation=mit, seed=seed)
+    app = case.make_app()
+    phone.install(app)
+    checker = InvariantChecker(phone, interval_s=invariant_interval_s)
+    plan = FaultPlan.from_json(plan_json) if plan_json else FaultPlan()
+    injector = FaultInjector(phone, plan, seed=seed, checker=checker,
+                             target_uid=app.uid)
+    injector.arm()
+    mark = phone.energy_mark()
+    crash = ""
+    try:
+        phone.run_for(minutes=minutes)
+    except Exception as exc:  # a crash is itself an invariant failure
+        crash = "{}: {}".format(type(exc).__name__, exc)
+    checker.check_now()
+    checker.detach()
+    violations = [v.as_dict() for v in checker.violations]
+    if crash:
+        violations.append({"invariant": "no_uncaught_exception",
+                           "time": phone.sim.now, "detail": crash,
+                           "data": {}})
+    result = {
+        "case_key": case_key,
+        "mitigation": mitigation,
+        "seed": seed,
+        "plan_seed": plan.seed,
+        "minutes": minutes,
+        "app_power_mw": phone.power_since(mark, app.uid),
+        "system_power_mw": phone.power_since(mark),
+        "disruptions": len(app.disruptions),
+        "faults_applied": injector.applied_count,
+        "ipc_failed_calls": phone.ipc.failed_calls,
+        "invariant_checks": checker.checks_run,
+        "violations": violations,
+    }
+    result["fingerprint"] = _fingerprint(result, phone)
+    return result
+
+
+def _fingerprint(result, phone):
+    """sha256 over every observable scalar of the run."""
+    text = "|".join([
+        result["case_key"], result["mitigation"], str(result["seed"]),
+        str(result["plan_seed"]),
+        "{:.9f}".format(result["app_power_mw"]),
+        "{:.9f}".format(result["system_power_mw"]),
+        str(result["disruptions"]), str(result["faults_applied"]),
+        str(result["ipc_failed_calls"]),
+        str(phone.ipc.call_count()), str(phone.sim.dispatched),
+        "{:.6f}".format(phone.battery.remaining_mj),
+        ";".join("{}@{:.3f}".format(v["invariant"], v["time"])
+                 for v in result["violations"]),
+    ])
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ChaosReport:
+    """Everything one chaos sweep produced, ready to render."""
+
+    def __init__(self, case_keys, plans, baseline, by_plan, minutes, seed):
+        self.case_keys = tuple(case_keys)
+        self.plans = plans  # {plan_seed: FaultPlan}
+        self.baseline = baseline  # {(case, mitigation): result}
+        self.by_plan = by_plan  # {plan_seed: {(case, mitigation): result}}
+        self.minutes = minutes
+        self.seed = seed
+
+    # -- verdicts ----------------------------------------------------------
+
+    @staticmethod
+    def _verdict(results, case_key, mitigation):
+        vanilla = results[(case_key, "vanilla")]["app_power_mw"]
+        mitigated = results[(case_key, mitigation)]["app_power_mw"]
+        return reduction_pct(vanilla, mitigated) >= EFFECTIVE_THRESHOLD_PCT
+
+    def flips(self):
+        """Every (case, mitigation, plan_seed) whose verdict flipped."""
+        out = []
+        for case_key in self.case_keys:
+            for mitigation in MITIGATIONS[1:]:
+                base = self._verdict(self.baseline, case_key, mitigation)
+                for plan_seed, results in sorted(self.by_plan.items()):
+                    under = self._verdict(results, case_key, mitigation)
+                    if under != base:
+                        out.append((case_key, mitigation, plan_seed,
+                                    base, under))
+        return out
+
+    def violating_runs(self):
+        """Every result dict that recorded invariant violations."""
+        runs = [r for r in self.baseline.values() if r["violations"]]
+        for results in self.by_plan.values():
+            runs.extend(r for r in results.values() if r["violations"])
+        return runs
+
+    @property
+    def total_violations(self):
+        return sum(len(r["violations"]) for r in self.violating_runs())
+
+    def write_bundles(self, directory=DEFAULT_BUNDLE_DIR):
+        """One repro bundle per violating run; returns the paths."""
+        paths = []
+        for result in self.violating_runs():
+            plan = self.plans.get(result["plan_seed"])
+            kwargs = {
+                "case_key": result["case_key"],
+                "mitigation": result["mitigation"],
+                "minutes": result["minutes"],
+                "seed": result["seed"],
+                "plan_json": plan.to_json() if plan is not None else "",
+            }
+            paths.append(write_bundle(directory, kwargs, result))
+        return paths
+
+
+def run(case_keys=DEFAULT_SUBSET, plan_seeds=(1, 2, 3), minutes=10.0,
+        seed=7, runner=None):
+    """The chaos sweep: baseline + every plan, one flat cached grid."""
+    runner = runner if runner is not None else GridRunner()
+    plans = {ps: FaultPlan.sample(ps, horizon_s=minutes * 60.0)
+             for ps in plan_seeds}
+    conditions = [(None, "")] + [(ps, plans[ps].to_json())
+                                 for ps in plan_seeds]
+    specs = [
+        FuncSpec.make(run_chaos_case, case_key=case_key,
+                      mitigation=mitigation, minutes=float(minutes),
+                      seed=int(seed), plan_json=plan_json)
+        for __, plan_json in conditions
+        for case_key in case_keys
+        for mitigation in MITIGATIONS
+    ]
+    flat = runner.run(specs)
+    per_condition = len(case_keys) * len(MITIGATIONS)
+    tables = {}
+    for offset, (plan_seed, __) in enumerate(conditions):
+        chunk = flat[offset * per_condition:(offset + 1) * per_condition]
+        table = {}
+        index = 0
+        for case_key in case_keys:
+            for mitigation in MITIGATIONS:
+                table[(case_key, mitigation)] = chunk[index]
+                index += 1
+        tables[plan_seed] = table
+    baseline = tables.pop(None)
+    return ChaosReport(case_keys, plans, baseline, tables, minutes, seed)
+
+
+def render(report):
+    plan_seeds = sorted(report.plans)
+    lines = ["Chaos sweep: {} cases x {} regimes x {} fault plans "
+             "({}+baseline grids of {:.0f} simulated minutes, seed {})"
+             .format(len(report.case_keys), len(MITIGATIONS),
+                     len(plan_seeds), len(plan_seeds), report.minutes,
+                     report.seed)]
+    for plan_seed in plan_seeds:
+        lines.append("  plan {}: {!r}".format(plan_seed,
+                                              report.plans[plan_seed]))
+    headers = ["case", "mitigation", "base"] + [
+        "plan {}".format(ps) for ps in plan_seeds]
+    rows = []
+    for case_key in report.case_keys:
+        for mitigation in MITIGATIONS[1:]:
+            base = report._verdict(report.baseline, case_key, mitigation)
+            cells = [case_key, mitigation, "eff" if base else "ineff"]
+            for plan_seed in plan_seeds:
+                under = report._verdict(report.by_plan[plan_seed],
+                                        case_key, mitigation)
+                mark = "eff" if under else "ineff"
+                if under != base:
+                    mark += " *FLIP*"
+                cells.append(mark)
+            rows.append(cells)
+    lines.append("")
+    lines.append(format_table(
+        headers, rows,
+        title="Verdicts (effective = >={:.0f}% app-power reduction vs "
+              "vanilla under the same faults)".format(
+                  EFFECTIVE_THRESHOLD_PCT)))
+    flips = report.flips()
+    lines.append("")
+    if flips:
+        lines.append("{} verdict flip(s) under faults:".format(len(flips)))
+        for case_key, mitigation, plan_seed, base, under in flips:
+            lines.append("  {} / {}: {} -> {} under plan {}".format(
+                case_key, mitigation,
+                "effective" if base else "ineffective",
+                "effective" if under else "ineffective", plan_seed))
+    else:
+        lines.append("no verdict flips: every mitigation conclusion "
+                     "survives every sampled fault plan")
+    if report.total_violations:
+        lines.append("")
+        lines.append("INVARIANT VIOLATIONS: {} across {} run(s) -- repro "
+                     "bundles written; replay with "
+                     "`python -m repro chaos --replay <bundle>`".format(
+                         report.total_violations,
+                         len(report.violating_runs())))
+        for result in report.violating_runs():
+            for violation in result["violations"]:
+                lines.append("  {}/{} [{}] t={:.1f}: {}".format(
+                    result["case_key"], result["mitigation"],
+                    violation["invariant"], violation["time"],
+                    violation["detail"]))
+    else:
+        lines.append("invariants: all held ({} sampled checks across the "
+                     "grid)".format(sum(
+                         r["invariant_checks"]
+                         for t in [report.baseline] +
+                         list(report.by_plan.values())
+                         for r in t.values())))
+    return "\n".join(lines)
+
+
+def main():
+    report = run()
+    print(render(report))
+    if report.total_violations:
+        report.write_bundles()
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

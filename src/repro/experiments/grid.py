@@ -326,14 +326,34 @@ class ResultCache:
         return os.path.join(self.directory, key + ".json")
 
     def load(self, spec):
-        """The decoded cached result, or None on miss/corruption."""
+        """The decoded cached result, or None on miss/corruption.
+
+        A miss (no file) is silent; a *corrupt or undecodable* file is
+        discarded on the spot so the entry is rebuilt cleanly instead of
+        being re-parsed (and re-failed) on every subsequent lookup.
+        """
+        path = self._path(self.key_for(spec))
         try:
-            with open(self._path(self.key_for(spec))) as handle:
+            with open(path) as handle:
                 payload = json.load(handle)
-            return decode_result(payload["result"])
-        except (OSError, ValueError, KeyError, AttributeError,
-                ImportError, TypeError):
+        except OSError:
             return None
+        except ValueError:
+            self._discard(path)
+            return None
+        try:
+            return decode_result(payload["result"])
+        except (ValueError, KeyError, AttributeError, ImportError,
+                TypeError):
+            self._discard(path)
+            return None
+
+    @staticmethod
+    def _discard(path):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
 
     def store(self, spec, result):
         try:

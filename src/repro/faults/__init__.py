@@ -1,0 +1,44 @@
+"""Fault injection ("chaos") for the simulator itself.
+
+The paper's claim is that lease-based management stays correct and cheap
+*under misbehaviour* -- apps that hold wakelocks forever, GPS that never
+fixes, servers that reject every sync (PAPER §2, §7.6). This package
+drives exactly those error paths systematically:
+
+- :mod:`repro.faults.plan` -- declarative, seed-sampled fault plans
+  (what goes wrong, when, for how long), JSON round-trippable;
+- :mod:`repro.faults.injector` -- applies a plan to a live
+  :class:`~repro.droid.phone.Phone` by scheduling perturbations on the
+  simulator: binder latency spikes and transaction failures, GPS
+  dropouts and never-fix periods, network flaps and server-error storms,
+  app crash/restart, rail-power noise and battery jitter, and
+  event-delivery jitter at the engine level;
+- :mod:`repro.faults.invariants` -- always-on checkers that must hold
+  no matter what the injector does: energy conservation, lease
+  state-machine legality, monotonic simulated time, no wakelock honoured
+  after its process died;
+- :mod:`repro.faults.bundle` -- minimal repro bundles (seed + fault
+  plan JSON) that replay an invariant violation in one command.
+
+Everything is deterministic: the same (scenario, fault plan, seed)
+produces byte-identical output, which the chaos goldens assert.
+"""
+
+from repro.faults.bundle import load_bundle, replay_bundle, write_bundle
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.jitter import DispatchJitter
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "DispatchJitter",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantChecker",
+    "InvariantViolation",
+    "load_bundle",
+    "replay_bundle",
+    "write_bundle",
+]

@@ -1,0 +1,78 @@
+"""Minimal repro bundles: one JSON file that replays a chaos failure.
+
+When the invariant suite trips during a chaos run, the runner writes a
+bundle holding exactly what is needed to reproduce the failure -- the
+``run_chaos_case`` kwargs (case, mitigation, minutes, seed and the full
+fault-plan JSON) plus the violations and output fingerprint observed.
+Replaying is one command::
+
+    python -m repro chaos --replay results/chaos_bundles/<bundle>.json
+
+which re-runs the case and reports whether the same violations and the
+same byte-identical fingerprint came back.
+"""
+
+import hashlib
+import json
+import os
+
+
+def write_bundle(directory, kwargs, result):
+    """Write a repro bundle; returns its path.
+
+    ``kwargs`` must be the exact keyword arguments of
+    :func:`repro.experiments.chaos.run_chaos_case`; ``result`` is that
+    function's return value for the failing run.
+    """
+    payload = {
+        "kwargs": dict(kwargs),
+        "violations": list(result.get("violations", ())),
+        "fingerprint": result.get("fingerprint", ""),
+        "replay": "python -m repro chaos --replay <this file>",
+    }
+    token = hashlib.sha256(json.dumps(
+        payload["kwargs"], sort_keys=True).encode()).hexdigest()[:10]
+    name = "chaos_{}_{}_s{}_{}.json".format(
+        kwargs.get("case_key", "case"), kwargs.get("mitigation", "m"),
+        kwargs.get("seed", 0), token)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_bundle(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def replay_bundle(path):
+    """Re-run a bundle's case. Returns ``(result, report_text)``.
+
+    The report states whether the original violations reproduced and
+    whether the output fingerprint matched bit-for-bit.
+    """
+    from repro.experiments.chaos import run_chaos_case
+
+    payload = load_bundle(path)
+    result = run_chaos_case(**payload["kwargs"])
+    lines = ["replaying {}".format(os.path.basename(path))]
+    expected = payload.get("fingerprint", "")
+    if expected:
+        match = result["fingerprint"] == expected
+        lines.append("fingerprint: {} ({})".format(
+            result["fingerprint"],
+            "matches the original run" if match
+            else "DIFFERS from {} -- non-determinism!".format(expected)))
+    if result["violations"]:
+        lines.append("violations reproduced ({}):".format(
+            len(result["violations"])))
+        for violation in result["violations"]:
+            lines.append("  [{}] t={:.1f}: {}".format(
+                violation["invariant"], violation["time"],
+                violation["detail"]))
+    else:
+        lines.append("no violations on replay (fixed, or environment-"
+                     "dependent -- check the fingerprint line)")
+    return result, "\n".join(lines)

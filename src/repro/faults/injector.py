@@ -1,0 +1,208 @@
+"""Applies a :class:`~repro.faults.plan.FaultPlan` to a live Phone.
+
+The injector schedules one callback per fault event on the phone's own
+simulator, so injection is part of the deterministic event stream: the
+same (scenario, plan, seed) perturbs the same instants in the same
+order. Every windowed fault saves the state it clobbers and restores it
+when the window closes, so plans compose -- overlapping windows of the
+same kind restore in LIFO order through the saved values.
+
+Faults by layer:
+
+- ``droid/ipc.py``   -- binder latency spikes, transaction failures
+- ``env/gps.py``     -- signal dropouts and never-fix degradation
+- ``env/network.py`` -- connectivity flaps, server-error storms
+- ``droid/app.py``   -- app process crash + delayed restart
+- ``device/power.py``-- spurious rail draw, battery-model jitter
+- ``sim/engine.py``  -- event-delivery jitter (via the trace hook)
+"""
+
+import random
+
+from repro.device.power import SYSTEM_UID
+from repro.env.network import ServerMode
+from repro.faults.jitter import DispatchJitter
+
+
+class FaultInjector:
+    """Schedules a plan's events against one phone."""
+
+    #: Rail used for spurious system draw injected by ``rail_noise``.
+    NOISE_RAIL = "chaos_noise"
+    #: Ledger rail for one-shot ``battery_jitter`` energy.
+    JITTER_RAIL = "chaos_battery"
+
+    def __init__(self, phone, plan, seed=0, checker=None, target_uid=None):
+        self.phone = phone
+        self.sim = phone.sim
+        self.plan = plan
+        self.checker = checker
+        #: The uid crash faults target; defaults to the first installed
+        #: app at fire time (deterministic: install order).
+        self.target_uid = target_uid
+        #: Dedicated rng for fault randomness (ipc failures, jitter),
+        #: isolated from the phone's rngs so arming a fault window never
+        #: shifts the workload's own random streams. Seeded from a string
+        #: (stable across processes -- tuple seeds would go through
+        #: ``hash()`` and PYTHONHASHSEED randomisation).
+        self.rng = random.Random("faults:{}:{}".format(seed, plan.seed))
+        self.applied = []  # (time, kind) log, in application order
+        self._armed = False
+        self._jitter_depth = 0
+        self._saved_trace = None
+
+    def arm(self):
+        """Schedule every plan event; idempotent."""
+        if self._armed:
+            return self
+        self._armed = True
+        self.phone.ipc.fault_rng = self.rng
+        for event in self.plan:
+            self.sim.schedule(event.at_s, self._applier(event))
+        return self
+
+    @property
+    def applied_count(self):
+        return len(self.applied)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _applier(self, event):
+        handler = getattr(self, "_apply_" + event.kind)
+
+        def apply():
+            self.applied.append((self.sim.now, event.kind))
+            handler(event)
+
+        return apply
+
+    def _after(self, duration_s, callback):
+        self.sim.schedule(duration_s, callback)
+
+    # -- binder IPC --------------------------------------------------------
+
+    def _apply_ipc_latency(self, event):
+        ipc = self.phone.ipc
+        previous = ipc.fault_extra_latency_s
+        ipc.fault_extra_latency_s = previous + event.param
+
+        def restore():
+            ipc.fault_extra_latency_s = previous
+
+        self._after(event.duration_s, restore)
+
+    def _apply_ipc_failure(self, event):
+        ipc = self.phone.ipc
+        previous = ipc.fault_failure_rate
+        ipc.fault_failure_rate = min(1.0, previous + event.param)
+
+        def restore():
+            ipc.fault_failure_rate = previous
+
+        self._after(event.duration_s, restore)
+
+    # -- GPS ---------------------------------------------------------------
+
+    def _apply_gps_dropout(self, event):
+        self._degrade_gps(event, 0.0)
+
+    def _apply_gps_degraded(self, event):
+        self._degrade_gps(event, event.param)
+
+    def _degrade_gps(self, event, quality):
+        gps = self.phone.env.gps
+        previous = gps.quality
+        gps.set_quality(quality)
+
+        def restore():
+            gps.set_quality(previous)
+
+        self._after(event.duration_s, restore)
+
+    # -- network -----------------------------------------------------------
+
+    def _apply_net_flap(self, event):
+        network = self.phone.env.network
+        was_connected, kind = network.connected, network.kind
+        network.set_connected(False)
+
+        def restore():
+            if was_connected:
+                network.set_connected(True, kind)
+
+        self._after(event.duration_s, restore)
+
+    def _apply_server_storm(self, event):
+        network = self.phone.env.network
+        mode = ServerMode.DOWN if event.param >= 1.0 else ServerMode.ERROR
+        saved = {name: network.server_mode(name)
+                 for name in network.known_servers()}
+        for name in saved:
+            network.set_server(name, mode)
+
+        def restore():
+            for name, previous in saved.items():
+                network.set_server(name, previous)
+
+        self._after(event.duration_s, restore)
+
+    # -- app lifecycle -----------------------------------------------------
+
+    def _crash_target(self):
+        if self.target_uid is not None and self.target_uid in self.phone.apps:
+            return self.target_uid
+        for uid, app in self.phone.apps.items():  # install order
+            if app.started:
+                return uid
+        return None
+
+    def _apply_app_crash(self, event):
+        uid = self._crash_target()
+        if uid is None or not self.phone.apps[uid].started:
+            return  # already down (overlapping crash windows)
+        self.phone.kill_app(uid)
+        if self.checker is not None:
+            self.checker.note_app_dead(uid)
+
+        def restart():
+            if self.checker is not None:
+                self.checker.note_app_alive(uid)
+            self.phone.restart_app(uid)
+
+        self._after(event.duration_s, restart)
+
+    # -- power model -------------------------------------------------------
+
+    def _apply_rail_noise(self, event):
+        monitor = self.phone.monitor
+        previous = monitor.rail_power(self.NOISE_RAIL)
+        monitor.set_rail(self.NOISE_RAIL, previous + event.param, ())
+
+        def restore():
+            monitor.set_rail(self.NOISE_RAIL, previous, ())
+
+        self._after(event.duration_s, restore)
+
+    def _apply_battery_jitter(self, event):
+        # Booked through the ledger so energy conservation still holds:
+        # noise is modelled energy, not an unaccounted battery poke.
+        self.phone.monitor.add_energy(SYSTEM_UID, self.JITTER_RAIL,
+                                      event.param)
+
+    # -- engine ------------------------------------------------------------
+
+    def _apply_event_jitter(self, event):
+        self._jitter_depth += 1
+        if self._jitter_depth == 1:
+            self._saved_trace = self.sim.trace
+            self.sim.set_trace(DispatchJitter(
+                self.sim, self.rng, probability=event.param,
+                inner=self._saved_trace))
+
+        def restore():
+            self._jitter_depth -= 1
+            if self._jitter_depth == 0:
+                self.sim.set_trace(self._saved_trace)
+                self._saved_trace = None
+
+        self._after(event.duration_s, restore)

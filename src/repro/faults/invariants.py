@@ -1,0 +1,221 @@
+"""Always-on simulation invariants.
+
+The fault injector is allowed to make the *workload* miserable; it is
+never allowed to make the *simulator* wrong. These checkers pin down
+what "wrong" means, independent of any policy under test:
+
+- **energy conservation** -- the ledger's O(1) running totals must equal
+  the integral of the rails (the raw (uid, rail) map), and the battery
+  must have drained exactly what the ledger settled;
+- **lease state-machine legality** -- every lease state change goes
+  through :meth:`~repro.core.lease.Lease.transition` and respects the
+  Fig. 5 rules; direct ``state`` mutation is detected by shadowing;
+- **monotonic simulated time** -- the clock never runs backwards, even
+  under event-delivery jitter;
+- **no wakelock honoured after process death** -- once an app's process
+  is killed, none of its kernel wakelock records may stay honoured.
+
+A checker is attached to one phone and samples periodically on the
+phone's own simulator (plus event-driven hooks where sampling could
+miss), so it is itself deterministic and costs nothing when everything
+holds.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core import lease as lease_mod
+from repro.core.lease import LeaseState
+
+
+#: Legal single transitions, mirroring (not importing the private table
+#: of) ``core/lease.py`` -- the checker must keep its own copy so a bug
+#: that corrupts the enforcement table is still caught here.
+_LEGAL = {
+    (LeaseState.ACTIVE, LeaseState.ACTIVE),
+    (LeaseState.ACTIVE, LeaseState.DEFERRED),
+    (LeaseState.ACTIVE, LeaseState.INACTIVE),
+    (LeaseState.DEFERRED, LeaseState.ACTIVE),
+    (LeaseState.INACTIVE, LeaseState.ACTIVE),
+}
+
+
+@dataclass
+class InvariantViolation:
+    """One detected violation, with enough detail to debug it."""
+
+    invariant: str
+    time: float
+    detail: str
+    data: dict = field(default_factory=dict)
+
+    def as_dict(self):
+        return {"invariant": self.invariant, "time": self.time,
+                "detail": self.detail, "data": dict(self.data)}
+
+    def __repr__(self):
+        return "InvariantViolation({}, t={:.1f}: {})".format(
+            self.invariant, self.time, self.detail)
+
+
+class InvariantChecker:
+    """Continuously validates one phone's simulation invariants."""
+
+    #: Absolute float-noise floor for energy comparisons, in mJ.
+    ENERGY_ABS_TOL_MJ = 1e-3
+    #: Relative tolerance on top (summation-order noise over long runs).
+    ENERGY_REL_TOL = 1e-9
+
+    def __init__(self, phone, interval_s=30.0):
+        self.phone = phone
+        self.sim = phone.sim
+        self.violations = []
+        self.checks_run = 0
+        self._last_now = self.sim.now
+        self._shadow = {}  # id(lease) -> (lease, LeaseState)
+        self._dead_uids = set()
+        # Everything is measured as a delta from attach time, so a
+        # checker can be attached to a phone that already ran.
+        phone.monitor.settle()
+        self._ledger_baseline_mj = phone.monitor.ledger.total_mj()
+        self._battery_baseline_mj = phone.battery.remaining_mj
+        lease_mod.add_transition_hook(self._on_lease_transition)
+        self._hook_installed = True
+        self._timer = self.sim.every(interval_s, self.check_now)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def detach(self):
+        """Stop checking; safe to call more than once."""
+        if self._hook_installed:
+            lease_mod.remove_transition_hook(self._on_lease_transition)
+            self._hook_installed = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def summary(self):
+        if self.ok:
+            return "invariants: OK ({} checks)".format(self.checks_run)
+        lines = ["invariants: {} violation(s) over {} checks".format(
+            len(self.violations), self.checks_run)]
+        lines.extend("  " + repr(v) for v in self.violations)
+        return "\n".join(lines)
+
+    # -- process-death tracking (fed by the injector / scenarios) ----------
+
+    def note_app_dead(self, uid):
+        """An app's process was killed; its locks must not stay honoured."""
+        self._dead_uids.add(uid)
+        self._check_wakelocks()
+
+    def note_app_alive(self, uid):
+        """The app restarted; new kernel objects are legitimate again."""
+        self._dead_uids.discard(uid)
+
+    # -- the checks --------------------------------------------------------
+
+    def check_now(self):
+        """Run every sampled invariant at the current instant."""
+        self.checks_run += 1
+        self._check_monotonic_time()
+        self._check_energy_conservation()
+        self._check_lease_states()
+        self._check_wakelocks()
+
+    def _report(self, invariant, detail, **data):
+        self.violations.append(InvariantViolation(
+            invariant, self.sim.now, detail, data))
+
+    def _check_monotonic_time(self):
+        now = self.sim.now
+        if now < self._last_now:
+            self._report(
+                "monotonic_time",
+                "simulated time ran backwards: {} -> {}".format(
+                    self._last_now, now),
+                previous=self._last_now, current=now)
+        self._last_now = max(self._last_now, now)
+
+    def _check_energy_conservation(self):
+        monitor = self.phone.monitor
+        monitor.settle()
+        ledger = monitor.ledger
+        total = ledger.total_mj()
+        tol = self.ENERGY_ABS_TOL_MJ + self.ENERGY_REL_TOL * abs(total)
+        drift = ledger.consistency_error_mj()
+        if drift > tol:
+            self._report(
+                "energy_conservation",
+                "ledger running totals diverged from the raw (uid, rail) "
+                "map by {:.6g} mJ".format(drift), drift_mj=drift)
+        battery = self.phone.battery
+        if battery is not None and not battery.empty:
+            drained = self._battery_baseline_mj - battery.remaining_mj
+            settled = total - self._ledger_baseline_mj
+            if abs(drained - settled) > tol:
+                self._report(
+                    "energy_conservation",
+                    "battery drained {:.6g} mJ but the ledger settled "
+                    "{:.6g} mJ since attach".format(drained, settled),
+                    drained_mj=drained, settled_mj=settled)
+
+    def _on_lease_transition(self, lease, old_state, new_state):
+        key = id(lease)
+        shadow = self._shadow.get(key)
+        if shadow is not None and shadow[1] is not old_state:
+            self._report(
+                "lease_state_machine",
+                "lease #{} was {} at the last legal transition but "
+                "claims to come from {}: state was mutated without "
+                "transition()".format(lease.descriptor, shadow[1].value,
+                                      old_state.value),
+                descriptor=lease.descriptor,
+                shadow=shadow[1].value, claimed=old_state.value)
+        if new_state is not LeaseState.DEAD \
+                and (old_state, new_state) not in _LEGAL:
+            self._report(
+                "lease_state_machine",
+                "illegal lease transition {} -> {} on lease #{}".format(
+                    old_state.value, new_state.value, lease.descriptor),
+                descriptor=lease.descriptor,
+                old=old_state.value, new=new_state.value)
+        if new_state is LeaseState.DEAD:
+            self._shadow.pop(key, None)
+        else:
+            self._shadow[key] = (lease, new_state)
+
+    def _check_lease_states(self):
+        manager = self.phone.lease_manager
+        if manager is None:
+            return
+        for lease in manager.leases.values():
+            key = id(lease)
+            shadow = self._shadow.get(key)
+            if shadow is None:
+                # First sighting: trust the current state as baseline.
+                self._shadow[key] = (lease, lease.state)
+            elif shadow[1] is not lease.state:
+                self._report(
+                    "lease_state_machine",
+                    "lease #{} is {} but its last transition() left it "
+                    "{}: state was mutated directly".format(
+                        lease.descriptor, lease.state.value,
+                        shadow[1].value),
+                    descriptor=lease.descriptor,
+                    observed=lease.state.value, shadow=shadow[1].value)
+                self._shadow[key] = (lease, lease.state)
+
+    def _check_wakelocks(self):
+        if not self._dead_uids:
+            return
+        for record in self.phone.power.honoured_records():
+            if record.uid in self._dead_uids:
+                self._report(
+                    "wakelock_after_death",
+                    "wakelock {!r} of dead uid {} is still honoured".format(
+                        record.name, record.uid),
+                    uid=record.uid, name=record.name)

@@ -174,8 +174,12 @@ class Simulator:
 
         While installed, every dispatched event is attributed (count and
         host wall time) to its callback site. Tracing is opt-in: with no
-        trace installed the dispatch loop pays a single local ``is None``
-        check per event.
+        trace installed the dispatch loop pays a single ``is None`` check
+        per event. Re-entrant installation is supported: calling
+        ``set_trace`` from inside a dispatched callback takes effect for
+        the very next event of the same ``run_until``/``run`` call (the
+        fault-injection layer swaps dispatch interposers mid-run this
+        way).
         """
         self._trace = trace
         return trace
@@ -196,10 +200,12 @@ class Simulator:
         self._running = True
         # Locals hoisted out of the while: the attribute loads would
         # otherwise be re-executed per event. ``queue`` stays valid across
-        # compactions because _compact() rebuilds the list in place.
+        # compactions because _compact() rebuilds the list in place. The
+        # trace is deliberately NOT hoisted: callbacks may install or
+        # remove one mid-run (re-entrant set_trace), and the next event
+        # must see the change.
         queue = self._queue
         pop = _heappop
-        trace = self._trace
         dispatched = 0
         try:
             while queue and queue[0][0] <= until:
@@ -210,6 +216,7 @@ class Simulator:
                 self._now = deadline
                 timer.fired = True
                 dispatched += 1
+                trace = self._trace
                 if trace is None:
                     timer.callback()
                 else:
@@ -226,7 +233,6 @@ class Simulator:
         self._running = True
         queue = self._queue
         pop = _heappop
-        trace = self._trace
         dispatched = 0
         try:
             while queue:
@@ -237,6 +243,7 @@ class Simulator:
                 self._now = deadline
                 timer.fired = True
                 dispatched += 1
+                trace = self._trace
                 if trace is None:
                     timer.callback()
                 else:

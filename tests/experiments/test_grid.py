@@ -235,3 +235,73 @@ def test_effective_jobs_matches_real_machine():
 
     runner = GridRunner(jobs=4)
     assert runner.effective_jobs == min(4, os.cpu_count() or 1)
+
+
+def _add(a=0, b=0):
+    return a + b
+
+
+def test_funcspec_cache_key_ignores_kwarg_order(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    ab = FuncSpec.make(_add, a=1, b=2)
+    ba = FuncSpec.make(_add, b=2, a=1)
+    assert ab == ba
+    assert hash(ab) == hash(ba)
+    assert cache.key_for(ab) == cache.key_for(ba)
+
+
+def test_jobspec_cache_key_ignores_override_order(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    xy = JobSpec.make("torch", profile="Motorola Moto G", ambient=False)
+    yx = JobSpec.make("torch", ambient=False, profile="Motorola Moto G")
+    assert xy == yx
+    assert cache.key_for(xy) == cache.key_for(yx)
+
+
+def test_kwarg_order_variants_share_one_cache_entry(tmp_path):
+    import os
+
+    cache_dir = str(tmp_path / "cache")
+    first = GridRunner(cache=cache_dir)
+    assert first.run_one(FuncSpec.make(_add, a=1, b=2)) == 3
+    assert first.stats.executed == 1
+    second = GridRunner(cache=cache_dir)
+    assert second.run_one(FuncSpec.make(_add, b=2, a=1)) == 3
+    assert second.stats.cache_hits == 1
+    assert second.stats.executed == 0
+    entries = [n for n in os.listdir(cache_dir) if n.endswith(".json")]
+    assert len(entries) == 1
+
+
+def test_corrupt_cache_entry_is_discarded_from_disk(tmp_path):
+    import os
+
+    cache = ResultCache(str(tmp_path))
+    spec = FuncSpec.make(_five)
+    cache.store(spec, 5)
+    path = cache._path(cache.key_for(spec))
+    with open(path, "w") as handle:
+        handle.write("{not json")
+    assert cache.load(spec) is None
+    assert not os.path.exists(path)  # unlinked, not left to re-fail
+    # the next run rebuilds the entry cleanly
+    runner = GridRunner(cache=cache)
+    assert runner.run_one(spec) == 5
+    assert os.path.exists(path)
+    assert cache.load(spec) == 5
+
+
+def test_undecodable_cache_payload_is_discarded(tmp_path):
+    import json
+    import os
+
+    cache = ResultCache(str(tmp_path))
+    spec = FuncSpec.make(_five)
+    cache.store(spec, 5)
+    path = cache._path(cache.key_for(spec))
+    with open(path, "w") as handle:
+        json.dump({"spec": spec.cache_token(),
+                   "result": {"__dataclass__": "no.such:Thing",
+                              "fields": {}}}, handle)
+    assert cache.load(spec) is None  # valid JSON, bogus payload
+    assert not os.path.exists(path)

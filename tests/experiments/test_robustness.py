@@ -1,0 +1,66 @@
+"""Robustness sweeps: the profile sweep and its rendering."""
+
+import pytest
+
+from repro.apps.buggy import CASES_BY_KEY
+from repro.device.profiles import MOTO_G, PIXEL_XL
+from repro.experiments import robustness, table5
+from repro.experiments.grid import GridRunner, JobSpec
+from repro.experiments.runner import reduction_pct
+
+PROFILES = (PIXEL_XL, MOTO_G)
+KEYS = ("torch",)
+
+
+def sweep(runner=None):
+    return robustness.profile_sweep(profiles=PROFILES, case_keys=KEYS,
+                                    minutes=2.0, runner=runner)
+
+
+def test_profile_sweep_keys_and_determinism():
+    first = sweep()
+    assert list(first) == [PIXEL_XL.name, MOTO_G.name]
+    for value in first.values():
+        assert isinstance(value, float)
+    assert first == sweep()
+
+
+def test_profile_sweep_matches_direct_per_profile_runs():
+    swept = sweep()
+    runner = GridRunner()
+    for profile in PROFILES:
+        reductions = []
+        for key in KEYS:
+            vanilla, leased = runner.run([
+                JobSpec.make(CASES_BY_KEY[key], mitigation=m, minutes=2.0,
+                             seed=7, profile=profile.name)
+                for m in ("vanilla", "leaseos")])
+            reductions.append(reduction_pct(vanilla.app_power_mw,
+                                            leased.app_power_mw))
+        expected = sum(reductions) / len(reductions)
+        assert swept[profile.name] == pytest.approx(expected)
+
+
+def test_profile_sweep_through_parallel_runner_matches_serial():
+    runner = GridRunner(jobs=2)
+    swept = sweep(runner=runner)
+    assert runner.stats.submitted == len(PROFILES) * len(KEYS) * 2
+    assert swept == sweep()
+
+
+def test_render_shows_both_tables():
+    seed_results = robustness.seed_sweep(seeds=(7, 21), case_keys=KEYS,
+                                         minutes=2.0)
+    text = robustness.render(seed_results, sweep())
+    assert "Seed robustness" in text
+    assert "Hardware robustness" in text
+    assert PIXEL_XL.name in text and MOTO_G.name in text
+    assert "spread" in text
+
+
+def test_seed_sweep_uses_table5_averages():
+    results = robustness.seed_sweep(seeds=(7,), case_keys=KEYS,
+                                    minutes=2.0)
+    rows = table5.run(cases=[CASES_BY_KEY[k] for k in KEYS], minutes=2.0,
+                      seed=7)
+    assert results[7] == table5.averages(rows)

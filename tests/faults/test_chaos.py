@@ -1,0 +1,117 @@
+"""The chaos experiment harness and its CLI plumbing."""
+
+import pytest
+
+from repro import cli
+from repro.experiments import chaos
+from repro.experiments.grid import GridRunner
+from repro.faults.plan import FaultPlan
+
+SMALL = dict(case_keys=("torch",), plan_seeds=(1,), minutes=2.0)
+
+
+def small_report():
+    return chaos.run(runner=GridRunner(), **SMALL)
+
+
+def test_run_produces_a_complete_grid():
+    report = small_report()
+    expected_cells = {("torch", m) for m in chaos.MITIGATIONS}
+    assert set(report.baseline) == expected_cells
+    assert set(report.by_plan) == {1}
+    assert set(report.by_plan[1]) == expected_cells
+    assert report.plans[1] == FaultPlan.sample(1, horizon_s=2.0 * 60.0)
+    for result in report.baseline.values():
+        assert result["plan_seed"] is None
+        assert result["faults_applied"] == 0
+    assert report.total_violations == 0
+    assert report.violating_runs() == []
+
+
+def test_run_goes_through_the_grid_runner_and_caches(tmp_path):
+    runner = GridRunner(cache=str(tmp_path / "cache"))
+    first = chaos.render(chaos.run(runner=runner, **SMALL))
+    submitted = runner.stats.submitted
+    assert submitted == 2 * len(chaos.MITIGATIONS)  # baseline + 1 plan
+    warm = GridRunner(cache=str(tmp_path / "cache"))
+    second = chaos.render(chaos.run(runner=warm, **SMALL))
+    assert second == first
+    assert warm.stats.cache_hits == submitted
+    assert warm.stats.executed == 0
+
+
+def test_render_layout_mentions_plans_and_verdicts():
+    text = chaos.render(small_report())
+    assert "plan 1:" in text
+    assert "Verdicts" in text
+    assert "invariants: all held" in text
+    for mitigation in chaos.MITIGATIONS[1:]:
+        assert mitigation in text
+
+
+def test_flips_compare_against_the_same_condition_baseline():
+    report = small_report()
+    for case_key, mitigation, plan_seed, base, under in report.flips():
+        assert case_key in report.case_keys
+        assert mitigation in chaos.MITIGATIONS[1:]
+        assert plan_seed in report.by_plan
+        assert base != under
+
+
+def test_write_bundles_covers_every_violating_run(tmp_path):
+    report = small_report()
+    # No violations on main -> no bundles; force one synthetically.
+    assert report.write_bundles(str(tmp_path)) == []
+    victim = report.by_plan[1][("torch", "vanilla")]
+    victim["violations"].append(
+        {"invariant": "energy_conservation", "time": 1.0,
+         "detail": "synthetic", "data": {}})
+    paths = report.write_bundles(str(tmp_path))
+    assert len(paths) == 1
+    from repro.faults.bundle import load_bundle
+
+    payload = load_bundle(paths[0])
+    assert payload["kwargs"]["plan_json"] == report.plans[1].to_json()
+    assert payload["violations"][0]["detail"] == "synthetic"
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_chaos_runs_and_exits_zero(capsys):
+    code = cli.main(["chaos", "--seeds", "1", "--minutes", "2"])
+    out = capsys.readouterr()
+    assert code == 0
+    assert "Verdicts" in out.out
+    assert "fault-plan seeds [1]" in out.err
+
+
+def test_cli_chaos_base_seed_rotates_the_plans(capsys):
+    cli.main(["chaos", "--seeds", "2", "--base-seed", "5",
+              "--minutes", "2"])
+    out = capsys.readouterr()
+    assert "fault-plan seeds [5, 6]" in out.err
+    assert "plan 5:" in out.out and "plan 6:" in out.out
+
+
+def test_cli_chaos_is_excluded_from_all():
+    assert "chaos" in cli.EXCLUDE_FROM_ALL
+    assert "chaos" in cli.COMMANDS
+
+
+def test_cli_chaos_replay_of_a_clean_bundle(tmp_path, capsys):
+    from repro.experiments.chaos import run_chaos_case
+    from repro.faults.bundle import write_bundle
+
+    kwargs = dict(case_key="torch", mitigation="vanilla", minutes=2.0,
+                  seed=7, plan_json=FaultPlan.sample(1, 120.0).to_json())
+    path = write_bundle(str(tmp_path), kwargs, run_chaos_case(**kwargs))
+    code = cli.main(["chaos", "--replay", path])
+    out = capsys.readouterr()
+    assert code == 0
+    assert "matches the original run" in out.out
+
+
+def test_effective_threshold_is_the_documented_default():
+    assert chaos.EFFECTIVE_THRESHOLD_PCT == pytest.approx(40.0)
+    assert chaos.DEFAULT_SUBSET == ("torch", "k9", "connectbot-screen",
+                                    "betterweather", "tapandturn")

@@ -1,0 +1,233 @@
+"""The fault injector: every kind applies, restores, and is deterministic."""
+
+import pytest
+
+from repro.apps.buggy import CASES_BY_KEY
+from repro.env.network import ServerMode
+from repro.faults.injector import FaultInjector
+from repro.faults.jitter import DispatchJitter
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+def build_phone(case_key="torch"):
+    case = CASES_BY_KEY[case_key]
+    phone = case.build_phone(mitigation=None, seed=7)
+    app = case.make_app()
+    phone.install(app)
+    return phone, app
+
+
+def arm(phone, *events, **kwargs):
+    injector = FaultInjector(phone, FaultPlan(events), **kwargs)
+    return injector.arm()
+
+
+# -- binder IPC --------------------------------------------------------------
+
+def test_ipc_latency_window_applies_and_restores():
+    phone, __ = build_phone()
+    arm(phone, FaultEvent("ipc_latency", 10.0, 20.0, param=0.02))
+    phone.sim.run_until(15.0)
+    assert phone.ipc.fault_extra_latency_s == pytest.approx(0.02)
+    phone.sim.run_until(45.0)
+    assert phone.ipc.fault_extra_latency_s == 0.0
+
+
+def test_overlapping_ipc_windows_compose_and_unwind():
+    phone, __ = build_phone()
+    arm(phone,
+        FaultEvent("ipc_latency", 10.0, 30.0, param=0.01),
+        FaultEvent("ipc_latency", 20.0, 10.0, param=0.02))
+    phone.sim.run_until(25.0)
+    assert phone.ipc.fault_extra_latency_s == pytest.approx(0.03)
+    phone.sim.run_until(35.0)  # inner window closed, outer still open
+    assert phone.ipc.fault_extra_latency_s == pytest.approx(0.01)
+    phone.sim.run_until(50.0)
+    assert phone.ipc.fault_extra_latency_s == 0.0
+
+
+def test_ipc_failure_window_sets_rate_and_counts_failures():
+    phone, __ = build_phone("k9")  # binder-heavy workload
+    injector = arm(phone, FaultEvent("ipc_failure", 10.0, 120.0, param=1.0))
+    phone.sim.run_until(60.0)
+    assert phone.ipc.fault_failure_rate == 1.0
+    assert phone.ipc.failed_calls > 0  # every call in the window fails
+    phone.sim.run_until(200.0)
+    assert phone.ipc.fault_failure_rate == 0.0
+    assert injector.applied == [(10.0, "ipc_failure")]
+
+
+# -- GPS ---------------------------------------------------------------------
+
+def test_gps_dropout_zeroes_quality_then_restores():
+    phone, __ = build_phone("betterweather")
+    before = phone.env.gps.quality
+    assert before > 0.0
+    arm(phone, FaultEvent("gps_dropout", 10.0, 30.0))
+    phone.sim.run_until(20.0)
+    assert phone.env.gps.quality == 0.0
+    assert not phone.env.gps.lock_possible
+    phone.sim.run_until(60.0)
+    assert phone.env.gps.quality == before
+
+
+def test_gps_degraded_sets_param_quality():
+    phone, __ = build_phone("betterweather")
+    before = phone.env.gps.quality
+    arm(phone, FaultEvent("gps_degraded", 10.0, 30.0, param=0.1))
+    phone.sim.run_until(20.0)
+    assert phone.env.gps.quality == pytest.approx(0.1)
+    phone.sim.run_until(60.0)
+    assert phone.env.gps.quality == before
+
+
+# -- network -----------------------------------------------------------------
+
+def test_net_flap_disconnects_then_reconnects_same_kind():
+    phone, __ = build_phone()
+    kind = phone.env.network.kind
+    assert phone.env.network.connected
+    arm(phone, FaultEvent("net_flap", 10.0, 20.0))
+    phone.sim.run_until(15.0)
+    assert not phone.env.network.connected
+    phone.sim.run_until(45.0)
+    assert phone.env.network.connected
+    assert phone.env.network.kind == kind
+
+
+def test_net_flap_does_not_reconnect_an_already_down_network():
+    phone, __ = build_phone()
+    phone.env.network.set_connected(False)
+    arm(phone, FaultEvent("net_flap", 10.0, 20.0))
+    phone.sim.run_until(45.0)
+    assert not phone.env.network.connected
+
+
+def test_server_storm_errors_every_known_server_then_restores():
+    phone, __ = build_phone()
+    network = phone.env.network
+    network.set_server("imap.example", ServerMode.OK)
+    network.set_server("api.example", ServerMode.DOWN)
+    arm(phone, FaultEvent("server_storm", 10.0, 20.0, param=0.0))
+    phone.sim.run_until(15.0)
+    assert network.server_mode("imap.example") is ServerMode.ERROR
+    assert network.server_mode("api.example") is ServerMode.ERROR
+    phone.sim.run_until(45.0)
+    assert network.server_mode("imap.example") is ServerMode.OK
+    assert network.server_mode("api.example") is ServerMode.DOWN
+
+
+def test_server_storm_param_one_takes_servers_down():
+    phone, __ = build_phone()
+    phone.env.network.set_server("imap.example", ServerMode.OK)
+    arm(phone, FaultEvent("server_storm", 10.0, 20.0, param=1.0))
+    phone.sim.run_until(15.0)
+    assert phone.env.network.server_mode("imap.example") is ServerMode.DOWN
+
+
+# -- app lifecycle -----------------------------------------------------------
+
+def test_app_crash_kills_then_restarts_the_target():
+    phone, app = build_phone()
+    assert app.started
+    arm(phone, FaultEvent("app_crash", 10.0, 15.0), target_uid=app.uid)
+    phone.sim.run_until(12.0)
+    assert not app.started
+    # kill_app cleaned the kernel objects: nothing honoured for the uid
+    assert all(r.uid != app.uid for r in phone.power.honoured_records())
+    phone.sim.run_until(60.0)
+    assert app.started
+
+
+def test_app_crash_on_a_dead_app_is_a_no_op():
+    phone, app = build_phone()
+    arm(phone,
+        FaultEvent("app_crash", 10.0, 40.0),
+        FaultEvent("app_crash", 20.0, 5.0), target_uid=app.uid)
+    phone.sim.run_until(22.0)  # second crash fired while app was down
+    assert not app.started
+    phone.sim.run_until(80.0)
+    assert app.started
+
+
+# -- power model -------------------------------------------------------------
+
+def test_rail_noise_adds_spurious_draw_then_restores():
+    phone, __ = build_phone()
+    arm(phone, FaultEvent("rail_noise", 10.0, 20.0, param=35.0))
+    phone.sim.run_until(15.0)
+    assert phone.monitor.rail_power(
+        FaultInjector.NOISE_RAIL) == pytest.approx(35.0)
+    phone.sim.run_until(45.0)
+    assert phone.monitor.rail_power(FaultInjector.NOISE_RAIL) == 0.0
+
+
+def test_battery_jitter_books_energy_through_the_ledger():
+    phone, __ = build_phone()
+    arm(phone, FaultEvent("battery_jitter", 10.0, param=250.0))
+    phone.sim.run_until(20.0)
+    phone.monitor.settle()
+    assert phone.monitor.ledger.rail_total_mj(
+        FaultInjector.JITTER_RAIL) == pytest.approx(250.0)
+    # booked as modelled energy, so the ledger still self-agrees
+    assert phone.monitor.ledger.consistency_error_mj() < 1e-6
+
+
+# -- engine ------------------------------------------------------------------
+
+def test_event_jitter_installs_and_removes_the_interposer():
+    phone, __ = build_phone()
+    assert phone.sim.trace is None
+    arm(phone, FaultEvent("event_jitter", 10.0, 20.0, param=0.5))
+    phone.sim.run_until(15.0)
+    assert isinstance(phone.sim.trace, DispatchJitter)
+    phone.sim.run_until(60.0)
+    assert phone.sim.trace is None
+
+
+def test_nested_event_jitter_windows_restore_at_depth_zero():
+    phone, __ = build_phone()
+    arm(phone,
+        FaultEvent("event_jitter", 10.0, 40.0, param=0.3),
+        FaultEvent("event_jitter", 20.0, 10.0, param=0.3))
+    phone.sim.run_until(35.0)  # inner closed; outer still jittering
+    assert isinstance(phone.sim.trace, DispatchJitter)
+    phone.sim.run_until(80.0)
+    assert phone.sim.trace is None
+
+
+def test_event_jitter_chains_to_a_preinstalled_trace():
+    from repro.sim import KernelTrace
+
+    phone, __ = build_phone()
+    profiler = phone.sim.set_trace(KernelTrace())
+    arm(phone, FaultEvent("event_jitter", 10.0, 20.0, param=0.2))
+    phone.sim.run_until(15.0)
+    assert phone.sim.trace.inner is profiler
+    phone.sim.run_until(60.0)
+    assert phone.sim.trace is profiler  # restored, profiling continues
+
+
+# -- determinism -------------------------------------------------------------
+
+def test_same_plan_and_seed_apply_identically():
+    plan = FaultPlan.sample(5, horizon_s=600.0)
+    logs = []
+    for __ in range(2):
+        phone, app = build_phone("k9")
+        injector = FaultInjector(phone, plan, seed=7,
+                                 target_uid=app.uid).arm()
+        phone.run_for(minutes=10.0)
+        logs.append((tuple(injector.applied), phone.ipc.failed_calls,
+                     phone.sim.dispatched))
+    assert logs[0] == logs[1]
+
+
+def test_arm_is_idempotent():
+    phone, __ = build_phone()
+    injector = FaultInjector(
+        phone, FaultPlan([FaultEvent("net_flap", 10.0, 5.0)]))
+    injector.arm().arm()
+    phone.sim.run_until(30.0)
+    assert injector.applied == [(10.0, "net_flap")]
+    assert phone.env.network.connected

@@ -1,0 +1,108 @@
+"""Fault plans: sampling determinism, serialisation, validation."""
+
+import json
+
+import pytest
+
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+
+# -- events ------------------------------------------------------------------
+
+def test_event_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        FaultEvent("meteor_strike", 1.0)
+
+
+def test_event_rejects_negative_times():
+    with pytest.raises(ValueError):
+        FaultEvent("net_flap", -1.0)
+    with pytest.raises(ValueError):
+        FaultEvent("net_flap", 1.0, duration_s=-0.5)
+
+
+def test_event_round_trips_through_dict():
+    event = FaultEvent("ipc_latency", 12.5, 30.0, param=0.02)
+    assert FaultEvent(**event.as_dict()) == event
+
+
+# -- plans -------------------------------------------------------------------
+
+def test_plan_orders_events_by_time_then_kind():
+    late = FaultEvent("net_flap", 50.0)
+    early = FaultEvent("gps_dropout", 10.0)
+    tied = FaultEvent("app_crash", 10.0)
+    plan = FaultPlan([late, early, tied])
+    assert plan.events == (tied, early, late)  # app_crash < gps_dropout
+
+
+def test_plan_equality_and_hash_ignore_the_seed_annotation():
+    events = [FaultEvent("net_flap", 10.0, 20.0)]
+    assert FaultPlan(events, seed=1) == FaultPlan(events, seed=2)
+    assert hash(FaultPlan(events, seed=1)) == hash(FaultPlan(events))
+
+
+def test_plan_json_round_trip_preserves_events_and_seed():
+    plan = FaultPlan.sample(3, horizon_s=3600.0)
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone == plan
+    assert clone.seed == plan.seed
+    assert clone.to_json() == plan.to_json()
+
+
+def test_plan_json_is_compact_and_key_sorted():
+    plan = FaultPlan([FaultEvent("rail_noise", 5.0, 10.0, param=42.0)])
+    text = plan.to_json()
+    assert ": " not in text and ", " not in text  # cache-key friendly
+    payload = json.loads(text)
+    assert list(payload["events"][0]) == sorted(payload["events"][0])
+
+
+def test_kinds_lists_distinct_sorted_kinds():
+    plan = FaultPlan([FaultEvent("net_flap", 1.0),
+                      FaultEvent("net_flap", 2.0),
+                      FaultEvent("app_crash", 3.0)])
+    assert plan.kinds() == ("app_crash", "net_flap")
+
+
+def test_repr_summarises_kind_counts():
+    plan = FaultPlan([FaultEvent("net_flap", 1.0),
+                      FaultEvent("net_flap", 2.0)], seed=9)
+    assert "2xnet_flap" in repr(plan)
+    assert "seed=9" in repr(plan)
+
+
+# -- sampling ----------------------------------------------------------------
+
+def test_sample_is_deterministic_per_seed():
+    a = FaultPlan.sample(42, horizon_s=1800.0)
+    b = FaultPlan.sample(42, horizon_s=1800.0)
+    assert a == b and a.to_json() == b.to_json()
+    assert FaultPlan.sample(43, horizon_s=1800.0) != a
+
+
+def test_sample_density_scales_with_horizon():
+    assert len(FaultPlan.sample(1, horizon_s=3600.0)) == 12
+    assert len(FaultPlan.sample(1, horizon_s=7200.0)) == 24
+    # even a tiny horizon draws at least one event
+    assert len(FaultPlan.sample(1, horizon_s=30.0)) == 1
+
+
+def test_sample_rejects_non_positive_horizon():
+    with pytest.raises(ValueError):
+        FaultPlan.sample(1, horizon_s=0.0)
+
+
+def test_sample_respects_kind_filter_and_horizon():
+    plan = FaultPlan.sample(7, horizon_s=3600.0,
+                            kinds=("net_flap", "gps_dropout"))
+    assert set(plan.kinds()) <= {"net_flap", "gps_dropout"}
+    for event in plan:
+        assert 0.0 <= event.at_s <= 0.9 * 3600.0
+
+
+def test_sample_covers_every_kind_eventually():
+    seen = set()
+    for seed in range(40):
+        seen.update(FaultPlan.sample(seed, horizon_s=3600.0).kinds())
+    assert seen == set(FAULT_KINDS)

@@ -147,3 +147,55 @@ def test_simulator_integration_and_reset():
     sim.schedule(200.0, widget.poke)
     sim.run()
     assert trace.total_events == 0  # disabled: no further attribution
+
+
+# -- re-entrant set_trace (the hook may change while the loop drains) --------
+
+def test_set_trace_swapped_mid_run_takes_effect_for_the_next_event():
+    sim = Simulator()
+    first = KernelTrace(clock=FakeClock())
+    second = KernelTrace(clock=FakeClock())
+    sim.set_trace(first)
+    log = []
+    sim.schedule(1.0, lambda: log.append("a"))
+    sim.schedule(2.0, lambda: sim.set_trace(second))
+    sim.schedule(3.0, lambda: log.append("b"))
+    sim.run()
+    assert log == ["a", "b"]
+    assert first.total_events == 2   # "a" plus the swapping event itself
+    assert second.total_events == 1  # only "b"
+
+
+def test_set_trace_installed_mid_run_sees_subsequent_events():
+    sim = Simulator()
+    trace = KernelTrace(clock=FakeClock())
+    log = []
+    sim.schedule(1.0, lambda: log.append("early"))  # untraced
+    sim.schedule(2.0, lambda: sim.set_trace(trace))
+    sim.schedule(3.0, lambda: log.append("late"))
+    sim.run()
+    assert log == ["early", "late"]
+    assert trace.total_events == 1
+
+
+def test_set_trace_cleared_mid_run_stops_attribution():
+    sim = Simulator()
+    trace = KernelTrace(clock=FakeClock())
+    sim.set_trace(trace)
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: sim.set_trace(None))
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    assert trace.total_events == 2  # the clear event is the last traced
+
+
+def test_set_trace_swap_applies_within_run_until_too():
+    sim = Simulator()
+    first = KernelTrace(clock=FakeClock())
+    second = KernelTrace(clock=FakeClock())
+    sim.set_trace(first)
+    sim.schedule(1.0, lambda: sim.set_trace(second))
+    sim.schedule(2.0, lambda: None)
+    sim.run_until(5.0)
+    assert first.total_events == 1
+    assert second.total_events == 1

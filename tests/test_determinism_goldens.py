@@ -105,3 +105,32 @@ def test_golden_six_hour_leaseos_soak():
         sum(len(a.disruptions) for a in fleet + bg))
     assert _digest(text) == (
         "58c76fe325f0db1c57e21b430faa40f849c3c34525764d89592090e913f6c794")
+
+
+def test_golden_sampled_fault_plan():
+    # Fault plans are drawn from random.Random(seed) alone; a seed number
+    # in a CI log must describe the same chaos on every machine and
+    # Python version. Pins the JSON of one sampled plan.
+    from repro.faults.plan import FaultPlan
+
+    text = FaultPlan.sample(1, horizon_s=3600.0).to_json()
+    assert _digest(text) == (
+        "8afafc46bce9cc3d0cb41a2fde009ebbfb346a419440f9c6e08987ee2ee3f748")
+
+
+def test_golden_chaos_case_fingerprint():
+    # Fault injection must be exactly deterministic: the same (scenario,
+    # fault plan, seed) produces a bit-identical run. The fingerprint
+    # hashes every observable scalar of the perturbed simulation.
+    from repro.experiments.chaos import run_chaos_case
+    from repro.faults.plan import FaultPlan
+
+    kwargs = dict(case_key="torch", mitigation="leaseos", minutes=5.0,
+                  seed=7, plan_json=FaultPlan.sample(1, 300.0).to_json())
+    first = run_chaos_case(**kwargs)
+    second = run_chaos_case(**kwargs)
+    assert first == second  # in-process repeatability of the full result
+    assert first["violations"] == []
+    assert first["faults_applied"] > 0
+    assert first["fingerprint"] == (
+        "8605d6cadbf14bc7814b49eb8db7e20265a3aa9167abb39af082873a0a6aa57b")
