@@ -1,0 +1,113 @@
+"""Fleet benchmark: device-days/sec and aggregate-memory behaviour.
+
+Records ``results/BENCH_fleet.json`` (uploaded by the CI bench-smoke
+artifact step):
+
+- throughput: simulated device-days per wall-second through the full
+  shard pipeline (sampling + simulation + folding + checkpointing);
+- the O(shards) memory claim, two ways: a tracemalloc peak for the
+  in-process run, and the ratio of per-shard summary size between a
+  1-device and a full shard (must be ~1x -- summaries are
+  device-count-independent);
+- a cold vs warm re-run through the grid cache (warm must execute no
+  simulation), plus the ru_maxrss proxy for the whole process.
+
+It also regenerates ``results/fleet_s2019_d32.json``, the committed
+population-scale artifact.
+"""
+
+import json
+import os
+import resource
+import time
+import tracemalloc
+
+from repro.experiments.grid import GridRunner
+from repro.fleet import (
+    FleetRunner,
+    PopulationSpec,
+    build_report,
+    render,
+    report_json,
+    run_shard,
+)
+
+#: Small enough for CI, big enough to amortise per-shard overheads.
+DEVICES = 32
+SHARD_SIZE = 8
+MINUTES = 10.0
+
+
+def _population(seed=2019):
+    return PopulationSpec(seed=seed, devices=DEVICES,
+                          shard_size=SHARD_SIZE, minutes=MINUTES,
+                          mitigations=("vanilla", "leaseos"))
+
+
+def test_bench_fleet(results_path, artifact_writer, tmp_path):
+    population = _population()
+    cache_dir = str(tmp_path / "grid-cache")
+
+    tracemalloc.start()
+    start = time.perf_counter()
+    cold = GridRunner(jobs=1, cache=cache_dir)
+    runner = FleetRunner(population, runner=cold,
+                         checkpoint_dir=str(tmp_path / "ck-cold"))
+    merged = runner.run()
+    cold_s = time.perf_counter() - start
+    __, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert cold.stats.executed == population.shard_count
+
+    device_days = population.devices * len(population.mitigations)
+    report = build_report(population, merged)
+
+    # Warm re-run: fresh checkpoint dir, warm grid cache -> zero
+    # simulation, identical report bytes.
+    start = time.perf_counter()
+    warm_grid = GridRunner(jobs=1, cache=cache_dir)
+    warm = FleetRunner(population, runner=warm_grid,
+                       checkpoint_dir=str(tmp_path / "ck-warm"))
+    warm_merged = warm.run()
+    warm_s = time.perf_counter() - start
+    assert warm_grid.stats.executed == 0
+    assert report_json(build_report(population, warm_merged)) == \
+        report_json(report)
+
+    # Shard summaries must not scale with device count (the O(shards)
+    # aggregate-memory guarantee): compare serialised sizes.
+    one = len(json.dumps(run_shard(population.to_json(), 0, 1)))
+    full = len(json.dumps(run_shard(population.to_json(), 0, SHARD_SIZE)))
+    summary_ratio = full / one
+
+    payload = {
+        "devices": population.devices,
+        "mitigations": list(population.mitigations),
+        "device_days": device_days,
+        "shards": population.shard_count,
+        "minutes_per_device_day": MINUTES,
+        "cold_s": round(cold_s, 3),
+        "device_days_per_s": round(device_days / cold_s, 2),
+        "warm_cache_s": round(warm_s, 3),
+        "cache_speedup": round(cold_s / warm_s, 2),
+        "tracemalloc_peak_mb": round(traced_peak / 1e6, 2),
+        "ru_maxrss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1),
+        "shard_summary_bytes_1_device": one,
+        "shard_summary_bytes_full_shard": full,
+        "shard_summary_size_ratio": round(summary_ratio, 2),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    # A full shard's summary must be the same size class as a 1-device
+    # shard's (accumulators, not per-device rows).
+    assert summary_ratio < 2.0
+    with open(results_path("BENCH_fleet.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    # Regenerate the committed population artifacts.
+    with open(results_path(
+            "fleet_s{}_d{}.json".format(population.seed,
+                                        population.devices)),
+            "w") as handle:
+        handle.write(report_json(report) + "\n")
+    artifact_writer("fleet_comparison.txt", render(report))

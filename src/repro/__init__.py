@@ -10,6 +10,8 @@ The public API is spread over the subpackages:
 - :mod:`repro.mitigation` -- vanilla/Doze/DefDroid/throttling baselines.
 - :mod:`repro.apps` -- the buggy and normal app workloads from the paper.
 - :mod:`repro.experiments` -- one harness per paper table/figure.
+- :mod:`repro.fleet` -- sharded fleet-scale population simulation with
+  mergeable statistics and checkpoint/resume.
 """
 
 from repro.version import __version__

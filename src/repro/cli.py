@@ -4,6 +4,7 @@
     python -m repro table5 --jobs 4            # fan out over 4 workers
     python -m repro fig9
     python -m repro usability --minutes 20
+    python -m repro fleet --devices 1000 --jobs 4   # population scale
     python -m repro all --out results/
 
 Each subcommand maps to one :mod:`repro.experiments` harness and prints
@@ -146,7 +147,12 @@ def _cmd_robustness(args):
 def _cmd_verdict(args):
     from repro.experiments import verdict
 
-    return "verdict.txt", verdict.render(verdict.run())
+    claims = verdict.run()
+    # The scorecard is the CI-facing gate on the reproduction: a failed
+    # claim must fail the invocation, not scroll past in a green run.
+    if any(not claim.passed for claim in claims):
+        args.exit_code = 1
+    return "verdict.txt", verdict.render(claims)
 
 
 def _cmd_fix(args):
@@ -189,10 +195,15 @@ def _cmd_chaos(args):
     from repro.experiments import chaos
 
     if getattr(args, "replay", None):
-        from repro.faults.bundle import replay_bundle
+        from repro.faults.bundle import load_bundle, replay_bundle
 
+        expected = load_bundle(args.replay).get("fingerprint", "")
         result, text = replay_bundle(args.replay)
-        if result["violations"]:
+        # Non-zero on violations AND on fingerprint drift: a replay
+        # that no longer reproduces bit-identically is a CI failure
+        # (non-determinism), not a pass.
+        if result["violations"] or \
+                (expected and result["fingerprint"] != expected):
             args.exit_code = 1
         return "chaos_replay.txt", text
     base = args.base_seed
@@ -210,6 +221,40 @@ def _cmd_chaos(args):
                 "\n".join("  " + path for path in paths)
         args.exit_code = 1
     return "chaos.txt", text
+
+
+def _cmd_fleet(args):
+    from repro.fleet import (
+        FleetRunner,
+        PopulationSpec,
+        build_report,
+        render,
+        write_report,
+    )
+
+    mitigations = tuple(
+        name.strip() for name in args.mitigations.split(",") if name.strip())
+    population = PopulationSpec(
+        seed=args.seed, devices=args.devices, mitigations=mitigations,
+        minutes=args.minutes, shard_size=args.shard_size,
+        buggy_prevalence=args.prevalence, chaos_rate=args.chaos_rate,
+    )
+    fleet_runner = FleetRunner(population, runner=_grid_runner(args),
+                               checkpoint_dir=args.checkpoint_dir,
+                               verbose=True)
+    merged = fleet_runner.run(limit=args.max_shards)
+    if merged is None:
+        remaining = len(fleet_runner.pending_shards())
+        return "fleet_partial.txt", (
+            "fleet: stopped after {} shard(s) this invocation; {} of {} "
+            "still pending.\nRe-run the same command to resume from the "
+            "checkpoints in {}.".format(
+                fleet_runner.shards_run, remaining,
+                population.shard_count, fleet_runner.checkpoint_dir))
+    report = build_report(population, merged)
+    path = write_report(report, path=args.report_json)
+    print("[fleet report JSON: {}]".format(path), file=sys.stderr)
+    return "fleet.txt", render(report)
 
 
 COMMANDS = {
@@ -243,11 +288,15 @@ COMMANDS = {
     "chaos": (_cmd_chaos,
               "fault-injection sweep: Table-5 subset under sampled fault "
               "plans with the invariant suite armed"),
+    "fleet": (_cmd_fleet,
+              "sharded population simulation: thousands of sampled "
+              "device-days per mitigation, with checkpoint/resume"),
 }
 
 #: Commands skipped by ``repro all``: chaos has its own seed/exit-code
-#: plumbing and is run by the dedicated CI job instead.
-EXCLUDE_FROM_ALL = ("chaos",)
+#: plumbing and is run by the dedicated CI job instead; fleet is a
+#: population-scale run with its own checkpoint/JSON artifacts.
+EXCLUDE_FROM_ALL = ("chaos", "fleet")
 
 
 def build_parser():
@@ -272,8 +321,8 @@ def build_parser():
 
     for name, (__, help_text) in COMMANDS.items():
         sub = subparsers.add_parser(name, help=help_text)
-        sub.add_argument("--minutes", type=float,
-                         default=10.0 if name == "chaos" else 30.0,
+        minutes_default = {"chaos": 10.0, "fleet": 15.0}.get(name, 30.0)
+        sub.add_argument("--minutes", type=float, default=minutes_default,
                          help="simulated minutes per run where applicable")
         # SUPPRESS keeps a top-level "--out DIR" (before the subcommand)
         # working: the subparser only overrides when given explicitly.
@@ -294,6 +343,41 @@ def build_parser():
             sub.add_argument("--replay", metavar="BUNDLE", default=None,
                              help="replay a repro bundle instead of "
                                   "running the sweep")
+        if name == "fleet":
+            sub.add_argument("--devices", type=int, default=200,
+                             metavar="N",
+                             help="population size (sampled device-days)")
+            sub.add_argument("--shard-size", type=int, default=50,
+                             metavar="N",
+                             help="devices per shard (the checkpoint and "
+                                  "dispatch unit)")
+            sub.add_argument("--seed", type=int, default=2019, metavar="S",
+                             help="population seed; fully determines the "
+                                  "fleet")
+            sub.add_argument("--mitigations", default="vanilla,leaseos",
+                             metavar="A,B,...",
+                             help="comma-separated mitigations compared "
+                                  "(vanilla is always included)")
+            sub.add_argument("--prevalence", type=float, default=0.25,
+                             metavar="P",
+                             help="probability an app slot hosts a buggy "
+                                  "Table-5 app")
+            sub.add_argument("--chaos-rate", type=float, default=0.0,
+                             metavar="P",
+                             help="fraction of devices that get a sampled "
+                                  "fault plan armed")
+            sub.add_argument("--checkpoint-dir", metavar="DIR",
+                             default=None,
+                             help="shard checkpoint directory (default: "
+                                  "results/.fleet/<fingerprint>)")
+            sub.add_argument("--max-shards", type=int, default=None,
+                             metavar="N",
+                             help="stop after N shards this invocation; "
+                                  "re-running resumes from checkpoints")
+            sub.add_argument("--report-json", metavar="PATH", default=None,
+                             help="where to write the machine-readable "
+                                  "report (default: "
+                                  "results/fleet_s<seed>_d<devices>.json)")
     all_parser = subparsers.add_parser(
         "all", help="run every experiment in sequence")
     all_parser.add_argument("--minutes", type=float, default=30.0)

@@ -35,10 +35,15 @@ import tempfile
 from dataclasses import dataclass, field, fields, is_dataclass
 from enum import Enum
 
+from repro.version import __version__ as PACKAGE_VERSION
+
 #: Bump when simulation semantics change in a way that invalidates cached
 #: results. Unrelated edits leave it alone, which is what makes a warm
-#: cache survive ordinary development. ``REPRO_CACHE_SALT`` adds an
-#: operator-controlled component on top.
+#: cache survive ordinary development. The package version
+#: (``repro.version.__version__``) is hashed alongside, so a release
+#: bump also invalidates every cached entry cleanly -- stale results
+#: from before a code change are never served. ``REPRO_CACHE_SALT``
+#: adds an operator-controlled component on top.
 CODE_VERSION = "1"
 
 #: Default on-disk cache location (relative to the working directory,
@@ -316,7 +321,7 @@ class ResultCache:
 
     def key_for(self, spec):
         token = json.dumps(
-            {"v": CODE_VERSION, "salt": self.salt,
+            {"v": CODE_VERSION, "pkg": PACKAGE_VERSION, "salt": self.salt,
              "spec": spec.cache_token()},
             sort_keys=True, separators=(",", ":"),
         )

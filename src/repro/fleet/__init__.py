@@ -1,0 +1,47 @@
+"""Sharded fleet-scale population simulation.
+
+The missing layer between the single-device simulator and the ROADMAP's
+"millions of users": sample a heterogeneous population of device-days
+(:mod:`~repro.fleet.population`), shard it through the parallel grid
+runner with per-shard checkpoint/resume (:mod:`~repro.fleet.shard`),
+aggregate with mergeable O(shards)-memory statistics
+(:mod:`~repro.fleet.stats`), and compare mitigations at population
+scale (:mod:`~repro.fleet.report`). CLI: ``python -m repro fleet``.
+"""
+
+from repro.fleet.population import DeviceSpec, PopulationSpec
+from repro.fleet.report import (
+    build_report,
+    default_report_path,
+    render,
+    report_json,
+    write_report,
+)
+from repro.fleet.shard import FleetRunner, run_shard, simulate_device_day
+from repro.fleet.stats import (
+    FleetStats,
+    Histogram,
+    MetricSummary,
+    Moments,
+    QuantileDigest,
+    wilson_interval,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "PopulationSpec",
+    "FleetRunner",
+    "run_shard",
+    "simulate_device_day",
+    "FleetStats",
+    "Histogram",
+    "MetricSummary",
+    "Moments",
+    "QuantileDigest",
+    "wilson_interval",
+    "build_report",
+    "default_report_path",
+    "render",
+    "report_json",
+    "write_report",
+]

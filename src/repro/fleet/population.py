@@ -1,0 +1,236 @@
+"""Seeded population sampling: who the fleet's devices are.
+
+A :class:`PopulationSpec` is pure data -- JSON round-trippable, hashable
+by fingerprint -- describing *how to sample* a heterogeneous population
+of device-days: device hardware drawn from
+:mod:`repro.device.profiles`, an app mix of normal archetypes plus
+buggy Table-5 apps at a configurable prevalence, per-device user-trace
+and environment parameters, and (optionally) a sampled
+:class:`~repro.faults.plan.FaultPlan` arming chaos on a fraction of the
+fleet.
+
+Determinism contract:
+
+- ``spec.device(i)`` depends only on ``(spec, i)``: the per-device
+  sub-seed is ``sha256("{population_seed}:{i}")``, so any worker can
+  materialise any device independently, in any order, on any Python
+  version (no reliance on process-global RNG state or hash seeds).
+- different device indices get independent streams: each device builds
+  its own ``random.Random(sub_seed)`` and nothing else reads it.
+- ``spec.fingerprint()`` hashes the canonical JSON of every sampling
+  parameter, so checkpoints and caches can refuse populations that
+  drifted.
+"""
+
+import hashlib
+import json
+import random
+
+from dataclasses import asdict, dataclass
+
+#: Normal-app archetypes a device can sample, name -> factory path
+#: semantics. Factories resolve lazily so importing this module stays
+#: cheap and specs never capture live objects.
+NORMAL_ARCHETYPES = (
+    "runkeeper", "spotify", "haven", "nextcloud", "k9-fixed",
+    "podcast", "messenger", "browser", "maps",
+)
+
+#: Buggy-app pool: by default every Table 5 case is in play.
+from repro.apps.buggy import CASES_BY_KEY  # noqa: E402  (registry is data)
+
+BUGGY_POOL = tuple(sorted(CASES_BY_KEY))
+
+
+def normal_app_factory(name):
+    """Materialise one normal archetype by name (worker-side)."""
+    from repro.apps.normal.archetypes import K9MailFixed, PodcastPlayer
+    from repro.apps.normal.background import (
+        Haven,
+        NextcloudSync,
+        RunKeeper,
+        Spotify,
+    )
+    from repro.apps.normal.interactive import InteractiveApp
+
+    factories = {
+        "runkeeper": RunKeeper,
+        "spotify": Spotify,
+        "haven": Haven,
+        "nextcloud": NextcloudSync,
+        "k9-fixed": K9MailFixed,
+        "podcast": PodcastPlayer,
+        "messenger": lambda: InteractiveApp(
+            "Messenger", touch_compute_s=0.15, touch_payload_s=0.3,
+            sync_interval_s=90.0),
+        "browser": lambda: InteractiveApp(
+            "Browser", touch_compute_s=0.5, touch_payload_s=0.8,
+            sync_interval_s=None),
+        "maps": lambda: InteractiveApp(
+            "Maps", touch_compute_s=0.35, touch_payload_s=0.6,
+            sync_interval_s=300.0),
+    }
+    return factories[name]()
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One sampled device-day, fully declarative.
+
+    Everything is a JSON scalar or a tuple of scalars, so a DeviceSpec
+    crosses process boundaries inside a shard job without pickling any
+    live object.
+    """
+
+    index: int
+    sub_seed: int
+    profile: str
+    normal_apps: tuple  # archetype names, install order
+    buggy_apps: tuple  # Table 5 case keys, install order
+    gps_quality: float
+    movement_mps: float
+    network_kind: str
+    battery_level: float
+    session_count: int
+    session_s: float
+    touch_interval_s: float
+    fault_plan_json: str = ""
+
+    def as_dict(self):
+        data = asdict(self)
+        data["normal_apps"] = list(self.normal_apps)
+        data["buggy_apps"] = list(self.buggy_apps)
+        return data
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """The sampling law for a whole fleet of device-days."""
+
+    seed: int = 2019
+    devices: int = 1000
+    #: Mitigations compared; "vanilla" is always run (it is the paired
+    #: per-device baseline for waste-reduction quantiles).
+    mitigations: tuple = ("vanilla", "leaseos")
+    #: Simulated minutes per device-day.
+    minutes: float = 30.0
+    #: Devices per shard -- part of the spec because shard boundaries
+    #: determine the float merge tree and therefore the exact report
+    #: bytes (see docs/fleet.md).
+    shard_size: int = 50
+    #: Probability that each app slot on a device hosts a buggy app.
+    buggy_prevalence: float = 0.25
+    #: Inclusive bounds on the number of app slots per device.
+    min_apps: int = 3
+    max_apps: int = 7
+    #: Device profiles sampled uniformly from this pool.
+    profiles: tuple = ()
+    #: Buggy cases sampled uniformly from this pool.
+    buggy_pool: tuple = BUGGY_POOL
+    #: Fraction of devices that get a sampled FaultPlan armed.
+    chaos_rate: float = 0.0
+    #: FaultPlan.sample events-per-hour when chaos is armed.
+    chaos_events_per_hour: float = 6.0
+
+    def __post_init__(self):
+        if not self.profiles:
+            from repro.device.profiles import PROFILES
+
+            object.__setattr__(self, "profiles", tuple(sorted(PROFILES)))
+        if "vanilla" not in self.mitigations:
+            object.__setattr__(
+                self, "mitigations", ("vanilla",) + tuple(self.mitigations))
+        if self.devices < 1:
+            raise ValueError("population needs at least one device")
+        if not 1 <= self.min_apps <= self.max_apps:
+            raise ValueError("need 1 <= min_apps <= max_apps")
+        if self.shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_json(self):
+        """Canonical JSON: key-sorted, compact -- the fingerprint input."""
+        data = asdict(self)
+        for name in ("mitigations", "profiles", "buggy_pool"):
+            data[name] = list(data[name])
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text):
+        data = json.loads(text)
+        for name in ("mitigations", "profiles", "buggy_pool"):
+            data[name] = tuple(data[name])
+        return cls(**data)
+
+    def fingerprint(self):
+        """sha256 of the canonical JSON -- the population's identity."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    # -- sharding ----------------------------------------------------------
+
+    @property
+    def shard_count(self):
+        return (self.devices + self.shard_size - 1) // self.shard_size
+
+    def shard_range(self, shard_index):
+        """The [start, stop) device range of one shard."""
+        if not 0 <= shard_index < self.shard_count:
+            raise IndexError("shard {} out of range (0..{})".format(
+                shard_index, self.shard_count - 1))
+        start = shard_index * self.shard_size
+        return start, min(start + self.shard_size, self.devices)
+
+    # -- sampling ----------------------------------------------------------
+
+    def sub_seed(self, index):
+        """Deterministic, platform-independent per-device sub-seed."""
+        token = "{}:{}".format(self.seed, index).encode("utf-8")
+        return int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+
+    def device(self, index):
+        """Materialise device ``index``'s :class:`DeviceSpec`."""
+        if not 0 <= index < self.devices:
+            raise IndexError("device {} out of range".format(index))
+        sub_seed = self.sub_seed(index)
+        rng = random.Random(sub_seed)
+        profile = rng.choice(list(self.profiles))
+        slots = rng.randint(self.min_apps, self.max_apps)
+        normal, buggy = [], []
+        for __ in range(slots):
+            if self.buggy_pool and rng.random() < self.buggy_prevalence:
+                buggy.append(rng.choice(list(self.buggy_pool)))
+            else:
+                normal.append(rng.choice(list(NORMAL_ARCHETYPES)))
+        # Duplicate installs are illegal (one uid per app name); keep
+        # first occurrences, preserving sampled order.
+        normal = tuple(dict.fromkeys(normal))
+        buggy = tuple(dict.fromkeys(buggy))
+        fault_plan_json = ""
+        if self.chaos_rate > 0 and rng.random() < self.chaos_rate:
+            from repro.faults.plan import FaultPlan
+
+            plan = FaultPlan.sample(
+                sub_seed % (2 ** 31), horizon_s=self.minutes * 60.0,
+                events_per_hour=self.chaos_events_per_hour)
+            fault_plan_json = plan.to_json()
+        return DeviceSpec(
+            index=index,
+            sub_seed=sub_seed,
+            profile=profile,
+            normal_apps=normal,
+            buggy_apps=buggy,
+            gps_quality=round(rng.uniform(0.55, 0.98), 3),
+            movement_mps=round(rng.choice((0.0, 0.0, 0.8, 1.4)), 3),
+            network_kind=rng.choice(("wifi", "wifi", "cellular")),
+            battery_level=round(rng.uniform(0.5, 1.0), 3),
+            session_count=rng.randint(1, 3),
+            session_s=round(rng.uniform(120.0, 600.0), 1),
+            touch_interval_s=round(rng.uniform(6.0, 45.0), 1),
+            fault_plan_json=fault_plan_json,
+        )
+
+    def devices_in(self, start, stop):
+        """Yield DeviceSpecs for a device-index range."""
+        for index in range(start, stop):
+            yield self.device(index)

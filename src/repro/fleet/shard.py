@@ -1,0 +1,333 @@
+"""Shard execution: simulate a device range, fold it, checkpoint it.
+
+A shard is the unit of dispatch, caching and checkpointing. Each shard
+job is an ordinary :class:`~repro.experiments.grid.FuncSpec` calling
+:func:`run_shard` with scalars only, so shards fan out through the
+existing :class:`~repro.experiments.grid.GridRunner` process pool and
+memoise in its content-addressed result cache. Inside the worker every
+device-day is simulated, summarised, folded into the shard's
+:class:`~repro.fleet.stats.FleetStats`, and *discarded* -- a shard's
+return value is O(1) in the number of devices it simulated.
+
+:class:`FleetRunner` drives the shards in index order, writes one
+checkpoint file per completed shard (tagged with the population
+fingerprint and package version), and on a re-run skips every shard
+whose checkpoint is already on disk -- so a killed fleet run resumes
+where it stopped and still produces a byte-identical report.
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+from repro.experiments.grid import FuncSpec, GridRunner
+from repro.fleet.population import PopulationSpec, normal_app_factory
+from repro.fleet.stats import FleetStats
+from repro.version import __version__
+
+#: Checkpoint schema version; bump on incompatible checkpoint changes.
+CHECKPOINT_SCHEMA = 1
+
+#: Default root for per-population checkpoint directories.
+DEFAULT_CHECKPOINT_ROOT = os.path.join("results", ".fleet")
+
+
+# -- one device-day -----------------------------------------------------------
+
+def simulate_device_day(device, mitigation, minutes):
+    """Run one sampled device-day under one mitigation.
+
+    Returns a flat dict of scalars -- the *only* thing that survives
+    the simulation. The Phone, its apps and the event heap are garbage
+    the moment this returns, which is what keeps shard memory flat.
+    """
+    from repro.apps.buggy import CASES_BY_KEY
+    from repro.device.profiles import PROFILES
+    from repro.droid.phone import Phone
+    from repro.env.network import ServerMode
+    from repro.experiments.grid import resolve_mitigation_factory
+
+    factory = resolve_mitigation_factory(mitigation)
+    mit = factory() if factory else None
+    cases = [CASES_BY_KEY[key] for key in device.buggy_apps]
+    overrides = dict(
+        gps_quality=device.gps_quality,
+        movement_mps=device.movement_mps,
+        network_kind=device.network_kind,
+        battery_level=device.battery_level,
+    )
+    # A buggy app's triggering environment wins over the sampled
+    # ambient one (a bug that never triggers measures nothing).
+    for case in cases:
+        overrides.update(case.phone_kwargs)
+    phone = Phone(profile=PROFILES[device.profile],
+                  seed=device.sub_seed % (2 ** 31), mitigation=mit,
+                  **overrides)
+    for case in cases:
+        for server, mode in case.servers.items():
+            if not isinstance(mode, ServerMode):
+                mode = ServerMode(mode)
+            phone.env.network.set_server(server, mode)
+
+    buggy_uids, interactive_uids = [], []
+    for case in cases:
+        app = phone.install(case.make_app())
+        buggy_uids.append(app.uid)
+    for name in device.normal_apps:
+        app = phone.install(normal_app_factory(name))
+        interactive_uids.append(app.uid)
+
+    injector = None
+    if device.fault_plan_json:
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+
+        injector = FaultInjector(
+            phone, FaultPlan.from_json(device.fault_plan_json),
+            seed=device.sub_seed % (2 ** 31),
+            target_uid=buggy_uids[0] if buggy_uids else None)
+        injector.arm()
+
+    session_uids = interactive_uids or buggy_uids
+
+    def scripted_day():
+        for __ in range(device.session_count):
+            yield from phone.user.active_session(
+                session_uids, device.session_s,
+                touch_interval=device.touch_interval_s)
+            yield from phone.user.idle_session(device.session_s)
+
+    phone.sim.spawn(scripted_day(), name="fleet.user")
+    mark = phone.energy_mark()
+    crashed = 0
+    try:
+        phone.run_for(minutes=minutes)
+    except Exception:  # noqa: BLE001 -- a dead device still reports
+        crashed = 1
+
+    elapsed_s = max(phone.sim.now, 1e-9)
+    system_mw = phone.power_since(mark)
+    buggy_mw = sum(phone.power_since(mark, uid) for uid in buggy_uids)
+    battery_life_h = (phone.battery.capacity_mj / system_mw) / 3600.0 \
+        if system_mw > 0 else float(24 * 14)
+    summary = {
+        "index": device.index,
+        "mitigation": mitigation,
+        "system_power_mw": system_mw,
+        "buggy_power_mw": buggy_mw,
+        "battery_life_h": min(battery_life_h, 24.0 * 14),
+        "disruptions": sum(len(app.disruptions)
+                           for app in phone.apps.values()),
+        "buggy_installed": len(buggy_uids),
+        "normal_installed": len(interactive_uids),
+        "crashed": crashed,
+        "faults_applied": injector.applied_count if injector else 0,
+        "renewals": 0, "deferrals": 0, "revocations": 0,
+        "fp_apps": 0, "fn_apps": 0,
+    }
+    manager = phone.lease_manager
+    if manager is not None:
+        summary["renewals"] = manager.op_counts["renew"]
+        summary["deferrals"] = sum(
+            1 for d in manager.decisions if d.action == "defer")
+        summary["revocations"] = manager.op_counts["remove"] \
+            + manager.gc_removed
+        flagged = {d.lease.uid for d in manager.decisions
+                   if d.behavior.is_misbehavior}
+        summary["fp_apps"] = sum(
+            1 for uid in interactive_uids if uid in flagged)
+        summary["fn_apps"] = sum(
+            1 for uid in buggy_uids if uid not in flagged)
+    return summary
+
+
+def _fold_device(stats, summary, vanilla_summary):
+    """Fold one device-day summary into a mitigation's FleetStats."""
+    stats.observe("battery_life_h", summary["battery_life_h"])
+    stats.observe("system_power_mw", summary["system_power_mw"])
+    stats.observe("buggy_power_mw", summary["buggy_power_mw"])
+    stats.observe("disruptions", summary["disruptions"])
+    if summary["mitigation"] != "vanilla" and vanilla_summary is not None:
+        base = vanilla_summary["buggy_power_mw"]
+        if base > 1e-9:
+            reduction = 100.0 * (1.0 - summary["buggy_power_mw"] / base)
+            stats.observe("waste_reduction_pct", reduction)
+        delta_h = summary["battery_life_h"] \
+            - vanilla_summary["battery_life_h"]
+        stats.observe("battery_delta_h", delta_h)
+    if summary["mitigation"] == "leaseos":
+        stats.observe("deferrals", summary["deferrals"])
+    stats.count("devices")
+    for name in ("renewals", "deferrals", "revocations", "fp_apps",
+                 "fn_apps", "crashed", "faults_applied", "disruptions"):
+        stats.count(name, summary[name])
+    stats.count("normal_apps", summary["normal_installed"])
+    stats.count("buggy_apps", summary["buggy_installed"])
+    stats.count("buggy_devices", 1 if summary["buggy_installed"] else 0)
+
+
+# -- the shard job ------------------------------------------------------------
+
+def run_shard(population_json, start, stop):
+    """Simulate devices [start, stop) under every mitigation.
+
+    Module-level with scalar kwargs only, so it dispatches as a
+    :class:`FuncSpec` (process pool + content-addressed cache). Returns
+    the shard summary: per-mitigation ``FleetStats`` dicts plus
+    bookkeeping -- size O(1) in the device count.
+    """
+    population = PopulationSpec.from_json(population_json)
+    per_mitigation = {name: FleetStats() for name in population.mitigations}
+    for device in population.devices_in(start, stop):
+        vanilla_summary = None
+        for mitigation in population.mitigations:
+            summary = simulate_device_day(
+                device, mitigation, population.minutes)
+            if mitigation == "vanilla":
+                vanilla_summary = summary
+            _fold_device(per_mitigation[mitigation], summary,
+                         vanilla_summary)
+    return {
+        "schema": CHECKPOINT_SCHEMA,
+        "population": population.fingerprint(),
+        "start": start,
+        "stop": stop,
+        "stats": {name: stats.to_dict()
+                  for name, stats in sorted(per_mitigation.items())},
+    }
+
+
+# -- checkpointed dispatch ----------------------------------------------------
+
+class FleetRunner:
+    """Drives a population's shards through a GridRunner with resume.
+
+    ``checkpoint_dir`` defaults to a per-population directory under
+    ``results/.fleet/<fingerprint12>/``, so re-running the same spec
+    resumes automatically and different specs never collide. Checkpoint
+    files from another population, package version or checkpoint schema
+    are ignored (and reported), never served.
+    """
+
+    def __init__(self, population, runner=None, checkpoint_dir=None,
+                 verbose=False):
+        self.population = population
+        self.runner = runner if runner is not None else GridRunner()
+        if checkpoint_dir is None:
+            checkpoint_dir = os.path.join(
+                DEFAULT_CHECKPOINT_ROOT, population.fingerprint()[:12])
+        self.checkpoint_dir = checkpoint_dir
+        self.verbose = verbose
+        self.shards_run = 0
+        self.shards_resumed = 0
+        self.checkpoints_rejected = 0
+
+    # -- checkpoint files --------------------------------------------------
+
+    def _checkpoint_path(self, shard_index):
+        return os.path.join(self.checkpoint_dir,
+                            "shard_{:06d}.json".format(shard_index))
+
+    def _load_checkpoint(self, shard_index):
+        """A valid checkpoint's summary dict, or None."""
+        try:
+            with open(self._checkpoint_path(shard_index)) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        summary = payload.get("summary")
+        start, stop = self.population.shard_range(shard_index)
+        if (payload.get("version") != __version__
+                or not isinstance(summary, dict)
+                or summary.get("schema") != CHECKPOINT_SCHEMA
+                or summary.get("population")
+                != self.population.fingerprint()
+                or (summary.get("start"), summary.get("stop"))
+                != (start, stop)):
+            self.checkpoints_rejected += 1
+            if self.verbose:
+                print("fleet: ignoring stale checkpoint {}".format(
+                    self._checkpoint_path(shard_index)), file=sys.stderr)
+            return None
+        return summary
+
+    def _write_checkpoint(self, shard_index, summary):
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        payload = {"version": __version__, "summary": summary}
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.checkpoint_dir, suffix=".tmp", delete=False)
+        # Atomic publish: a kill mid-write leaves no torn checkpoint.
+        try:
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, self._checkpoint_path(shard_index))
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+
+    # -- execution ---------------------------------------------------------
+
+    def pending_shards(self):
+        """Shard indices with no valid checkpoint, ascending."""
+        return [index for index in range(self.population.shard_count)
+                if self._load_checkpoint(index) is None]
+
+    def run_shards(self, limit=None):
+        """Execute up to ``limit`` pending shards (all by default).
+
+        Shards are dispatched in index order through the grid runner in
+        batches of the worker count, and each completed shard's summary
+        is checkpointed before the next batch starts -- so a kill loses
+        at most one batch of work (less with the grid cache warm).
+        Returns the number of shards executed.
+        """
+        pending = self.pending_shards()
+        self.shards_resumed += self.population.shard_count - len(pending)
+        if limit is not None:
+            pending = pending[:limit]
+        batch_size = max(self.runner.effective_jobs, 1)
+        executed = 0
+        population_json = self.population.to_json()
+        for offset in range(0, len(pending), batch_size):
+            batch = pending[offset:offset + batch_size]
+            specs = []
+            for shard_index in batch:
+                start, stop = self.population.shard_range(shard_index)
+                specs.append(FuncSpec.make(
+                    run_shard, population_json=population_json,
+                    start=start, stop=stop))
+            summaries = self.runner.run(specs)
+            for shard_index, summary in zip(batch, summaries):
+                self._write_checkpoint(shard_index, summary)
+                executed += 1
+                if self.verbose:
+                    print("fleet: shard {}/{} done".format(
+                        shard_index + 1, self.population.shard_count),
+                        file=sys.stderr)
+        self.shards_run += executed
+        return executed
+
+    def merged_stats(self):
+        """Fold every shard checkpoint, in index order, into one
+        FleetStats per mitigation. Raises if any shard is missing."""
+        merged = {name: FleetStats() for name in self.population.mitigations}
+        for shard_index in range(self.population.shard_count):
+            summary = self._load_checkpoint(shard_index)
+            if summary is None:
+                raise RuntimeError(
+                    "shard {} has no valid checkpoint; run run_shards() "
+                    "to completion first".format(shard_index))
+            for name, data in summary["stats"].items():
+                merged[name] = merged[name].merge(FleetStats.from_dict(data))
+        return merged
+
+    def run(self, limit=None):
+        """Run (or resume) the fleet; returns merged stats when
+        complete, or None if ``limit`` stopped the run early."""
+        self.run_shards(limit=limit)
+        if self.pending_shards():
+            return None
+        return self.merged_stats()

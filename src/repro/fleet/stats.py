@@ -1,0 +1,356 @@
+"""Mergeable streaming statistics for fleet-scale aggregation.
+
+A fleet run produces one summary *per device-day*, but a million-device
+run must never hold a million summaries: every shard folds its devices
+into constant-size accumulators the moment they finish, and the fleet
+runner merges the per-shard accumulators in O(shards) memory. Three
+accumulator kinds cover the report's needs:
+
+- :class:`Moments` -- count / mean / M2 (Welford updates, Chan et al.
+  parallel merge) plus min/max, for means and standard deviations;
+- :class:`Histogram` -- fixed, pre-declared bins with integer counts
+  (exact, and therefore trivially associative and commutative);
+- :class:`QuantileDigest` -- a small deterministic quantile sketch: a
+  bounded list of (value, weight) entries compacted by deterministic
+  pairwise averaging, no randomness anywhere.
+
+Merge guarantees (relied on by checkpoint/resume -- see docs/fleet.md):
+
+- every accumulator's ``merge`` is **bitwise commutative**:
+  ``merge(a, b)`` and ``merge(b, a)`` serialise to identical JSON.
+  ``Moments.merge`` achieves this by canonically ordering its operands
+  before applying the (float, order-sensitive) Chan formula; the other
+  two are exact by construction.
+- the fleet runner additionally folds shards in **shard-index order**,
+  so a resumed run replays the exact float-op sequence of an
+  uninterrupted run and the final report is byte-identical.
+- serialisation is lossless: Python's JSON float round-trip is exact,
+  so ``from_dict(to_dict(x))`` reproduces ``x`` bit-for-bit.
+"""
+
+import math
+
+
+class Moments:
+    """Streaming count/mean/M2 with exact-merge bookkeeping."""
+
+    __slots__ = ("count", "mean", "m2", "min", "max")
+
+    def __init__(self, count=0, mean=0.0, m2=0.0, min=None, max=None):
+        self.count = count
+        self.mean = mean
+        self.m2 = m2
+        self.min = min
+        self.max = max
+
+    def add(self, value):
+        """Welford update with one observation."""
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def variance(self):
+        """Population variance (0 for fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / self.count
+
+    @property
+    def stdev(self):
+        return math.sqrt(self.variance)
+
+    def _key(self):
+        return (self.count, self.mean, self.m2,
+                self.min if self.min is not None else 0.0,
+                self.max if self.max is not None else 0.0)
+
+    def merge(self, other):
+        """Chan et al. parallel merge, bitwise commutative.
+
+        The formula is order-sensitive in float arithmetic, so the two
+        operands are first put into a canonical order; swapping the
+        arguments therefore produces a bit-identical result.
+        """
+        if self.count == 0:
+            return Moments(other.count, other.mean, other.m2,
+                           other.min, other.max)
+        if other.count == 0:
+            return Moments(self.count, self.mean, self.m2,
+                           self.min, self.max)
+        a, b = (self, other) if self._key() <= other._key() else (other, self)
+        count = a.count + b.count
+        delta = b.mean - a.mean
+        mean = a.mean + delta * (b.count / count)
+        m2 = a.m2 + b.m2 + delta * delta * (a.count * b.count / count)
+        return Moments(
+            count, mean, m2,
+            min(a.min, b.min), max(a.max, b.max),
+        )
+
+    def to_dict(self):
+        return {"count": self.count, "mean": self.mean, "m2": self.m2,
+                "min": self.min, "max": self.max}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["count"], data["mean"], data["m2"],
+                   data["min"], data["max"])
+
+
+class Histogram:
+    """Fixed-bin histogram with under/overflow buckets (exact merge)."""
+
+    __slots__ = ("lo", "hi", "bins", "underflow", "overflow")
+
+    def __init__(self, lo, hi, nbins, bins=None, underflow=0, overflow=0):
+        if not nbins > 0 or not hi > lo:
+            raise ValueError("need hi > lo and nbins > 0")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins = list(bins) if bins is not None else [0] * nbins
+        if len(self.bins) != nbins:
+            raise ValueError("bins length {} != nbins {}".format(
+                len(self.bins), nbins))
+        self.underflow = underflow
+        self.overflow = overflow
+
+    def add(self, value, weight=1):
+        value = float(value)
+        if value < self.lo:
+            self.underflow += weight
+        elif value >= self.hi:
+            self.overflow += weight
+        else:
+            span = (value - self.lo) / (self.hi - self.lo)
+            index = min(int(span * len(self.bins)),
+                                 len(self.bins) - 1)
+            self.bins[index] += weight
+
+    @property
+    def total(self):
+        return sum(self.bins) + self.underflow + self.overflow
+
+    def merge(self, other):
+        if (other.lo, other.hi, len(other.bins)) != \
+                (self.lo, self.hi, len(self.bins)):
+            raise ValueError("histogram shapes differ; cannot merge")
+        return Histogram(
+            self.lo, self.hi, len(self.bins),
+            bins=[a + b for a, b in zip(self.bins, other.bins)],
+            underflow=self.underflow + other.underflow,
+            overflow=self.overflow + other.overflow,
+        )
+
+    def to_dict(self):
+        return {"lo": self.lo, "hi": self.hi, "bins": list(self.bins),
+                "underflow": self.underflow, "overflow": self.overflow}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["lo"], data["hi"], len(data["bins"]),
+                   bins=data["bins"], underflow=data["underflow"],
+                   overflow=data["overflow"])
+
+
+class QuantileDigest:
+    """A small deterministic mergeable quantile sketch.
+
+    Holds at most ``2 * capacity`` weighted points; past that, adjacent
+    points (in value order) are pairwise-combined into their weighted
+    mean, halving the list. Compaction uses no randomness and depends
+    only on the sorted point set, so the digest is deterministic and its
+    merge is bitwise commutative (merge = concatenate, sort, compact).
+    Quantile error is bounded by the local bucket width -- ample for
+    population reporting, tiny on the wire (<= capacity pairs).
+    """
+
+    __slots__ = ("capacity", "entries")
+
+    def __init__(self, capacity=128, entries=()):
+        if capacity < 4:
+            raise ValueError("capacity must be >= 4")
+        self.capacity = capacity
+        self.entries = [(float(v), float(w)) for v, w in entries]
+
+    def add(self, value, weight=1.0):
+        self.entries.append((float(value), float(weight)))
+        if len(self.entries) > 2 * self.capacity:
+            self._compact()
+
+    def _compact(self):
+        self.entries.sort()
+        while len(self.entries) > self.capacity:
+            combined = []
+            pairs = zip(self.entries[::2], self.entries[1::2])
+            for (v1, w1), (v2, w2) in pairs:
+                weight = w1 + w2
+                combined.append(((v1 * w1 + v2 * w2) / weight, weight))
+            if len(self.entries) % 2:
+                combined.append(self.entries[-1])
+            self.entries = combined
+
+    @property
+    def total_weight(self):
+        return sum(w for __, w in self.entries)
+
+    def quantile(self, q):
+        """The value at cumulative-weight fraction ``q`` (0..1)."""
+        if not self.entries:
+            return None
+        entries = sorted(self.entries)
+        target = min(max(float(q), 0.0), 1.0) \
+            * sum(w for __, w in entries)
+        cumulative = 0.0
+        for value, weight in entries:
+            cumulative += weight
+            if cumulative >= target:
+                return value
+        return entries[-1][0]
+
+    def merge(self, other):
+        if other.capacity != self.capacity:
+            raise ValueError("digest capacities differ; cannot merge")
+        merged = QuantileDigest(self.capacity,
+                                sorted(self.entries + other.entries))
+        if len(merged.entries) > 2 * merged.capacity:
+            merged._compact()
+        return merged
+
+    def to_dict(self):
+        return {"capacity": self.capacity,
+                "entries": [[v, w] for v, w in sorted(self.entries)]}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["capacity"], data["entries"])
+
+
+#: Histogram bounds per fleet metric: (lo, hi, nbins). Metrics without
+#: an entry get DEFAULT_BOUNDS. Fixed up front so every shard bins
+#: identically and merges stay exact.
+METRIC_BOUNDS = {
+    "battery_life_h": (0.0, 240.0, 48),
+    "system_power_mw": (0.0, 2000.0, 50),
+    "buggy_power_mw": (0.0, 1000.0, 50),
+    "waste_reduction_pct": (-100.0, 100.0, 40),
+    "disruptions": (0.0, 50.0, 25),
+    "deferrals": (0.0, 200.0, 40),
+}
+
+DEFAULT_BOUNDS = (0.0, 1000.0, 50)
+
+
+class MetricSummary:
+    """One metric's full accumulator set: moments + histogram + digest."""
+
+    __slots__ = ("name", "moments", "histogram", "digest")
+
+    def __init__(self, name, moments=None, histogram=None, digest=None):
+        lo, hi, nbins = METRIC_BOUNDS.get(name, DEFAULT_BOUNDS)
+        self.name = name
+        self.moments = moments if moments is not None else Moments()
+        self.histogram = histogram if histogram is not None \
+            else Histogram(lo, hi, nbins)
+        self.digest = digest if digest is not None else QuantileDigest()
+
+    def add(self, value):
+        self.moments.add(value)
+        self.histogram.add(value)
+        self.digest.add(value)
+
+    def merge(self, other):
+        return MetricSummary(
+            self.name,
+            moments=self.moments.merge(other.moments),
+            histogram=self.histogram.merge(other.histogram),
+            digest=self.digest.merge(other.digest),
+        )
+
+    def to_dict(self):
+        return {"moments": self.moments.to_dict(),
+                "histogram": self.histogram.to_dict(),
+                "digest": self.digest.to_dict()}
+
+    @classmethod
+    def from_dict(cls, name, data):
+        return cls(
+            name,
+            moments=Moments.from_dict(data["moments"]),
+            histogram=Histogram.from_dict(data["histogram"]),
+            digest=QuantileDigest.from_dict(data["digest"]),
+        )
+
+
+class FleetStats:
+    """Everything one mitigation accumulated across its device-days.
+
+    ``metrics`` maps metric name -> :class:`MetricSummary`;
+    ``counters`` maps counter name -> int. Both merge by union, so
+    shards that never saw a metric (e.g. no buggy app sampled) still
+    merge cleanly.
+    """
+
+    __slots__ = ("metrics", "counters")
+
+    def __init__(self, metrics=None, counters=None):
+        self.metrics = metrics if metrics is not None else {}
+        self.counters = counters if counters is not None else {}
+
+    def observe(self, name, value):
+        if name not in self.metrics:
+            self.metrics[name] = MetricSummary(name)
+        self.metrics[name].add(value)
+
+    def count(self, name, amount=1):
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def merge(self, other):
+        metrics = {}
+        for name in sorted(set(self.metrics) | set(other.metrics)):
+            mine = self.metrics.get(name)
+            theirs = other.metrics.get(name)
+            if mine is None:
+                metrics[name] = MetricSummary.from_dict(
+                    name, theirs.to_dict())
+            elif theirs is None:
+                metrics[name] = MetricSummary.from_dict(name, mine.to_dict())
+            else:
+                metrics[name] = mine.merge(theirs)
+        counters = dict(self.counters)
+        for name, amount in other.counters.items():
+            counters[name] = counters.get(name, 0) + amount
+        return FleetStats(metrics, counters)
+
+    def to_dict(self):
+        return {
+            "metrics": {name: summary.to_dict()
+                        for name, summary in sorted(self.metrics.items())},
+            "counters": {name: self.counters[name]
+                         for name in sorted(self.counters)},
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            metrics={name: MetricSummary.from_dict(name, entry)
+                     for name, entry in data["metrics"].items()},
+            counters=dict(data["counters"]),
+        )
+
+
+def wilson_interval(successes, trials, z=1.96):
+    """Wilson score 95% CI for a binomial rate; (0, 0, 0) on no trials."""
+    if trials <= 0:
+        return 0.0, 0.0, 0.0
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (phat + z * z / (2.0 * trials)) / denom
+    margin = (z / denom) * math.sqrt(
+        phat * (1.0 - phat) / trials + z * z / (4.0 * trials * trials))
+    return phat, max(0.0, center - margin), \
+        min(1.0, center + margin)

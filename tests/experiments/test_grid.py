@@ -121,6 +121,36 @@ def test_cache_key_changes_with_spec_and_salt(tmp_path):
     assert cache.key_for(a) != salted.key_for(a)
 
 
+def test_cache_key_changes_with_package_version(tmp_path, monkeypatch):
+    # A version bump must invalidate every cached entry: results
+    # simulated by older code are never served to newer code (fleet
+    # shards resumed across an upgrade depend on this).
+    from repro.experiments import grid as grid_module
+
+    cache = ResultCache(str(tmp_path))
+    spec = JobSpec.make("torch", minutes=2.0)
+    before = cache.key_for(spec)
+    monkeypatch.setattr(grid_module, "PACKAGE_VERSION", "0.0.0-test")
+    assert cache.key_for(spec) != before
+
+
+def test_cache_key_pins_current_package_version(tmp_path):
+    import hashlib
+    import json
+
+    from repro import __version__
+    from repro.experiments.grid import CODE_VERSION
+
+    cache = ResultCache(str(tmp_path))
+    spec = JobSpec.make("torch", minutes=2.0)
+    token = json.dumps(
+        {"v": CODE_VERSION, "pkg": __version__, "salt": "",
+         "spec": spec.cache_token()},
+        sort_keys=True, separators=(",", ":"))
+    expected = hashlib.sha256(token.encode()).hexdigest()[:32]
+    assert cache.key_for(spec) == expected
+
+
 def test_corrupt_cache_entry_is_a_miss(tmp_path):
     cache = ResultCache(str(tmp_path))
     spec = FuncSpec.make(_five)

@@ -1,0 +1,106 @@
+"""The `repro fleet` subcommand and the CLI exit-code audit."""
+
+import io
+import json
+import os
+
+from contextlib import redirect_stdout
+
+from repro.cli import main
+
+
+def _run_cli(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+def _fleet_argv(tmp_path, extra=()):
+    return [
+        "fleet", "--devices", "4", "--shard-size", "2", "--minutes", "2",
+        "--seed", "5", "--no-cache",
+        "--checkpoint-dir", str(tmp_path / "ck"),
+        "--report-json", str(tmp_path / "fleet.json"),
+    ] + list(extra)
+
+
+def test_fleet_cli_end_to_end(tmp_path):
+    code, text = _run_cli(_fleet_argv(tmp_path))
+    assert code == 0
+    assert "Fleet comparison: 4 devices" in text
+    report = json.loads((tmp_path / "fleet.json").read_text())
+    assert report["kind"] == "fleet_report"
+    assert report["devices"] == 4
+    assert set(report["mitigations"]) == {"vanilla", "leaseos"}
+
+
+def test_fleet_cli_max_shards_then_resume(tmp_path):
+    code, text = _run_cli(_fleet_argv(tmp_path, ["--max-shards", "1"]))
+    assert code == 0
+    assert "still pending" in text
+    assert not (tmp_path / "fleet.json").exists()
+    code, text = _run_cli(_fleet_argv(tmp_path))
+    assert code == 0
+    assert "Fleet comparison" in text
+    assert (tmp_path / "fleet.json").exists()
+
+
+def test_chaos_replay_exit_nonzero_on_fingerprint_mismatch(tmp_path):
+    from repro.faults.bundle import write_bundle
+    from repro.faults.plan import FaultPlan
+
+    kwargs = dict(case_key="torch", mitigation="vanilla", minutes=1.0,
+                  seed=7, plan_json=FaultPlan.sample(1, 60.0).to_json())
+    # A bundle whose recorded fingerprint cannot match: replay must
+    # report the drift AND exit non-zero so CI can gate on it.
+    fake = {"violations": [], "fingerprint": "0" * 64}
+    path = write_bundle(str(tmp_path), kwargs, fake)
+    code, text = _run_cli(["chaos", "--replay", path])
+    assert code == 1
+    assert "DIFFERS" in text
+
+
+def test_chaos_replay_exit_zero_on_clean_match(tmp_path):
+    from repro.experiments.chaos import run_chaos_case
+    from repro.faults.bundle import write_bundle
+    from repro.faults.plan import FaultPlan
+
+    kwargs = dict(case_key="torch", mitigation="vanilla", minutes=1.0,
+                  seed=7, plan_json=FaultPlan.sample(1, 60.0).to_json())
+    result = run_chaos_case(**kwargs)
+    assert not result["violations"]
+    path = write_bundle(str(tmp_path), kwargs, result)
+    code, text = _run_cli(["chaos", "--replay", path])
+    assert code == 0
+    assert "matches the original run" in text
+
+
+def test_fleet_parser_defaults():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["fleet"])
+    assert args.devices == 200
+    assert args.shard_size == 50
+    assert args.mitigations == "vanilla,leaseos"
+    assert args.max_shards is None
+    assert args.minutes == 15.0
+
+
+def test_fleet_excluded_from_all():
+    from repro.cli import EXCLUDE_FROM_ALL
+
+    assert "fleet" in EXCLUDE_FROM_ALL
+
+
+def test_fleet_checkpoints_land_under_results_by_default(tmp_path,
+                                                         monkeypatch):
+    from repro.fleet.population import PopulationSpec
+    from repro.fleet.shard import FleetRunner
+
+    monkeypatch.chdir(tmp_path)
+    population = PopulationSpec(seed=1, devices=4, shard_size=2)
+    runner = FleetRunner(population)
+    expected = os.path.join("results", ".fleet",
+                            population.fingerprint()[:12])
+    assert runner.checkpoint_dir == expected

@@ -1,0 +1,202 @@
+"""Mergeable statistics: exactness, commutativity, serialisation."""
+
+import json
+import random
+import statistics
+
+import pytest
+
+from repro.fleet.stats import (
+    FleetStats,
+    Histogram,
+    MetricSummary,
+    Moments,
+    QuantileDigest,
+    wilson_interval,
+)
+
+
+def _serialised(obj):
+    return json.dumps(obj.to_dict(), sort_keys=True)
+
+
+# -- Moments ------------------------------------------------------------------
+
+def test_moments_match_statistics_module():
+    values = [random.Random(1).gauss(10.0, 3.0) for __ in range(500)]
+    m = Moments()
+    for v in values:
+        m.add(v)
+    assert m.count == 500
+    assert m.mean == pytest.approx(statistics.fmean(values), rel=1e-12)
+    assert m.variance == pytest.approx(statistics.pvariance(values),
+                                       rel=1e-9)
+    assert m.min == min(values) and m.max == max(values)
+
+
+def test_moments_merge_bitwise_commutative():
+    rng = random.Random(2)
+    a, b = Moments(), Moments()
+    for __ in range(313):
+        a.add(rng.uniform(-5, 50))
+    for __ in range(178):
+        b.add(rng.gauss(100, 7))
+    assert _serialised(a.merge(b)) == _serialised(b.merge(a))
+
+
+def test_moments_merge_matches_sequential_statistically():
+    rng = random.Random(3)
+    values = [rng.gauss(0, 1) for __ in range(400)]
+    whole = Moments()
+    for v in values:
+        whole.add(v)
+    left, right = Moments(), Moments()
+    for v in values[:170]:
+        left.add(v)
+    for v in values[170:]:
+        right.add(v)
+    merged = left.merge(right)
+    assert merged.count == whole.count
+    assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+    assert merged.m2 == pytest.approx(whole.m2, rel=1e-9)
+
+
+def test_moments_merge_empty_identity():
+    m = Moments()
+    m.add(4.0)
+    m.add(8.0)
+    assert _serialised(Moments().merge(m)) == _serialised(m)
+    assert _serialised(m.merge(Moments())) == _serialised(m)
+    assert Moments().merge(Moments()).count == 0
+
+
+def test_moments_json_roundtrip_bit_for_bit():
+    m = Moments()
+    for v in (0.1, 0.2, 0.3, 1e-17, 1e17):
+        m.add(v)
+    again = Moments.from_dict(json.loads(json.dumps(m.to_dict())))
+    assert _serialised(again) == _serialised(m)
+
+
+# -- Histogram ----------------------------------------------------------------
+
+def test_histogram_bins_and_flows():
+    h = Histogram(0.0, 10.0, 10)
+    for v in (-1.0, 0.0, 0.5, 5.0, 9.999, 10.0, 42.0):
+        h.add(v)
+    assert h.underflow == 1
+    assert h.overflow == 2
+    assert h.bins[0] == 2 and h.bins[5] == 1 and h.bins[9] == 1
+    assert h.total == 7
+
+
+def test_histogram_merge_exact_and_commutative():
+    rng = random.Random(4)
+    a, b = Histogram(0, 100, 20), Histogram(0, 100, 20)
+    for __ in range(500):
+        a.add(rng.uniform(-10, 110))
+        b.add(rng.uniform(0, 100))
+    assert _serialised(a.merge(b)) == _serialised(b.merge(a))
+    assert a.merge(b).total == a.total + b.total
+    with pytest.raises(ValueError):
+        a.merge(Histogram(0, 50, 20))
+
+
+# -- QuantileDigest -----------------------------------------------------------
+
+def test_digest_exact_when_small():
+    d = QuantileDigest(capacity=64)
+    for v in range(100):
+        d.add(float(v))
+    assert d.quantile(0.0) == 0.0
+    assert d.quantile(0.5) == pytest.approx(50.0, abs=1.0)
+    assert d.quantile(1.0) == 99.0
+
+
+def test_digest_bounded_size_and_accuracy():
+    d = QuantileDigest(capacity=64)
+    rng = random.Random(5)
+    values = [rng.uniform(0, 1000) for __ in range(20000)]
+    for v in values:
+        d.add(v)
+    assert len(d.entries) <= 2 * d.capacity
+    ordered = sorted(values)
+    for q in (0.05, 0.25, 0.5, 0.75, 0.95):
+        exact = ordered[int(q * (len(ordered) - 1))]
+        assert d.quantile(q) == pytest.approx(exact, abs=50.0)
+
+
+def test_digest_merge_commutative_bit_for_bit():
+    rng = random.Random(6)
+    a, b = QuantileDigest(capacity=32), QuantileDigest(capacity=32)
+    for __ in range(3000):
+        a.add(rng.gauss(50, 10))
+    for __ in range(700):
+        b.add(rng.uniform(0, 200))
+    assert _serialised(a.merge(b)) == _serialised(b.merge(a))
+
+
+def test_digest_deterministic_compaction():
+    def build():
+        d = QuantileDigest(capacity=16)
+        for v in range(1000):
+            d.add(float((v * 37) % 501))
+        return d
+
+    assert _serialised(build()) == _serialised(build())
+
+
+# -- FleetStats ---------------------------------------------------------------
+
+def _sample_stats(seed, n, metrics=("battery_life_h", "x")):
+    stats = FleetStats()
+    rng = random.Random(seed)
+    for __ in range(n):
+        for name in metrics:
+            stats.observe(name, rng.uniform(0, 40))
+        stats.count("devices")
+        stats.count("renewals", rng.randint(0, 9))
+    return stats
+
+
+def test_fleet_stats_merge_commutative_bit_for_bit():
+    a = _sample_stats(1, 230)
+    b = _sample_stats(2, 117)
+    assert _serialised(a.merge(b)) == _serialised(b.merge(a))
+
+
+def test_fleet_stats_merge_union_of_metrics_and_counters():
+    a = _sample_stats(1, 10, metrics=("battery_life_h",))
+    b = _sample_stats(2, 5, metrics=("waste_reduction_pct",))
+    merged = a.merge(b)
+    assert set(merged.metrics) == {"battery_life_h", "waste_reduction_pct"}
+    assert merged.counters["devices"] == 15
+
+
+def test_fleet_stats_json_roundtrip_bit_for_bit():
+    stats = _sample_stats(3, 64)
+    again = FleetStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+    assert _serialised(again) == _serialised(stats)
+
+
+def test_metric_summary_uses_declared_bounds():
+    summary = MetricSummary("waste_reduction_pct")
+    assert summary.histogram.lo == -100.0
+    assert summary.histogram.hi == 100.0
+
+
+# -- Wilson interval ----------------------------------------------------------
+
+def test_wilson_interval_sanity():
+    rate, lo, hi = wilson_interval(5, 100)
+    assert lo < rate < hi
+    assert 0.0 <= lo and hi <= 1.0
+    assert wilson_interval(0, 0) == (0.0, 0.0, 0.0)
+    __, lo_all, hi_all = wilson_interval(100, 100)
+    assert hi_all > 0.99 and lo_all > 0.9
+
+
+def test_wilson_interval_narrows_with_trials():
+    __, lo_small, hi_small = wilson_interval(5, 50)
+    __, lo_big, hi_big = wilson_interval(500, 5000)
+    assert (hi_big - lo_big) < (hi_small - lo_small)

@@ -118,6 +118,30 @@ def test_golden_sampled_fault_plan():
         "8afafc46bce9cc3d0cb41a2fde009ebbfb346a419440f9c6e08987ee2ee3f748")
 
 
+def test_golden_fleet_report(tmp_path):
+    # The whole fleet pipeline -- population sampling, device-day
+    # simulation (with chaos armed on half the fleet), shard folding,
+    # checkpointed merge, canonical report JSON -- must be bit-identical
+    # across processes, machines and Python versions. This is the same
+    # guarantee the fleet-smoke CI job checks via kill-and-resume.
+    from repro.experiments.grid import GridRunner
+    from repro.fleet import (
+        FleetRunner,
+        PopulationSpec,
+        build_report,
+        report_json,
+    )
+
+    population = PopulationSpec(
+        seed=77, devices=6, shard_size=2, minutes=3.0,
+        mitigations=("vanilla", "leaseos"), chaos_rate=0.5)
+    runner = FleetRunner(population, runner=GridRunner(jobs=1, cache=False),
+                         checkpoint_dir=str(tmp_path / "ck"))
+    text = report_json(build_report(population, runner.run()))
+    assert _digest(text) == (
+        "80d2cc86ef616d824af18d35138ba41f581d91a05304c9ff379c08d049fec3cc")
+
+
 def test_golden_chaos_case_fingerprint():
     # Fault injection must be exactly deterministic: the same (scenario,
     # fault plan, seed) produces a bit-identical run. The fingerprint
