@@ -22,6 +22,25 @@ import argparse
 import os
 import sys
 
+#: Exit codes beyond 0/1: a supervised run that completed with
+#: quarantined jobs (partial results + failure manifest) exits 75
+#: (BSD's EX_TEMPFAIL: retrying may succeed), an interrupted run exits
+#: 130 (128+SIGINT) after flushing its checkpoints and manifest.
+EXIT_DEGRADED = 75
+EXIT_INTERRUPTED = 130
+
+
+def _write_failure_manifest(args):
+    """Write the supervisor's failure manifest if any job was
+    quarantined; returns its path or None."""
+    runner = getattr(args, "grid_runner", None)
+    supervisor = getattr(runner, "supervisor", None)
+    if supervisor is None or not supervisor.manifest:
+        return None
+    path = supervisor.manifest.write()
+    print("[failure manifest: {}]".format(path), file=sys.stderr)
+    return path
+
 
 def _grid_runner(args):
     """The per-invocation GridRunner built from --jobs/--no-cache/
@@ -197,7 +216,11 @@ def _cmd_chaos(args):
     if getattr(args, "replay", None):
         from repro.faults.bundle import load_bundle, replay_bundle
 
-        expected = load_bundle(args.replay).get("fingerprint", "")
+        payload = load_bundle(args.replay)
+        # Failure manifests carry a *run* fingerprint, not a chaos-case
+        # fingerprint; drift checking only applies to single bundles.
+        expected = "" if payload.get("kind") == "failure_manifest" \
+            else payload.get("fingerprint", "")
         result, text = replay_bundle(args.replay)
         # Non-zero on violations AND on fingerprint drift: a replay
         # that no longer reproduces bit-identically is a CI failure
@@ -214,6 +237,12 @@ def _cmd_chaos(args):
     report = chaos.run(plan_seeds=plan_seeds, minutes=args.minutes,
                        runner=_grid_runner(args))
     text = chaos.render(report)
+    manifest_path = _write_failure_manifest(args)
+    if manifest_path is not None:
+        text += "\n\nfailure manifest (replay the quarantined jobs " \
+                "with `python -m repro chaos --replay {}`)".format(
+                    manifest_path)
+        args.exit_code = EXIT_DEGRADED
     if report.total_violations:
         paths = report.write_bundles(args.bundle_dir)
         text += "\n\nrepro bundles (replay with `python -m repro chaos " \
@@ -242,19 +271,56 @@ def _cmd_fleet(args):
     fleet_runner = FleetRunner(population, runner=_grid_runner(args),
                                checkpoint_dir=args.checkpoint_dir,
                                verbose=True)
-    merged = fleet_runner.run(limit=args.max_shards)
-    if merged is None:
-        remaining = len(fleet_runner.pending_shards())
+    fleet_runner.run_shards(limit=args.max_shards)
+    summary = fleet_runner.run_summary()
+    # Always surfaced, quiet mode included: a rejected checkpoint means
+    # a shard was silently recomputed and the operator must see it.
+    summary_line = ("fleet run: {shards_run} shard(s) executed, "
+                    "{shards_resumed} resumed from checkpoints, "
+                    "{checkpoints_rejected} stale checkpoint(s) "
+                    "rejected, {shards_quarantined} quarantined"
+                    .format(**summary))
+    print(summary_line, file=sys.stderr)
+    manifest_path = _write_failure_manifest(args)
+    pending = fleet_runner.pending_shards()
+    quarantined = set(fleet_runner.quarantined_shards)
+    if pending and not quarantined.issuperset(pending):
+        # Shards are left beyond any quarantine: --max-shards stopped
+        # the run early, the ordinary resume path.
         return "fleet_partial.txt", (
             "fleet: stopped after {} shard(s) this invocation; {} of {} "
             "still pending.\nRe-run the same command to resume from the "
-            "checkpoints in {}.".format(
-                fleet_runner.shards_run, remaining,
-                population.shard_count, fleet_runner.checkpoint_dir))
+            "checkpoints in {}.\n{}".format(
+                fleet_runner.shards_run, len(pending),
+                population.shard_count, fleet_runner.checkpoint_dir,
+                summary_line))
+    degraded = bool(pending)
+    merged = fleet_runner.merged_stats(allow_missing=degraded)
     report = build_report(population, merged)
+    text = render(report)
+    if degraded:
+        # Every pending shard was quarantined by the supervisor: finish
+        # with partial results instead of failing the run. The report
+        # JSON carries an explicit degraded block (complete runs never
+        # have one, so their bytes are unchanged) and the exit code
+        # says "incomplete but accounted for".
+        report["degraded"] = {
+            "missing_shards": list(fleet_runner.missing_shards),
+            "failure_manifest": manifest_path or "",
+        }
+        args.exit_code = EXIT_DEGRADED
+        text += ("\n\nDEGRADED: {} of {} shard(s) quarantined and "
+                 "missing from the merge (devices {}).\nRe-run the "
+                 "same command to retry only the quarantined shards."
+                 .format(len(fleet_runner.missing_shards),
+                         population.shard_count,
+                         ", ".join(str(population.shard_range(s))
+                                   for s in fleet_runner.missing_shards)))
+        if manifest_path:
+            text += "\nfailure manifest: {}".format(manifest_path)
     path = write_report(report, path=args.report_json)
     print("[fleet report JSON: {}]".format(path), file=sys.stderr)
-    return "fleet.txt", render(report)
+    return "fleet.txt", text + "\n\n" + summary_line
 
 
 COMMANDS = {
@@ -319,6 +385,42 @@ def build_parser():
                          help="result cache directory (default: "
                               "results/.cache; env REPRO_CACHE_DIR)")
 
+    def add_supervision_args(sub):
+        # Declaring these flags is what opts the subcommand into the
+        # supervised dispatch path (see supervisor_from_args).
+        sub.set_defaults(supervised=True)
+        sub.add_argument("--job-timeout", type=float, default=None,
+                         metavar="S",
+                         help="wall-clock deadline per job attempt; a "
+                              "hung worker is killed and the job "
+                              "retried (default: none)")
+        sub.add_argument("--max-retries", type=int, default=2,
+                         metavar="N",
+                         help="retries after the first attempt before "
+                              "a job is quarantined (default: 2)")
+        sub.add_argument("--max-events", type=int, default=None,
+                         metavar="N",
+                         help="in-sim runaway budget: abort any single "
+                              "simulation after N dispatched events")
+        mode = sub.add_mutually_exclusive_group()
+        mode.add_argument("--fail-fast", action="store_true",
+                          help="abort the whole run on the first "
+                               "quarantined job")
+        mode.add_argument("--degrade", dest="fail_fast",
+                          action="store_false",
+                          help="complete with partial results plus a "
+                               "failure manifest (default)")
+        sub.set_defaults(fail_fast=False)
+        sub.add_argument("--harness-faults", metavar="JSON", default=None,
+                         help="deterministic fault injection for "
+                              "supervisor testing, e.g. "
+                              "'{\"crash\": {\"shard:000001\": [1]}, "
+                              "\"hang\": {\"shard:000002\": []}}' "
+                              "(env REPRO_HARNESS_FAULTS)")
+        sub.add_argument("--supervise-verbose", action="store_true",
+                         help="log every retry/timeout/crash decision "
+                              "to stderr")
+
     for name, (__, help_text) in COMMANDS.items():
         sub = subparsers.add_parser(name, help=help_text)
         minutes_default = {"chaos": 10.0, "fleet": 15.0}.get(name, 30.0)
@@ -329,6 +431,8 @@ def build_parser():
         sub.add_argument("--out", metavar="DIR", default=argparse.SUPPRESS,
                          help="also write the artifact text into DIR")
         add_grid_args(sub)
+        if name in ("chaos", "fleet"):
+            add_supervision_args(sub)
         if name == "chaos":
             sub.add_argument("--seeds", type=int, default=3, metavar="N",
                              help="number of sampled fault plans")
@@ -388,6 +492,8 @@ def build_parser():
 
 
 def main(argv=None):
+    from repro.resilience.errors import RunInterrupted
+
     parser = build_parser()
     args = parser.parse_args(argv)
     args.grid_runner = None  # built lazily by grid-aware subcommands
@@ -396,17 +502,32 @@ def main(argv=None):
         names = [n for n in COMMANDS if n not in EXCLUDE_FROM_ALL]
     else:
         names = [args.command]
-    for name in names:
-        handler, __ = COMMANDS[name]
-        filename, text = handler(args)
-        print(text)
-        print()
-        if args.out:
-            os.makedirs(args.out, exist_ok=True)
-            path = os.path.join(args.out, filename)
-            with open(path, "w") as handle:
-                handle.write(text + "\n")
-            print("[written to {}]".format(path), file=sys.stderr)
+    try:
+        for name in names:
+            handler, __ = COMMANDS[name]
+            filename, text = handler(args)
+            print(text)
+            print()
+            if args.out:
+                os.makedirs(args.out, exist_ok=True)
+                path = os.path.join(args.out, filename)
+                with open(path, "w") as handle:
+                    handle.write(text + "\n")
+                print("[written to {}]".format(path), file=sys.stderr)
+    except (KeyboardInterrupt, RunInterrupted) as exc:
+        # Ctrl-C / SIGTERM: completed work is already durable (the
+        # result cache and fleet checkpoints are written the moment
+        # each job finishes), so flush the failure manifest, say how
+        # to resume, and exit 130 like a shell would.
+        _write_failure_manifest(args)
+        detail = ""
+        if isinstance(exc, RunInterrupted):
+            detail = " ({} job(s) completed, {} outstanding)".format(
+                exc.completed, exc.outstanding)
+        print("\ninterrupted{}: completed work is checkpointed; re-run "
+              "the same command to resume.".format(detail),
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
     if args.grid_runner is not None and args.grid_runner.stats.submitted:
         stats = args.grid_runner.stats
         print("[grid: {} jobs, {} executed, {} cache hits, jobs={}]"

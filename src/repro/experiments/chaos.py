@@ -136,28 +136,53 @@ class ChaosReport:
 
     @staticmethod
     def _verdict(results, case_key, mitigation):
-        vanilla = results[(case_key, "vanilla")]["app_power_mw"]
-        mitigated = results[(case_key, mitigation)]["app_power_mw"]
-        return reduction_pct(vanilla, mitigated) >= EFFECTIVE_THRESHOLD_PCT
+        """True/False effectiveness, or None when either side of the
+        comparison was quarantined (no result to judge)."""
+        vanilla = results.get((case_key, "vanilla"))
+        mitigated = results.get((case_key, mitigation))
+        if vanilla is None or mitigated is None:
+            return None
+        return reduction_pct(vanilla["app_power_mw"],
+                             mitigated["app_power_mw"]) \
+            >= EFFECTIVE_THRESHOLD_PCT
 
     def flips(self):
-        """Every (case, mitigation, plan_seed) whose verdict flipped."""
+        """Every (case, mitigation, plan_seed) whose verdict flipped.
+
+        Comparisons involving a quarantined run are skipped -- a
+        missing result is reported as FAILED, never as a flip.
+        """
         out = []
         for case_key in self.case_keys:
             for mitigation in MITIGATIONS[1:]:
                 base = self._verdict(self.baseline, case_key, mitigation)
+                if base is None:
+                    continue
                 for plan_seed, results in sorted(self.by_plan.items()):
                     under = self._verdict(results, case_key, mitigation)
-                    if under != base:
+                    if under is not None and under != base:
                         out.append((case_key, mitigation, plan_seed,
                                     base, under))
         return out
 
+    def failed_runs(self):
+        """(case, mitigation, plan_seed) for every quarantined job;
+        plan_seed is None for the no-fault baseline grid."""
+        out = []
+        tables = [(None, self.baseline)] + sorted(self.by_plan.items())
+        for plan_seed, results in tables:
+            for (case_key, mitigation), result in sorted(results.items()):
+                if result is None:
+                    out.append((case_key, mitigation, plan_seed))
+        return out
+
     def violating_runs(self):
         """Every result dict that recorded invariant violations."""
-        runs = [r for r in self.baseline.values() if r["violations"]]
+        runs = [r for r in self.baseline.values()
+                if r is not None and r["violations"]]
         for results in self.by_plan.values():
-            runs.extend(r for r in results.values() if r["violations"])
+            runs.extend(r for r in results.values()
+                        if r is not None and r["violations"])
         return runs
 
     @property
@@ -188,15 +213,18 @@ def run(case_keys=DEFAULT_SUBSET, plan_seeds=(1, 2, 3), minutes=10.0,
              for ps in plan_seeds}
     conditions = [(None, "")] + [(ps, plans[ps].to_json())
                                  for ps in plan_seeds]
-    specs = [
-        FuncSpec.make(run_chaos_case, case_key=case_key,
-                      mitigation=mitigation, minutes=float(minutes),
-                      seed=int(seed), plan_json=plan_json)
-        for __, plan_json in conditions
-        for case_key in case_keys
-        for mitigation in MITIGATIONS
-    ]
-    flat = runner.run(specs)
+    specs, labels = [], []
+    for plan_seed, plan_json in conditions:
+        tag = "base" if plan_seed is None else "plan{}".format(plan_seed)
+        for case_key in case_keys:
+            for mitigation in MITIGATIONS:
+                specs.append(FuncSpec.make(
+                    run_chaos_case, case_key=case_key,
+                    mitigation=mitigation, minutes=float(minutes),
+                    seed=int(seed), plan_json=plan_json))
+                labels.append("chaos:{}:{}:{}".format(
+                    case_key, mitigation, tag))
+    flat = runner.run(specs, labels=labels)
     per_condition = len(case_keys) * len(MITIGATIONS)
     tables = {}
     for offset, (plan_seed, __) in enumerate(conditions):
@@ -224,16 +252,21 @@ def render(report):
                                               report.plans[plan_seed]))
     headers = ["case", "mitigation", "base"] + [
         "plan {}".format(ps) for ps in plan_seeds]
+    def mark_of(verdict):
+        if verdict is None:
+            return "FAILED"
+        return "eff" if verdict else "ineff"
+
     rows = []
     for case_key in report.case_keys:
         for mitigation in MITIGATIONS[1:]:
             base = report._verdict(report.baseline, case_key, mitigation)
-            cells = [case_key, mitigation, "eff" if base else "ineff"]
+            cells = [case_key, mitigation, mark_of(base)]
             for plan_seed in plan_seeds:
                 under = report._verdict(report.by_plan[plan_seed],
                                         case_key, mitigation)
-                mark = "eff" if under else "ineff"
-                if under != base:
+                mark = mark_of(under)
+                if None not in (base, under) and under != base:
                     mark += " *FLIP*"
                 cells.append(mark)
             rows.append(cells)
@@ -255,6 +288,17 @@ def render(report):
     else:
         lines.append("no verdict flips: every mitigation conclusion "
                      "survives every sampled fault plan")
+    failed = report.failed_runs()
+    if failed:
+        lines.append("")
+        lines.append("{} job(s) quarantined under supervision (no "
+                     "result; see the failure manifest):".format(
+                         len(failed)))
+        for case_key, mitigation, plan_seed in failed:
+            lines.append("  {} / {} under {}".format(
+                case_key, mitigation,
+                "baseline" if plan_seed is None
+                else "plan {}".format(plan_seed)))
     if report.total_violations:
         lines.append("")
         lines.append("INVARIANT VIOLATIONS: {} across {} run(s) -- repro "
@@ -274,7 +318,7 @@ def render(report):
                          r["invariant_checks"]
                          for t in [report.baseline] +
                          list(report.by_plan.values())
-                         for r in t.values())))
+                         for r in t.values() if r is not None)))
     return "\n".join(lines)
 
 

@@ -30,6 +30,7 @@ import hashlib
 import importlib
 import json
 import os
+import sys
 import tempfile
 
 from dataclasses import dataclass, field, fields, is_dataclass
@@ -397,6 +398,8 @@ class RunnerStats:
     pool_batches: int = 0
     serial_batches: int = 0
     pool_fallbacks: int = 0
+    supervised_batches: int = 0
+    failed: int = 0  # supervised jobs that ended in quarantine
 
     def as_dict(self):
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -416,9 +419,14 @@ class GridRunner:
     serial in-process). ``cache``: ``None``/``False`` disables caching,
     ``True`` uses the default directory, a string is a directory, or
     pass a :class:`ResultCache`. ``REPRO_CACHE=0`` force-disables.
+    ``supervisor``: an optional :class:`~repro.resilience.supervisor.
+    Supervisor`; when set, every executed batch runs under its
+    deadline/retry/quarantine state machine and jobs that end in
+    quarantine come back as ``None`` entries (recorded in
+    ``supervisor.manifest``) instead of failing the whole run.
     """
 
-    def __init__(self, jobs=None, cache=None, salt=None):
+    def __init__(self, jobs=None, cache=None, salt=None, supervisor=None):
         self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
         if os.environ.get("REPRO_CACHE", "1") == "0":
             cache = None
@@ -429,40 +437,68 @@ class GridRunner:
         elif cache is False:
             cache = None
         self.cache = cache
+        self.supervisor = supervisor
         self.stats = RunnerStats()
+        #: Why the last pool bootstrap failed, or None (structured
+        #: counterpart of the one-time stderr fallback log).
+        self.pool_fallback_reason = None
+        self._pool_fallback_logged = False
 
-    def run(self, specs, full=False):
+    def run(self, specs, full=False, labels=None, on_result=None):
         """Execute ``specs``; results come back in spec order.
 
         ``full=True`` is the live-object opt-out: serial, in-process,
         uncached, for callers that need ``CaseRun.phone``/``app``.
+        ``labels`` (parallel to ``specs``) names jobs for supervision
+        and harness-fault matching. ``on_result(index, spec, result)``
+        fires per completed spec -- for cache hits immediately, for
+        fresh results the moment they are computed and cached, so
+        callers can checkpoint incrementally and an interrupted run
+        keeps everything that finished. Under a supervisor, quarantined
+        specs yield ``None`` results and never fire ``on_result``.
         """
         specs = list(specs)
         self.stats.submitted += len(specs)
         if full:
             self.stats.serial_batches += 1
             self.stats.executed += len(specs)
-            return [spec.execute(full=True) for spec in specs]
+            out = []
+            for index, spec in enumerate(specs):
+                result = spec.execute(full=True)
+                out.append(result)
+                if on_result is not None:
+                    on_result(index, spec, result)
+            return out
 
         results = [None] * len(specs)
         pending = {}  # spec -> [indices]; dedups repeats within a batch
+        label_for = {}
         for index, spec in enumerate(specs):
             if self.cache is not None and spec not in pending:
                 cached = self.cache.load(spec)
                 if cached is not None:
                     self.stats.cache_hits += 1
                     results[index] = cached
+                    if on_result is not None:
+                        on_result(index, spec, cached)
                     continue
                 self.stats.cache_misses += 1
             pending.setdefault(spec, []).append(index)
+            if labels is not None:
+                label_for.setdefault(spec, labels[index])
 
         if pending:
-            fresh = self._execute(list(pending))
+            def _complete(spec, result):
+                if self.cache is not None:
+                    self.cache.store(spec, result)
+                if on_result is not None:
+                    for index in pending[spec]:
+                        on_result(index, spec, result)
+
+            fresh = self._execute(list(pending), label_for, _complete)
             for spec, result in fresh.items():
                 for index in pending[spec]:
                     results[index] = result
-                if self.cache is not None:
-                    self.cache.store(spec, result)
         return results
 
     def run_one(self, spec, full=False):
@@ -480,18 +516,33 @@ class GridRunner:
         """
         return min(self.jobs, os.cpu_count() or 1)
 
-    def _execute(self, specs):
+    def _execute(self, specs, label_for=None, on_complete=None):
+        """Run deduped specs; ``{spec: result}`` for the successes.
+
+        ``on_complete(spec, result)`` is invoked exactly once per
+        successful spec, in completion order (it writes the cache and
+        feeds the caller's ``on_result``).
+        """
+        on_complete = on_complete or (lambda spec, result: None)
+        if self.supervisor is not None:
+            return self._execute_supervised(specs, label_for, on_complete)
         workers = min(self.effective_jobs, len(specs))
         if workers > 1:
             try:
-                return self._execute_pool(specs, workers)
-            except Exception:  # pool unavailable: sandboxes, no sem, ...
+                return self._execute_pool(specs, workers, on_complete)
+            except _pool_unavailable_errors() as exc:
                 self.stats.pool_fallbacks += 1
+                self._note_pool_fallback(exc)
         self.stats.serial_batches += 1
-        self.stats.executed += len(specs)
-        return {spec: spec.execute() for spec in specs}
+        out = {}
+        for spec in specs:
+            result = spec.execute()
+            self.stats.executed += 1
+            out[spec] = result
+            on_complete(spec, result)
+        return out
 
-    def _execute_pool(self, specs, workers):
+    def _execute_pool(self, specs, workers, on_complete):
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -501,7 +552,46 @@ class GridRunner:
                    for spec, future in futures.items()}
         self.stats.pool_batches += 1
         self.stats.executed += len(specs)
+        for spec, result in out.items():
+            on_complete(spec, result)
         return out
+
+    def _execute_supervised(self, specs, label_for, on_complete):
+        self.stats.supervised_batches += 1
+        labels = None
+        if label_for:
+            labels = [label_for.get(spec,
+                                    self.supervisor.label_for(spec, index))
+                      for index, spec in enumerate(specs)]
+        out = self.supervisor.execute(
+            specs, labels=labels, workers=self.effective_jobs,
+            on_result=on_complete)
+        self.stats.executed += len(out)
+        self.stats.failed += len(specs) - len(out)
+        return out
+
+    def _note_pool_fallback(self, exc):
+        self.pool_fallback_reason = "{}: {}".format(type(exc).__name__,
+                                                    exc)
+        if not self._pool_fallback_logged:
+            self._pool_fallback_logged = True
+            print("grid: process pool unavailable ({}); falling back to "
+                  "serial in-process execution".format(
+                      self.pool_fallback_reason), file=sys.stderr)
+
+
+def _pool_unavailable_errors():
+    """The exception classes that mean "no process pool here".
+
+    Deliberately narrow: a job's own exception (bad spec, simulation
+    bug) must propagate, not silently re-run serially. Pool-bootstrap
+    failures are import errors (no ``_multiprocessing``), OS errors
+    (no ``/dev/shm``, seccomp-blocked ``sem_open``), or a pool whose
+    workers were killed before finishing (``BrokenExecutor``).
+    """
+    from concurrent.futures import BrokenExecutor
+
+    return (ImportError, NotImplementedError, OSError, BrokenExecutor)
 
 
 def runner_from_args(args):
@@ -509,9 +599,40 @@ def runner_from_args(args):
 
     The CLI caches by default (under ``results/.cache``); library calls
     that construct ``GridRunner()`` themselves default to uncached so
-    programmatic behaviour is unchanged unless opted in.
+    programmatic behaviour is unchanged unless opted in. Subcommands
+    that declare supervision flags (``--job-timeout``, ``--max-retries``,
+    ``--fail-fast``/``--degrade``: currently ``chaos`` and ``fleet``)
+    get a supervised runner; the rest keep the unsupervised fast path.
     """
     no_cache = getattr(args, "no_cache", False)
     cache_dir = getattr(args, "cache_dir", None)
     cache = None if no_cache else (cache_dir or True)
-    return GridRunner(jobs=getattr(args, "jobs", None), cache=cache)
+    return GridRunner(jobs=getattr(args, "jobs", None), cache=cache,
+                      supervisor=supervisor_from_args(args))
+
+
+def supervisor_from_args(args):
+    """A Supervisor from CLI supervision flags, or ``None``.
+
+    Only subcommands whose parser declared the flags (marked by the
+    ``supervised`` attribute) run supervised, so plain grid commands
+    keep their historical dispatch path.
+    """
+    if not getattr(args, "supervised", False):
+        return None
+    from repro.resilience.hooks import HarnessFaults
+    from repro.resilience.supervisor import Supervisor
+    from repro.sim.engine import RunBudget
+
+    faults_json = getattr(args, "harness_faults", None)
+    faults = HarnessFaults.from_json(faults_json) if faults_json else None
+    max_events = getattr(args, "max_events", None)
+    budget = RunBudget(max_events=max_events) if max_events else None
+    return Supervisor(
+        job_timeout_s=getattr(args, "job_timeout", None),
+        max_retries=getattr(args, "max_retries", 2),
+        fail_fast=getattr(args, "fail_fast", False),
+        harness_faults=faults,
+        sim_budget=budget,
+        verbose=getattr(args, "supervise_verbose", False),
+    )

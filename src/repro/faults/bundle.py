@@ -51,11 +51,18 @@ def replay_bundle(path):
     """Re-run a bundle's case. Returns ``(result, report_text)``.
 
     The report states whether the original violations reproduced and
-    whether the output fingerprint matched bit-for-bit.
+    whether the output fingerprint matched bit-for-bit. A *failure
+    manifest* (``results/failures_<fp>.json``, written by a supervised
+    run that quarantined jobs) is also accepted: every chaos job it
+    records is re-run in-process, and ``result`` aggregates their
+    violations (``fingerprint`` is empty -- quarantined jobs never
+    produced one to compare against).
     """
     from repro.experiments.chaos import run_chaos_case
 
     payload = load_bundle(path)
+    if payload.get("kind") == "failure_manifest":
+        return _replay_manifest(path, payload)
     result = run_chaos_case(**payload["kwargs"])
     lines = ["replaying {}".format(os.path.basename(path))]
     expected = payload.get("fingerprint", "")
@@ -76,3 +83,49 @@ def replay_bundle(path):
         lines.append("no violations on replay (fixed, or environment-"
                      "dependent -- check the fingerprint line)")
     return result, "\n".join(lines)
+
+
+def _replay_manifest(path, payload):
+    """Re-run every chaos job a failure manifest recorded.
+
+    Quarantined jobs are replayed *without* the supervisor or any
+    harness faults -- the point is to see what the job does on this
+    machine, under a debugger if need be. Fleet shard jobs are listed
+    but skipped (resume the fleet run to retry them; a shard is not a
+    single case). Returns an aggregate result dict shaped like a
+    single-bundle replay (``violations`` + empty ``fingerprint``) so
+    callers share one exit-code path.
+    """
+    from repro.experiments.chaos import run_chaos_case
+    from repro.resilience.manifest import FailureManifest, dict_kwargs
+
+    manifest = FailureManifest.from_dict(payload)
+    lines = ["replaying failure manifest {} ({} quarantined job(s))"
+             .format(os.path.basename(path), len(manifest))]
+    violations = []
+    replayed = skipped = 0
+    for record in manifest.records:
+        spec = record.spec if isinstance(record.spec, dict) else {}
+        func = str(spec.get("func", ""))
+        last = record.attempts[-1].outcome if record.attempts else "?"
+        if spec.get("kind") != "func" \
+                or not func.endswith(":run_chaos_case"):
+            skipped += 1
+            lines.append("  {} (last outcome: {}): not a chaos case "
+                         "job; skipped -- re-run the original command "
+                         "to retry it".format(record.label, last))
+            continue
+        result = run_chaos_case(**dict_kwargs(spec))
+        replayed += 1
+        violations.extend(result["violations"])
+        status = "{} violation(s)".format(len(result["violations"])) \
+            if result["violations"] else "clean"
+        lines.append("  {} (last outcome: {}): replayed seed {} -> "
+                     "fingerprint {} ({})".format(
+                         record.label, last, result["seed"],
+                         result["fingerprint"][:12], status))
+    lines.append("{} job(s) replayed, {} skipped, {} violation(s) "
+                 "observed".format(replayed, skipped, len(violations)))
+    summary = {"violations": violations, "fingerprint": "",
+               "replayed": replayed, "skipped": skipped}
+    return summary, "\n".join(lines)

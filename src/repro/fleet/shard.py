@@ -32,8 +32,27 @@ CHECKPOINT_SCHEMA = 1
 #: Default root for per-population checkpoint directories.
 DEFAULT_CHECKPOINT_ROOT = os.path.join("results", ".fleet")
 
+#: Cap on per-device crash records carried in one shard summary, so a
+#: systematically-crashing population keeps summaries O(1)-ish.
+MAX_CRASH_RECORDS = 20
+
 
 # -- one device-day -----------------------------------------------------------
+
+#: Distinct device-crash reasons already logged by this process; a
+#: 10k-device shard with one systematic bug logs one line, not 10k.
+_LOGGED_CRASH_REASONS = set()
+
+
+def _log_device_crash_once(index, mitigation, reason):
+    if reason in _LOGGED_CRASH_REASONS:
+        return
+    _LOGGED_CRASH_REASONS.add(reason)
+    print("fleet: device {} ({}) crashed during simulation: {} "
+          "(logged once per distinct reason; every occurrence is in "
+          "the shard's crash records)".format(index, mitigation, reason),
+          file=sys.stderr)
+
 
 def simulate_device_day(device, mitigation, minutes):
     """Run one sampled device-day under one mitigation.
@@ -101,10 +120,13 @@ def simulate_device_day(device, mitigation, minutes):
     phone.sim.spawn(scripted_day(), name="fleet.user")
     mark = phone.energy_mark()
     crashed = 0
+    crash_error = ""
     try:
         phone.run_for(minutes=minutes)
-    except Exception:  # noqa: BLE001 -- a dead device still reports
+    except Exception as exc:  # noqa: BLE001 -- a dead device still reports
         crashed = 1
+        crash_error = "{}: {}".format(type(exc).__name__, exc)
+        _log_device_crash_once(device.index, mitigation, crash_error)
 
     elapsed_s = max(phone.sim.now, 1e-9)
     system_mw = phone.power_since(mark)
@@ -122,6 +144,7 @@ def simulate_device_day(device, mitigation, minutes):
         "buggy_installed": len(buggy_uids),
         "normal_installed": len(interactive_uids),
         "crashed": crashed,
+        "crash_error": crash_error,
         "faults_applied": injector.applied_count if injector else 0,
         "renewals": 0, "deferrals": 0, "revocations": 0,
         "fp_apps": 0, "fn_apps": 0,
@@ -179,6 +202,7 @@ def run_shard(population_json, start, stop):
     """
     population = PopulationSpec.from_json(population_json)
     per_mitigation = {name: FleetStats() for name in population.mitigations}
+    crashes = []
     for device in population.devices_in(start, stop):
         vanilla_summary = None
         for mitigation in population.mitigations:
@@ -186,6 +210,10 @@ def run_shard(population_json, start, stop):
                 device, mitigation, population.minutes)
             if mitigation == "vanilla":
                 vanilla_summary = summary
+            if summary["crashed"] and len(crashes) < MAX_CRASH_RECORDS:
+                crashes.append({"device": device.index,
+                                "mitigation": mitigation,
+                                "error": summary["crash_error"]})
             _fold_device(per_mitigation[mitigation], summary,
                          vanilla_summary)
     return {
@@ -195,6 +223,9 @@ def run_shard(population_json, start, stop):
         "stop": stop,
         "stats": {name: stats.to_dict()
                   for name, stats in sorted(per_mitigation.items())},
+        # Structured per-device crash records (capped): the aggregate
+        # "crashed" counter says how many, these say which and why.
+        "crashes": crashes,
     }
 
 
@@ -221,7 +252,25 @@ class FleetRunner:
         self.verbose = verbose
         self.shards_run = 0
         self.shards_resumed = 0
-        self.checkpoints_rejected = 0
+        #: Shard indices whose on-disk checkpoint was rejected (stale
+        #: version/schema/population). A set, not a counter: the same
+        #: stale file is probed by pending_shards() *and* merged_stats()
+        #: and must count once, not once per probe.
+        self.rejected_shards = set()
+        #: Shard indices the supervisor quarantined this run (their
+        #: checkpoints were deliberately NOT written).
+        self.quarantined_shards = []
+        #: Shard indices skipped by merged_stats(allow_missing=True).
+        self.missing_shards = []
+
+    @property
+    def checkpoints_rejected(self):
+        """Distinct shards whose stale checkpoint was rejected."""
+        return len(self.rejected_shards)
+
+    @property
+    def shards_quarantined(self):
+        return len(self.quarantined_shards)
 
     # -- checkpoint files --------------------------------------------------
 
@@ -245,7 +294,7 @@ class FleetRunner:
                 != self.population.fingerprint()
                 or (summary.get("start"), summary.get("stop"))
                 != (start, stop)):
-            self.checkpoints_rejected += 1
+            self.rejected_shards.add(shard_index)
             if self.verbose:
                 print("fleet: ignoring stale checkpoint {}".format(
                     self._checkpoint_path(shard_index)), file=sys.stderr)
@@ -275,48 +324,92 @@ class FleetRunner:
         return [index for index in range(self.population.shard_count)
                 if self._load_checkpoint(index) is None]
 
+    @staticmethod
+    def shard_label(shard_index):
+        """The supervision/fault-matching label for one shard job."""
+        return "shard:{:06d}".format(shard_index)
+
     def run_shards(self, limit=None):
         """Execute up to ``limit`` pending shards (all by default).
 
-        Shards are dispatched in index order through the grid runner in
-        batches of the worker count, and each completed shard's summary
-        is checkpointed before the next batch starts -- so a kill loses
-        at most one batch of work (less with the grid cache warm).
-        Returns the number of shards executed.
+        Shards are dispatched in index order through the grid runner and
+        each completed shard's summary is checkpointed *the moment it
+        completes* (the runner's ``on_result`` hook), so a kill loses at
+        most the in-flight shards (less with the grid cache warm). Under
+        a supervised runner the whole pending set is handed over in one
+        call -- the supervisor owns concurrency, deadlines and retries
+        -- and shards that end in quarantine simply come back without a
+        result: their checkpoints are never written (a timed-out shard
+        must not publish partial state) and their indices land in
+        ``quarantined_shards``. Returns the number of shards executed.
         """
         pending = self.pending_shards()
         self.shards_resumed += self.population.shard_count - len(pending)
         if limit is not None:
             pending = pending[:limit]
-        batch_size = max(self.runner.effective_jobs, 1)
-        executed = 0
         population_json = self.population.to_json()
-        for offset in range(0, len(pending), batch_size):
-            batch = pending[offset:offset + batch_size]
-            specs = []
+        supervisor = getattr(self.runner, "supervisor", None)
+        if supervisor is not None and supervisor.manifest.run_fingerprint \
+                == "":
+            supervisor.manifest.run_fingerprint = \
+                self.population.fingerprint()[:12]
+        executed = [0]
+
+        def dispatch(batch):
+            specs, labels = [], []
             for shard_index in batch:
                 start, stop = self.population.shard_range(shard_index)
                 specs.append(FuncSpec.make(
                     run_shard, population_json=population_json,
                     start=start, stop=stop))
-            summaries = self.runner.run(specs)
-            for shard_index, summary in zip(batch, summaries):
+                labels.append(self.shard_label(shard_index))
+
+            def checkpoint(index, spec, summary):
+                shard_index = batch[index]
                 self._write_checkpoint(shard_index, summary)
-                executed += 1
+                executed[0] += 1
                 if self.verbose:
                     print("fleet: shard {}/{} done".format(
                         shard_index + 1, self.population.shard_count),
                         file=sys.stderr)
-        self.shards_run += executed
-        return executed
 
-    def merged_stats(self):
+            summaries = self.runner.run(specs, labels=labels,
+                                        on_result=checkpoint)
+            for shard_index, summary in zip(batch, summaries):
+                if summary is None:
+                    self.quarantined_shards.append(shard_index)
+
+        try:
+            if supervisor is not None:
+                if pending:
+                    dispatch(pending)
+            else:
+                batch_size = max(self.runner.effective_jobs, 1)
+                for offset in range(0, len(pending), batch_size):
+                    dispatch(pending[offset:offset + batch_size])
+        finally:
+            # An interrupt mid-dispatch keeps every checkpoint already
+            # streamed out; the counter must reflect them for the
+            # partial-run summary the CLI prints on the way down.
+            self.shards_run += executed[0]
+        return executed[0]
+
+    def merged_stats(self, allow_missing=False):
         """Fold every shard checkpoint, in index order, into one
-        FleetStats per mitigation. Raises if any shard is missing."""
+        FleetStats per mitigation.
+
+        Raises if any shard is missing, unless ``allow_missing`` is
+        true (the graceful-degradation path), in which case missing
+        shards are skipped and recorded in ``missing_shards``.
+        """
         merged = {name: FleetStats() for name in self.population.mitigations}
+        self.missing_shards = []
         for shard_index in range(self.population.shard_count):
             summary = self._load_checkpoint(shard_index)
             if summary is None:
+                if allow_missing:
+                    self.missing_shards.append(shard_index)
+                    continue
                 raise RuntimeError(
                     "shard {} has no valid checkpoint; run run_shards() "
                     "to completion first".format(shard_index))
@@ -324,10 +417,28 @@ class FleetRunner:
                 merged[name] = merged[name].merge(FleetStats.from_dict(data))
         return merged
 
-    def run(self, limit=None):
+    def run_summary(self):
+        """Always-surfaced execution accounting for the final report.
+
+        Counts stale-checkpoint rejections explicitly: a rejected
+        checkpoint means silent recomputation, and an operator reading
+        a quiet run's summary must see that it happened.
+        """
+        return {
+            "shards_total": self.population.shard_count,
+            "shards_run": self.shards_run,
+            "shards_resumed": self.shards_resumed,
+            "checkpoints_rejected": self.checkpoints_rejected,
+            "shards_quarantined": self.shards_quarantined,
+        }
+
+    def run(self, limit=None, allow_missing=False):
         """Run (or resume) the fleet; returns merged stats when
-        complete, or None if ``limit`` stopped the run early."""
+        complete, or None if ``limit`` stopped the run early.
+        ``allow_missing=True`` degrades instead: merged stats over
+        whatever checkpoints exist (missing shards recorded in
+        ``missing_shards``)."""
         self.run_shards(limit=limit)
-        if self.pending_shards():
+        if self.pending_shards() and not allow_missing:
             return None
-        return self.merged_stats()
+        return self.merged_stats(allow_missing=allow_missing)

@@ -1,0 +1,80 @@
+"""Structured failures raised (and recorded) by the supervision layer.
+
+Every exception here is data-first: the fields the failure manifest
+needs (label, attempt, timings, exit codes) live on the instance, and
+``str()`` renders a one-line human summary from them. Supervised
+workers never leak a raw stack into the dispatch loop -- they surface
+as exactly one of these.
+"""
+
+
+class SupervisionError(Exception):
+    """Base class for failures produced by the supervision layer."""
+
+
+class JobTimeout(SupervisionError):
+    """A job's wall-clock deadline fired; the worker was killed."""
+
+    def __init__(self, label, attempt, timeout_s, elapsed_s):
+        self.label = label
+        self.attempt = attempt
+        self.timeout_s = timeout_s
+        self.elapsed_s = elapsed_s
+        super().__init__(
+            "job {!r} exceeded its {:.1f}s deadline on attempt {} "
+            "(ran {:.1f}s); worker killed".format(
+                label, timeout_s, attempt, elapsed_s))
+
+
+class WorkerCrash(SupervisionError):
+    """A worker process died (segfault, os._exit, OOM kill, ...)."""
+
+    def __init__(self, label, attempt, exitcode):
+        self.label = label
+        self.attempt = attempt
+        self.exitcode = exitcode
+        super().__init__(
+            "worker for job {!r} died with exit code {} on attempt {}"
+            .format(label, exitcode, attempt))
+
+
+class InjectedFault(SupervisionError):
+    """A harness-level fault hook made this attempt fail on purpose."""
+
+    def __init__(self, label, attempt):
+        self.label = label
+        self.attempt = attempt
+        super().__init__(
+            "injected harness fault for job {!r}, attempt {}".format(
+                label, attempt))
+
+
+class JobQuarantined(SupervisionError):
+    """A job exhausted its attempts. Raised only under ``fail_fast``;
+    in degrade mode the job lands in the failure manifest instead."""
+
+    def __init__(self, label, attempts, last_error):
+        self.label = label
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            "job {!r} quarantined after {} attempt(s); last error: {}"
+            .format(label, attempts, last_error))
+
+
+class RunInterrupted(SupervisionError):
+    """Ctrl-C / SIGTERM mid-run: workers reaped, state flushed.
+
+    The CLI converts this to exit code 130 (128 + SIGINT), after the
+    supervisor has terminated live workers and everything already
+    completed has been checkpointed/cached.
+    """
+
+    exit_code = 130
+
+    def __init__(self, completed, outstanding):
+        self.completed = completed
+        self.outstanding = outstanding
+        super().__init__(
+            "run interrupted: {} job(s) completed and flushed, {} "
+            "outstanding".format(completed, outstanding))

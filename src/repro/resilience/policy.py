@@ -1,0 +1,58 @@
+"""Seeded, deterministic retry policy: bounded backoff, derived jitter.
+
+Retries must not introduce nondeterminism: a rerun of the same run must
+make the same scheduling decisions. The jitter for ``(job, attempt)``
+is therefore *derived* -- ``sha256(seed:job_key:attempt)`` mapped to
+[0, 1) -- not drawn from a shared RNG whose state would depend on the
+order failures happened to arrive in.
+"""
+
+import hashlib
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    try plus up to two retries. ``delay_s(job_key, attempt)`` is the
+    pause *before* ``attempt`` (2-based; attempt 1 never waits) --
+    ``base_delay_s * 2^(attempt-2)``, capped at ``max_delay_s``, then
+    stretched by up to ``jitter`` (a fraction) using the derived unit.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.1
+    max_delay_s: float = 30.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def jitter_unit(self, job_key, attempt):
+        """The derived [0, 1) jitter unit for ``(job_key, attempt)``."""
+        token = "{}:{}:{}".format(self.seed, job_key, attempt)
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / float(2 ** 64)
+
+    def delay_s(self, job_key, attempt):
+        """Seconds to wait before retry ``attempt`` (>= 2)."""
+        if attempt <= 1:
+            return 0.0
+        base = min(self.max_delay_s,
+                   self.base_delay_s * (2.0 ** (attempt - 2)))
+        return base * (1.0 + self.jitter * self.jitter_unit(job_key,
+                                                            attempt))
+
+    def schedule(self, job_key):
+        """Every retry delay this policy would grant ``job_key``."""
+        return tuple(self.delay_s(job_key, attempt)
+                     for attempt in range(2, self.max_attempts + 1))

@@ -10,9 +10,22 @@ A small, deterministic engine purpose-built for this reproduction:
 - :class:`~repro.sim.events.Event` -- one-shot waitable events.
 - :class:`~repro.sim.trace.KernelTrace` -- opt-in kernel profiler
   attributing dispatched events and wall time per callback site.
+- :class:`~repro.sim.engine.RunBudget` -- opt-in runaway guard
+  (max events / max sim-time / max wall-clock) that aborts a spinning
+  run with a :class:`~repro.sim.engine.BudgetExceeded` carrying kernel
+  diagnostics (see docs/resilience.md).
 """
 
-from repro.sim.engine import PeriodicTimer, SimulationError, Simulator, Timer
+from repro.sim.engine import (
+    BudgetExceeded,
+    PeriodicTimer,
+    RunBudget,
+    SimulationError,
+    Simulator,
+    Timer,
+    ambient_budget,
+    set_ambient_budget,
+)
 from repro.sim.events import Event, Timeout, after, any_of
 from repro.sim.process import Process, ProcessKilled, ProcessState
 from repro.sim.trace import KernelTrace, SiteStats, site_for
@@ -20,6 +33,10 @@ from repro.sim.trace import KernelTrace, SiteStats, site_for
 __all__ = [
     "Simulator",
     "SimulationError",
+    "BudgetExceeded",
+    "RunBudget",
+    "ambient_budget",
+    "set_ambient_budget",
     "Timer",
     "PeriodicTimer",
     "Event",

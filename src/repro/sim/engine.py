@@ -17,10 +17,142 @@ not drag a bloated heap through every push and pop.
 import heapq
 
 from heapq import heappop as _heappop, heappush as _heappush
+from time import monotonic as _monotonic
 
 
 class SimulationError(Exception):
     """Raised for invalid uses of the simulation engine."""
+
+
+class BudgetExceeded(SimulationError):
+    """A run crossed its :class:`RunBudget`; carries kernel diagnostics.
+
+    ``reason`` names the limit that tripped (``"max_events"``,
+    ``"max_sim_s"`` or ``"max_wall_s"``); ``diagnostics`` is a plain
+    dict snapshot of the kernel at abort time (simulated clock, events
+    charged, heap size, pending events, wall seconds) so a supervised
+    worker can report *why* a job span out of control without the
+    parent attaching a debugger to a hung process.
+    """
+
+    def __init__(self, reason, diagnostics):
+        self.reason = reason
+        self.diagnostics = dict(diagnostics)
+        detail = ", ".join(
+            "{}={}".format(key, self.diagnostics[key])
+            for key in sorted(self.diagnostics))
+        super().__init__(
+            "simulation budget exceeded ({}): {}".format(reason, detail))
+
+
+class RunBudget:
+    """Runaway guard for simulation runs: abort cleanly, never spin.
+
+    A budget bounds a *job*, not a single simulator: arming the same
+    instance on several simulators (e.g. every device-day inside one
+    fleet shard) makes ``max_events`` cumulative across them, which is
+    exactly the per-job semantics a supervisor wants. Limits:
+
+    - ``max_events``: total dispatched events charged to this budget;
+    - ``max_sim_s``: the simulated clock of the *current* simulator
+      (absolute seconds since its boot);
+    - ``max_wall_s``: host wall-clock seconds since the first charged
+      event (checked every :data:`WALL_CHECK_EVERY` events to keep
+      ``time.monotonic`` off the per-event path).
+
+    Budgets are stateful; build a fresh one per attempt (``fresh()``)
+    so retries never inherit a spent budget.
+    """
+
+    #: Events between wall-clock checks (monotonic() is ~100x an int
+    #: compare; every event would be measurable on the hot loop).
+    WALL_CHECK_EVERY = 256
+
+    __slots__ = ("max_events", "max_sim_s", "max_wall_s", "events",
+                 "_wall_started", "_wall_countdown")
+
+    def __init__(self, max_events=None, max_sim_s=None, max_wall_s=None):
+        self.max_events = max_events
+        self.max_sim_s = max_sim_s
+        self.max_wall_s = max_wall_s
+        self.events = 0
+        self._wall_started = None
+        self._wall_countdown = self.WALL_CHECK_EVERY
+
+    def limits(self):
+        """The immutable limit spec (JSON-scalar dict)."""
+        return {"max_events": self.max_events, "max_sim_s": self.max_sim_s,
+                "max_wall_s": self.max_wall_s}
+
+    def fresh(self, max_wall_s=None):
+        """An unspent copy; ``max_wall_s`` tightens the wall limit."""
+        wall = self.max_wall_s
+        if max_wall_s is not None:
+            wall = max_wall_s if wall is None else min(wall, max_wall_s)
+        return type(self)(max_events=self.max_events,
+                          max_sim_s=self.max_sim_s, max_wall_s=wall)
+
+    @property
+    def wall_elapsed_s(self):
+        if self._wall_started is None:
+            return 0.0
+        return _monotonic() - self._wall_started
+
+    def charge(self, sim):
+        """Account one dispatched event; raise on any crossed limit."""
+        self.events += 1
+        if self._wall_started is None:
+            self._wall_started = _monotonic()
+        if self.max_events is not None and self.events > self.max_events:
+            raise BudgetExceeded("max_events", self.diagnostics(sim))
+        if self.max_sim_s is not None and sim._now > self.max_sim_s:
+            raise BudgetExceeded("max_sim_s", self.diagnostics(sim))
+        if self.max_wall_s is not None:
+            self._wall_countdown -= 1
+            if self._wall_countdown <= 0:
+                self._wall_countdown = self.WALL_CHECK_EVERY
+                if self.wall_elapsed_s > self.max_wall_s:
+                    raise BudgetExceeded("max_wall_s",
+                                         self.diagnostics(sim))
+
+    def diagnostics(self, sim):
+        """Kernel snapshot for the abort report."""
+        return {
+            "sim_now_s": round(sim._now, 6),
+            "events_charged": self.events,
+            "sim_dispatched_lifetime": sim.dispatched,
+            "heap_entries": len(sim._queue),
+            "pending_events": sim.pending_events,
+            "wall_elapsed_s": round(self.wall_elapsed_s, 3),
+            "limits": self.limits(),
+        }
+
+    def __repr__(self):
+        return "RunBudget(max_events={}, max_sim_s={}, max_wall_s={}, " \
+            "events={})".format(self.max_events, self.max_sim_s,
+                                self.max_wall_s, self.events)
+
+
+#: Process-wide default budget newly constructed Simulators inherit.
+#: Supervised workers arm this before executing a job spec so every
+#: simulator the job builds (a fleet shard builds hundreds) shares one
+#: cumulative runaway budget without any plumbing through job code.
+_AMBIENT_BUDGET = None
+
+
+def set_ambient_budget(budget):
+    """Install (or clear, with ``None``) the process-wide default
+    :class:`RunBudget`. Returns the previous one so callers can
+    restore it in a ``finally``."""
+    global _AMBIENT_BUDGET
+    previous = _AMBIENT_BUDGET
+    _AMBIENT_BUDGET = budget
+    return previous
+
+
+def ambient_budget():
+    """The process-wide default budget, or ``None``."""
+    return _AMBIENT_BUDGET
 
 
 class Timer:
@@ -80,7 +212,7 @@ class Simulator:
     #: worth an O(n) rebuild.
     COMPACT_MIN_CANCELLED = 64
 
-    def __init__(self, start_time=0.0):
+    def __init__(self, start_time=0.0, budget=None):
         self._now = float(start_time)
         self._queue = []  # heap of (deadline, seq, Timer)
         self._seq = 0
@@ -88,6 +220,7 @@ class Simulator:
         self._processes = []
         self._cancelled = 0  # cancelled entries still in the heap
         self._trace = None  # optional repro.sim.trace.KernelTrace
+        self._budget = budget if budget is not None else _AMBIENT_BUDGET
         #: Total events dispatched over this simulator's lifetime
         #: (cancelled entries skipped by the loop do not count).
         self.dispatched = 0
@@ -189,6 +322,20 @@ class Simulator:
         """The installed kernel trace, or ``None``."""
         return self._trace
 
+    def set_budget(self, budget):
+        """Install a :class:`RunBudget` (or ``None`` to remove it).
+
+        Takes effect for the very next dispatched event, including
+        mid-run (same re-entrancy contract as :meth:`set_trace`).
+        """
+        self._budget = budget
+        return budget
+
+    @property
+    def budget(self):
+        """The armed runaway budget, or ``None``."""
+        return self._budget
+
     def run_until(self, until):
         """Run all events with deadlines <= ``until``; set clock to ``until``."""
         if until < self._now:
@@ -216,6 +363,12 @@ class Simulator:
                 self._now = deadline
                 timer.fired = True
                 dispatched += 1
+                # Like the trace, the budget is re-read per event so a
+                # mid-run set_budget takes effect immediately; the
+                # usual cost is one attribute load and a None check.
+                budget = self._budget
+                if budget is not None:
+                    budget.charge(self)
                 trace = self._trace
                 if trace is None:
                     timer.callback()
@@ -243,6 +396,9 @@ class Simulator:
                 self._now = deadline
                 timer.fired = True
                 dispatched += 1
+                budget = self._budget
+                if budget is not None:
+                    budget.charge(self)
                 trace = self._trace
                 if trace is None:
                     timer.callback()

@@ -177,7 +177,7 @@ def _const(value):
 def test_pool_failure_falls_back_to_serial(monkeypatch):
     import os
 
-    def broken(self, specs, workers):
+    def broken(self, specs, workers, on_complete):
         raise OSError("no process pool in this sandbox")
 
     monkeypatch.setattr(GridRunner, "_execute_pool", broken)

@@ -1,0 +1,91 @@
+"""In-sim runaway budgets: clean aborts with kernel diagnostics."""
+
+import pytest
+
+from repro.sim.engine import (
+    BudgetExceeded,
+    RunBudget,
+    Simulator,
+    ambient_budget,
+    set_ambient_budget,
+)
+
+
+def _spinner(sim):
+    """Schedule a self-rescheduling no-op: an unbounded event source."""
+    def tick():
+        sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+
+
+def test_max_events_aborts_with_diagnostics():
+    sim = Simulator(budget=RunBudget(max_events=100))
+    _spinner(sim)
+    with pytest.raises(BudgetExceeded) as excinfo:
+        sim.run_until(1e9)
+    exc = excinfo.value
+    assert exc.reason == "max_events"
+    assert exc.diagnostics["events_charged"] == 101
+    assert exc.diagnostics["limits"]["max_events"] == 100
+    assert exc.diagnostics["sim_now_s"] == pytest.approx(101.0)
+    assert "max_events" in str(exc)
+    assert "events_charged=101" in str(exc)
+
+
+def test_max_sim_s_aborts_on_the_simulated_clock():
+    sim = Simulator(budget=RunBudget(max_sim_s=50.0))
+    _spinner(sim)
+    with pytest.raises(BudgetExceeded) as excinfo:
+        sim.run_until(1e9)
+    assert excinfo.value.reason == "max_sim_s"
+    assert excinfo.value.diagnostics["sim_now_s"] > 50.0
+
+
+def test_budget_is_cumulative_across_simulators():
+    # One budget armed on successive simulators bounds the *job*, not
+    # each simulator: the fleet-shard semantics (hundreds of device
+    # days, one runaway allowance).
+    budget = RunBudget(max_events=150)
+    first = Simulator(budget=budget)
+    _spinner(first)
+    first.run_until(100.0)  # 100 events charged
+    second = Simulator(budget=budget)
+    _spinner(second)
+    with pytest.raises(BudgetExceeded):
+        second.run_until(1e9)
+    assert budget.events == 151
+
+
+def test_fresh_returns_an_unspent_copy_and_tightens_wall():
+    spent = RunBudget(max_events=10, max_sim_s=5.0, max_wall_s=60.0)
+    spent.events = 9
+    clean = spent.fresh(max_wall_s=2.0)
+    assert clean.events == 0
+    assert clean.max_events == 10
+    assert clean.max_sim_s == 5.0
+    assert clean.max_wall_s == 2.0  # min(60, 2)
+    assert spent.fresh().max_wall_s == 60.0
+
+
+def test_ambient_budget_is_inherited_and_restorable():
+    budget = RunBudget(max_events=30)
+    previous = set_ambient_budget(budget)
+    try:
+        assert ambient_budget() is budget
+        sim = Simulator()
+        assert sim.budget is budget
+        _spinner(sim)
+        with pytest.raises(BudgetExceeded):
+            sim.run_until(1e9)
+    finally:
+        set_ambient_budget(previous)
+    assert ambient_budget() is previous
+    assert Simulator().budget is previous
+
+
+def test_unbudgeted_simulator_is_unaffected():
+    sim = Simulator()
+    _spinner(sim)
+    sim.run_until(500.0)
+    assert sim.dispatched == 500

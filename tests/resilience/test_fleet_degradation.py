@@ -1,0 +1,141 @@
+"""The acceptance scenario: a fleet run that degrades, then converges.
+
+One shard crashes on its first attempt (must recover bitwise-
+identically), one shard is poison (must be quarantined while the run
+completes). The resume re-attempts only the quarantined shard and the
+final artifacts converge to an uninterrupted run's, byte for byte.
+"""
+
+import io
+import json
+import os
+
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.experiments.grid import GridRunner
+from repro.fleet.population import PopulationSpec
+from repro.fleet.shard import FleetRunner
+from repro.resilience import HarnessFaults, RetryPolicy, Supervisor
+
+
+def _population():
+    return PopulationSpec(seed=5, devices=4, shard_size=2, minutes=1.0)
+
+
+def _supervised(faults, **kwargs):
+    supervisor = Supervisor(
+        harness_faults=faults,
+        retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                                 jitter=0.0),
+        mode="auto", **kwargs)
+    return GridRunner(jobs=2, supervisor=supervisor)
+
+
+def test_fleet_degrades_recovers_and_resumes_to_golden(tmp_path):
+    population = _population()
+
+    # Golden: no faults, plain runner.
+    golden = FleetRunner(population, runner=GridRunner(),
+                         checkpoint_dir=str(tmp_path / "golden"))
+    golden_merged = golden.run()
+    assert golden_merged is not None
+
+    # Faulted: shard 0 crashes once (recoverable), shard 1 is poison.
+    faults = HarnessFaults.from_json(
+        '{"crash": {"shard:000000": [1]}, "fail": {"shard:000001": []}}')
+    runner = FleetRunner(population, runner=_supervised(faults),
+                         checkpoint_dir=str(tmp_path / "ck"))
+    executed = runner.run_shards()
+    assert executed == 1  # only the crash shard completed
+    assert runner.quarantined_shards == [1]
+    assert runner.pending_shards() == [1]
+
+    supervisor = runner.runner.supervisor
+    assert supervisor.stats.quarantined == 1
+    record = supervisor.manifest.records[0]
+    assert record.label == "shard:000001"
+    assert record.seed == 5  # extracted from the population spec
+    assert record.spec["func"] == "repro.fleet.shard:run_shard"
+    assert len(record.attempts) == 2
+    # the manifest run fingerprint is the population's
+    assert supervisor.manifest.fingerprint() == \
+        population.fingerprint()[:12]
+
+    # The crash shard's checkpoint is bitwise-identical to golden's.
+    name = "shard_000000.json"
+    assert (tmp_path / "ck" / name).read_bytes() == \
+        (tmp_path / "golden" / name).read_bytes()
+    # The quarantined shard wrote NO checkpoint (timed-out/failed
+    # shards must never publish partial state).
+    assert not (tmp_path / "ck" / "shard_000001.json").exists()
+
+    # Degraded merge completes and accounts for the hole.
+    merged = runner.merged_stats(allow_missing=True)
+    assert runner.missing_shards == [1]
+    vanilla = merged["vanilla"].to_dict()
+    assert vanilla["counters"]["devices"] == 2  # shard 0 only
+
+    # Resume without faults: only the quarantined shard re-runs, and
+    # everything converges to the golden run.
+    resume = FleetRunner(population,
+                         runner=_supervised(HarnessFaults()),
+                         checkpoint_dir=str(tmp_path / "ck"))
+    assert resume.run_shards() == 1
+    assert resume.shards_resumed == 1
+    assert resume.quarantined_shards == []
+    for index in range(population.shard_count):
+        name = "shard_{:06d}.json".format(index)
+        assert (tmp_path / "ck" / name).read_bytes() == \
+            (tmp_path / "golden" / name).read_bytes()
+    assert resume.merged_stats()["vanilla"].to_dict() == \
+        golden_merged["vanilla"].to_dict()
+
+
+def test_fail_fast_aborts_the_fleet_run(tmp_path):
+    from repro.resilience import JobQuarantined
+
+    population = _population()
+    faults = HarnessFaults.from_json('{"fail": {"shard:000000": []}}')
+    runner = FleetRunner(population,
+                         runner=_supervised(faults, fail_fast=True),
+                         checkpoint_dir=str(tmp_path / "ck"))
+    with pytest.raises(JobQuarantined):
+        runner.run_shards()
+
+
+def test_fleet_cli_degrades_with_exit_75_then_resumes(tmp_path,
+                                                      monkeypatch):
+    from repro.cli import EXIT_DEGRADED, main
+
+    monkeypatch.chdir(tmp_path)  # manifests land under results/
+
+    def run_cli(extra=()):
+        argv = ["fleet", "--devices", "4", "--shard-size", "2",
+                "--minutes", "1", "--seed", "5", "--no-cache",
+                "--jobs", "2", "--max-retries", "1",
+                "--checkpoint-dir", str(tmp_path / "ck"),
+                "--report-json", str(tmp_path / "fleet.json")]
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(argv + list(extra))
+        return code, buffer.getvalue()
+
+    code, text = run_cli(
+        ["--harness-faults", '{"fail": {"shard:000001": []}}'])
+    assert code == EXIT_DEGRADED
+    assert "DEGRADED" in text
+    assert "quarantined" in text
+    report = json.loads((tmp_path / "fleet.json").read_text())
+    assert report["degraded"]["missing_shards"] == [1]
+    manifest_path = report["degraded"]["failure_manifest"]
+    assert os.path.exists(manifest_path)
+
+    # Clean resume: exit 0, complete report, no degraded block.
+    code, text = run_cli()
+    assert code == 0
+    assert "Fleet comparison" in text
+    report = json.loads((tmp_path / "fleet.json").read_text())
+    assert "degraded" not in report
+    assert report["devices"] == 4

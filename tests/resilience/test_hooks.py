@@ -1,0 +1,59 @@
+"""Harness fault hooks: deterministic crash/hang/fail injection."""
+
+import pytest
+
+from repro.resilience.errors import InjectedFault
+from repro.resilience.hooks import HarnessFaults, apply_in_worker
+
+
+def test_json_round_trip():
+    faults = HarnessFaults.from_json(
+        '{"crash": {"shard:000000": [1]}, "hang": {"shard:000001": []},'
+        ' "fail": {"job:*": [2, 3]}}')
+    again = HarnessFaults.from_json(faults.to_json())
+    assert again == faults
+    assert bool(faults)
+    assert not HarnessFaults()
+
+
+def test_directive_matching_attempts_and_patterns():
+    faults = HarnessFaults.from_json(
+        '{"crash": {"shard:000000": [1]}, "hang": {"shard:00000?": []}}')
+    # crash is attempt-scoped; hang's empty list means every attempt
+    assert faults.directive("shard:000000", 1) == "crash"
+    assert faults.directive("shard:000000", 2) == "hang"  # glob matches
+    assert faults.directive("shard:000003", 7) == "hang"
+    assert faults.directive("shard:000100", 1) is None
+
+
+def test_crash_takes_precedence_over_hang_and_fail():
+    faults = HarnessFaults.from_json(
+        '{"crash": {"j": []}, "hang": {"j": []}, "fail": {"j": []}}')
+    assert faults.directive("j", 1) == "crash"
+
+
+def test_from_env_reads_the_variable(monkeypatch):
+    from repro.resilience.hooks import ENV_VAR
+
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert not HarnessFaults.from_env()
+    monkeypatch.setenv(ENV_VAR, '{"fail": {"job:0001:*": []}}')
+    faults = HarnessFaults.from_env()
+    assert faults.directive("job:0001:sleep", 1) == "fail"
+
+
+def test_apply_in_worker_fail_raises_injected_fault():
+    faults = HarnessFaults.from_json('{"fail": {"j": [1]}}')
+    with pytest.raises(InjectedFault):
+        apply_in_worker(faults, "j", 1)
+    # attempt 2 is not targeted: no fault
+    apply_in_worker(faults, "j", 2)
+
+
+def test_apply_in_worker_hang_blocks_then_errors():
+    # hang_s bounds the synthetic hang so a leaked fault cannot wedge
+    # a test run forever; in production it is hours.
+    faults = HarnessFaults.from_json(
+        '{"hang": {"j": []}, "hang_s": 0.05}')
+    with pytest.raises(RuntimeError):
+        apply_in_worker(faults, "j", 1)

@@ -1,0 +1,52 @@
+"""Seeded retry policy: deterministic backoff, bounded, jittered."""
+
+from repro.resilience.policy import RetryPolicy
+
+
+def test_first_attempt_has_no_delay():
+    policy = RetryPolicy()
+    assert policy.delay_s("job:0001:x", 1) == 0.0
+
+
+def test_backoff_doubles_then_caps():
+    policy = RetryPolicy(base_delay_s=1.0, max_delay_s=4.0, jitter=0.0)
+    assert policy.delay_s("j", 2) == 1.0
+    assert policy.delay_s("j", 3) == 2.0
+    assert policy.delay_s("j", 4) == 4.0
+    assert policy.delay_s("j", 5) == 4.0  # capped, not 8
+
+
+def test_jitter_unit_is_deterministic_and_unit_range():
+    policy = RetryPolicy(seed=3)
+    units = {policy.jitter_unit("job:{:04d}".format(i), 2)
+             for i in range(64)}
+    assert all(0.0 <= u < 1.0 for u in units)
+    assert len(units) > 32  # labels spread, not one constant
+    again = RetryPolicy(seed=3)
+    assert again.jitter_unit("job:0001", 2) == \
+        policy.jitter_unit("job:0001", 2)
+
+
+def test_seed_changes_the_jitter_stream():
+    a = RetryPolicy(seed=0)
+    b = RetryPolicy(seed=1)
+    assert any(a.jitter_unit("job:{:04d}".format(i), 2)
+               != b.jitter_unit("job:{:04d}".format(i), 2)
+               for i in range(8))
+
+
+def test_delays_are_independent_of_call_order():
+    # Hash-derived jitter must not thread shared RNG state: asking for
+    # job B first cannot change job A's delay.
+    policy = RetryPolicy(base_delay_s=0.5, seed=9)
+    a_first = policy.delay_s("a", 3)
+    policy.delay_s("b", 2)
+    assert policy.delay_s("a", 3) == a_first
+
+
+def test_schedule_lists_every_retry_delay():
+    policy = RetryPolicy(max_attempts=4, base_delay_s=0.25, seed=2)
+    schedule = policy.schedule("shard:000007")
+    assert len(schedule) == 3  # delays before attempts 2..4
+    assert schedule == tuple(policy.delay_s("shard:000007", n)
+                             for n in (2, 3, 4))

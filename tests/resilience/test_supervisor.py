@@ -1,0 +1,295 @@
+"""The supervisor state machine: watchdog, retries, quarantine."""
+
+import pytest
+
+from repro.experiments.grid import FuncSpec, GridRunner
+from repro.resilience import (
+    HarnessFaults,
+    JobQuarantined,
+    RetryPolicy,
+    Supervisor,
+)
+
+
+def _jobs(n):
+    return [FuncSpec.make("json:dumps", obj=i) for i in range(n)]
+
+
+def _fast_policy(max_attempts):
+    return RetryPolicy(max_attempts=max_attempts, base_delay_s=0.0,
+                       jitter=0.0)
+
+
+def _processes_available():
+    try:
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        parent, child = context.Pipe(duplex=False)
+        parent.close()
+        child.close()
+        return True
+    except (ImportError, NotImplementedError, OSError, ValueError):
+        return False
+
+
+needs_processes = pytest.mark.skipif(
+    not _processes_available(),
+    reason="worker processes unavailable on this platform")
+
+
+# -- plain success -----------------------------------------------------------
+
+@pytest.mark.parametrize("mode", ["serial", "process"])
+def test_clean_run_returns_every_result(mode):
+    if mode == "process" and not _processes_available():
+        pytest.skip("no processes")
+    supervisor = Supervisor(mode=mode, harness_faults=HarnessFaults())
+    specs = _jobs(3)
+    results = supervisor.execute(specs, workers=2)
+    assert [results[s] for s in specs] == ["0", "1", "2"]
+    assert supervisor.stats.succeeded == 3
+    assert supervisor.stats.quarantined == 0
+    assert not supervisor.manifest
+
+
+def test_on_result_fires_per_completed_job():
+    supervisor = Supervisor(mode="serial", harness_faults=HarnessFaults())
+    seen = []
+    supervisor.execute(_jobs(2), on_result=lambda s, r: seen.append(r))
+    assert sorted(seen) == ["0", "1"]
+
+
+def test_default_labels_name_index_and_function():
+    spec = FuncSpec.make("json:dumps", obj=1)
+    assert Supervisor.label_for(spec, 4) == "job:0004:dumps"
+
+
+# -- crash recovery (acceptance: retry succeeds bitwise-identically) ---------
+
+@needs_processes
+def test_worker_crash_retries_and_matches_unfaulted_run():
+    specs = _jobs(3)
+    clean = Supervisor(mode="process", harness_faults=HarnessFaults())
+    expected = clean.execute(specs, workers=2)
+
+    faults = HarnessFaults.from_json('{"crash": {"job:0000:*": [1]}}')
+    supervisor = Supervisor(mode="process", harness_faults=faults,
+                            retry_policy=_fast_policy(3))
+    results = supervisor.execute(specs, workers=2)
+    assert results == expected  # bitwise-identical despite the crash
+    assert supervisor.stats.crashes == 1
+    assert supervisor.stats.recovered == 1
+    assert supervisor.stats.retries == 1
+    assert not supervisor.manifest
+
+
+@needs_processes
+def test_crash_exit_code_lands_in_the_failure_record():
+    from repro.resilience.hooks import CRASH_EXIT_CODE
+
+    faults = HarnessFaults.from_json('{"crash": {"job:0000:*": []}}')
+    supervisor = Supervisor(mode="process", harness_faults=faults,
+                            retry_policy=_fast_policy(2))
+    results = supervisor.execute(_jobs(1))
+    assert results == {}
+    record = supervisor.manifest.records[0]
+    assert [a.outcome for a in record.attempts] == ["crash", "crash"]
+    assert str(CRASH_EXIT_CODE) in record.attempts[0].error
+
+
+# -- watchdog (acceptance: hung job's deadline fires) ------------------------
+
+@needs_processes
+def test_hung_job_is_killed_at_the_deadline_and_quarantined():
+    import time
+
+    faults = HarnessFaults.from_json('{"hang": {"job:0001:*": []}}')
+    supervisor = Supervisor(mode="process", job_timeout_s=0.5,
+                            harness_faults=faults,
+                            retry_policy=_fast_policy(2))
+    specs = _jobs(2)
+    started = time.monotonic()
+    results = supervisor.execute(specs, workers=2)
+    elapsed = time.monotonic() - started
+    assert specs[0] in results and specs[1] not in results
+    assert supervisor.stats.timeouts == 2  # both attempts expired
+    assert supervisor.stats.quarantined == 1
+    # two 0.5s deadlines, not the 3600s injected hang
+    assert elapsed < 10.0
+    record = supervisor.manifest.records[0]
+    assert record.label == "job:0001:dumps"
+    assert [a.outcome for a in record.attempts] == ["timeout", "timeout"]
+    assert record.attempts[0].elapsed_s >= 0.5
+
+
+# -- quarantine and degradation ----------------------------------------------
+
+@pytest.mark.parametrize("mode", ["serial", "process"])
+def test_poison_job_quarantined_after_n_attempts_run_degrades(mode):
+    if mode == "process" and not _processes_available():
+        pytest.skip("no processes")
+    faults = HarnessFaults.from_json('{"fail": {"job:0001:*": []}}')
+    supervisor = Supervisor(mode=mode, harness_faults=faults,
+                            retry_policy=_fast_policy(3))
+    specs = _jobs(3)
+    results = supervisor.execute(specs, workers=2)
+    # the run completed: every healthy job has a result
+    assert [results[s] for s in (specs[0], specs[2])] == ["0", "2"]
+    assert specs[1] not in results
+    assert supervisor.stats.quarantined == 1
+    record = supervisor.manifest.records[0]
+    assert len(record.attempts) == 3
+    assert all(a.outcome == "error" for a in record.attempts)
+    assert "InjectedFault" in record.attempts[0].error
+
+
+def test_real_exception_is_retried_then_quarantined_with_traceback():
+    # math.sqrt rejects keyword arguments: a genuine job bug, no
+    # harness fault involved.
+    supervisor = Supervisor(mode="serial",
+                            harness_faults=HarnessFaults(),
+                            retry_policy=_fast_policy(2))
+    results = supervisor.execute([FuncSpec.make("math:sqrt", x=2.0)])
+    assert results == {}
+    record = supervisor.manifest.records[0]
+    assert len(record.attempts) == 2
+    assert "TypeError" in record.attempts[0].error
+    assert "Traceback" in record.attempts[0].traceback
+
+
+def test_fail_fast_raises_job_quarantined():
+    faults = HarnessFaults.from_json('{"fail": {"*": []}}')
+    supervisor = Supervisor(mode="serial", fail_fast=True,
+                            harness_faults=faults,
+                            retry_policy=_fast_policy(1))
+    with pytest.raises(JobQuarantined):
+        supervisor.execute(_jobs(1))
+
+
+def test_retry_delays_are_recorded_and_deterministic():
+    faults = HarnessFaults.from_json('{"fail": {"*": []}}')
+
+    def run_once():
+        supervisor = Supervisor(
+            mode="serial", harness_faults=faults,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.01,
+                                     seed=5),
+            sleep=lambda s: None)  # don't actually wait in tests
+        supervisor.execute(_jobs(1))
+        return [a.delay_s for a in supervisor.manifest.records[0].attempts]
+
+    first = run_once()
+    assert first == run_once()  # seeded jitter: reruns schedule alike
+    assert first[0] > 0.0 and first[1] > 0.0
+    assert first[2] == 0.0  # final attempt grants no further delay
+
+
+# -- serial synthesis --------------------------------------------------------
+
+def test_serial_mode_synthesises_crash_and_hang_without_processes():
+    faults = HarnessFaults.from_json(
+        '{"crash": {"job:0000:*": [1]}, "hang": {"job:0001:*": []}}')
+    supervisor = Supervisor(mode="serial", harness_faults=faults,
+                            retry_policy=_fast_policy(2))
+    specs = _jobs(2)
+    results = supervisor.execute(specs)
+    assert results[specs[0]] == "0"  # crashed once, recovered
+    assert specs[1] not in results  # hung both attempts, quarantined
+    assert supervisor.stats.crashes == 1
+    assert supervisor.stats.timeouts == 2
+    outcomes = [a.outcome for a in supervisor.manifest.records[0].attempts]
+    assert outcomes == ["timeout", "timeout"]
+
+
+def test_serial_mode_arms_wall_budget_from_the_job_timeout():
+    from repro.sim.engine import ambient_budget
+
+    _PROBED.clear()
+    supervisor = Supervisor(mode="serial", job_timeout_s=7.0,
+                            harness_faults=HarnessFaults())
+    supervisor.execute([FuncSpec.make(_probe_ambient_budget)])
+    assert _PROBED["budget"].max_wall_s == 7.0
+    assert ambient_budget() is None  # restored after the attempt
+
+
+# -- sim budget plumbed through workers --------------------------------------
+
+def test_sim_budget_abort_is_a_budget_outcome():
+    from repro.sim.engine import RunBudget
+
+    supervisor = Supervisor(
+        mode="serial", sim_budget=RunBudget(max_events=10),
+        harness_faults=HarnessFaults(), retry_policy=_fast_policy(1))
+    results = supervisor.execute([FuncSpec.make(_runaway_sim)])
+    assert results == {}
+    record = supervisor.manifest.records[0]
+    assert record.attempts[0].outcome == "budget"
+    assert "max_events" in record.attempts[0].error
+
+
+@needs_processes
+def test_sim_budget_abort_in_a_real_worker():
+    from repro.sim.engine import RunBudget
+
+    supervisor = Supervisor(
+        mode="process", sim_budget=RunBudget(max_events=10),
+        harness_faults=HarnessFaults(), retry_policy=_fast_policy(1))
+    results = supervisor.execute([FuncSpec.make(_runaway_sim)])
+    assert results == {}
+    record = supervisor.manifest.records[0]
+    assert record.attempts[0].outcome == "budget"
+
+
+_PROBED = {}
+
+
+def _probe_ambient_budget():
+    from repro.sim.engine import ambient_budget
+
+    _PROBED["budget"] = ambient_budget()
+    return 1
+
+
+def _runaway_sim():
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+
+    def tick():
+        sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    sim.run_until(1e9)
+    return sim.dispatched
+
+
+# -- grid runner integration -------------------------------------------------
+
+def test_grid_runner_routes_through_the_supervisor(tmp_path):
+    faults = HarnessFaults.from_json('{"fail": {"job:0001:*": []}}')
+    supervisor = Supervisor(mode="serial", harness_faults=faults,
+                            retry_policy=_fast_policy(2))
+    runner = GridRunner(cache=str(tmp_path / "cache"),
+                        supervisor=supervisor)
+    specs = _jobs(3)
+    results = runner.run(specs)
+    assert results == ["0", None, "2"]  # quarantined spec -> None slot
+    assert runner.stats.supervised_batches == 1
+    assert runner.stats.failed == 1
+    # successes were cached; the quarantined one was not
+    warm = GridRunner(cache=str(tmp_path / "cache"),
+                      supervisor=Supervisor(mode="serial",
+                                            harness_faults=HarnessFaults()))
+    warm_results = warm.run(specs)
+    assert warm.stats.cache_hits == 2
+    assert warm.stats.executed == 1  # the poisoned one, now clean
+    assert warm_results == ["0", "1", "2"]
+
+
+def test_supervised_cache_hits_skip_the_supervisor():
+    supervisor = Supervisor(mode="serial", harness_faults=HarnessFaults())
+    runner = GridRunner(supervisor=supervisor)
+    spec = FuncSpec.make("json:dumps", obj=42)
+    assert runner.run([spec, spec]) == ["42", "42"]
+    assert supervisor.stats.jobs == 1  # deduped before dispatch

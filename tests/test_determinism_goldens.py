@@ -139,7 +139,7 @@ def test_golden_fleet_report(tmp_path):
                          checkpoint_dir=str(tmp_path / "ck"))
     text = report_json(build_report(population, runner.run()))
     assert _digest(text) == (
-        "80d2cc86ef616d824af18d35138ba41f581d91a05304c9ff379c08d049fec3cc")
+        "27b06d126171bf1950a8e5d3f80b8329dfc526ab876b619eb179a57a24ad9518")
 
 
 def test_golden_chaos_case_fingerprint():
