@@ -270,16 +270,20 @@ def _cmd_fleet(args):
     )
     fleet_runner = FleetRunner(population, runner=_grid_runner(args),
                                checkpoint_dir=args.checkpoint_dir,
-                               verbose=True)
+                               verbose=True, mode=args.mode)
+    if fleet_runner.mode != fleet_runner.requested_mode:
+        print("fleet: --mode auto resolved to {} for {} devices"
+              .format(fleet_runner.mode, population.devices),
+              file=sys.stderr)
     fleet_runner.run_shards(limit=args.max_shards)
     summary = fleet_runner.run_summary()
     # Always surfaced, quiet mode included: a rejected checkpoint means
     # a shard was silently recomputed and the operator must see it.
-    summary_line = ("fleet run: {shards_run} shard(s) executed, "
-                    "{shards_resumed} resumed from checkpoints, "
-                    "{checkpoints_rejected} stale checkpoint(s) "
-                    "rejected, {shards_quarantined} quarantined"
-                    .format(**summary))
+    summary_line = ("fleet run ({mode} path): {shards_run} shard(s) "
+                    "executed, {shards_resumed} resumed from "
+                    "checkpoints, {checkpoints_rejected} stale "
+                    "checkpoint(s) rejected, {shards_quarantined} "
+                    "quarantined".format(**summary))
     print(summary_line, file=sys.stderr)
     manifest_path = _write_failure_manifest(args)
     pending = fleet_runner.pending_shards()
@@ -296,8 +300,42 @@ def _cmd_fleet(args):
                 summary_line))
     degraded = bool(pending)
     merged = fleet_runner.merged_stats(allow_missing=degraded)
-    report = build_report(population, merged)
+    # The report's execution/provenance block records deterministic
+    # facts only (mode, table fingerprint, cross-validation verdict):
+    # interrupted-and-resumed runs must still produce byte-identical
+    # report files, so run counters stay on stderr.
+    execution = {"mode": fleet_runner.mode,
+                 "requested_mode": fleet_runner.requested_mode}
+    if fleet_runner.mode == "fast":
+        execution["table_fingerprint"] = \
+            fleet_runner.table_fingerprint or ""
+    validation = None
+    if args.cross_validate:
+        from repro.fleet.fastpath import cross_validate
+
+        validation = cross_validate(population, n=args.cross_validate,
+                                    runner=fleet_runner.runner)
+        execution["cross_validation"] = validation
+        print("fast-path cross-validation: {} device-days compared, "
+              "{} fallback(s), {}".format(
+                  validation["device_days_compared"],
+                  validation["fallbacks"],
+                  "PASS" if validation["pass"]
+                  else "FAIL ({} violation(s))".format(
+                      validation["violation_count"])),
+              file=sys.stderr)
+        if not validation["pass"]:
+            args.exit_code = 1
+    report = build_report(population, merged, execution=execution)
     text = render(report)
+    if fleet_runner.mode == "fast":
+        text += "\n\nexecution: fast path, transition table {}".format(
+            (fleet_runner.table_fingerprint or "")[:12])
+    if validation is not None:
+        text += ("\ncross-validation: {} vs kernel on {} device-days "
+                 "(see report execution block)".format(
+                     "PASS" if validation["pass"] else "FAIL",
+                     validation["device_days_compared"]))
     if degraded:
         # Every pending shard was quarantined by the supervisor: finish
         # with partial results instead of failing the run. The report
@@ -482,6 +520,23 @@ def build_parser():
                              help="where to write the machine-readable "
                                   "report (default: "
                                   "results/fleet_s<seed>_d<devices>.json)")
+            sub.add_argument("--mode",
+                             choices=("kernel", "fast", "auto"),
+                             default="kernel",
+                             help="device-day executor: the full event "
+                                  "kernel, the kernel-validated "
+                                  "transition-table fast path, or auto "
+                                  "(fast for large fleets)")
+            sub.add_argument("--fast-path", action="store_const",
+                             dest="mode", const="fast",
+                             help="shorthand for --mode fast")
+            sub.add_argument("--cross-validate", type=int, default=0,
+                             metavar="N",
+                             help="run N seeded random device-days "
+                                  "through both executors and embed the "
+                                  "per-metric accuracy comparison in "
+                                  "the report (non-zero exit on "
+                                  "violation)")
     all_parser = subparsers.add_parser(
         "all", help="run every experiment in sequence")
     all_parser.add_argument("--minutes", type=float, default=30.0)

@@ -6,9 +6,19 @@ The missing layer between the single-device simulator and the ROADMAP's
 runner with per-shard checkpoint/resume (:mod:`~repro.fleet.shard`),
 aggregate with mergeable O(shards)-memory statistics
 (:mod:`~repro.fleet.stats`), and compare mitigations at population
-scale (:mod:`~repro.fleet.report`). CLI: ``python -m repro fleet``.
+scale (:mod:`~repro.fleet.report`). Device-days execute on the event
+kernel or on the kernel-validated transition-table fast path
+(:mod:`~repro.fleet.fastpath`, ``mode="fast"``/``"auto"``). CLI:
+``python -m repro fleet``.
 """
 
+from repro.fleet.fastpath import (
+    TransitionTable,
+    build_table,
+    cross_validate,
+    fast_summary,
+    replay_shard,
+)
 from repro.fleet.population import DeviceSpec, PopulationSpec
 from repro.fleet.report import (
     build_report,
@@ -33,6 +43,11 @@ __all__ = [
     "FleetRunner",
     "run_shard",
     "simulate_device_day",
+    "TransitionTable",
+    "build_table",
+    "cross_validate",
+    "fast_summary",
+    "replay_shard",
     "FleetStats",
     "Histogram",
     "MetricSummary",

@@ -1,0 +1,935 @@
+"""Batched fast-path device-day simulator, validated against the kernel.
+
+The discrete-event kernel spends ~0.25 host-seconds per simulated
+device-day; at fleet scale (ROADMAP: "millions of device-days") that is
+the whole budget. This module replaces the event loop with a
+**transition/outcome table**: the kernel is run once per
+*device-equivalence class* -- a (device profile, mitigation, app)
+combination on a canonical representative day -- and whole shards of
+device-days are then replayed as table lookups plus deterministic,
+seed-derived perturbation. Three-plus orders of magnitude faster, and
+continuously cross-validated against the kernel it summarises
+(SimDC-style aggregated fast-pathing; see PAPERS.md).
+
+How a device-day is composed from probes
+----------------------------------------
+
+Every probe runs the *real* kernel via
+:func:`repro.fleet.shard.build_device_phone` on a canonical day
+(:data:`CANONICAL`), and is summarised by the same
+:func:`repro.sim.summary.day_summary` hook as the kernel path:
+
+- ``base/idle``      -- no apps, screen off all day: the floor power.
+- ``base/active``    -- no apps, canonical screen sessions: isolates
+  the screen/session ambient cost, which the replay rescales to each
+  device's sampled session schedule (exact alternation arithmetic,
+  :func:`active_seconds`).
+- ``base/awake``     -- no apps, canonical sessions *plus* an all-day
+  suspend veto: the baseline for the ``bg_awake`` point below.
+- ``normal/<app>/{idle,bg,active}`` -- the app alone at three
+  exposure points: screen off all day (``idle``), canonical screen
+  cycling without touches (``bg``), and canonical sessions *with*
+  touches (``active``). ``idle``/``bg`` bracket the app's
+  screen-context-dependent background cost (interpolated linearly in
+  the device's active fraction); ``active - bg`` isolates the pure
+  touch cost, rescaled by the device's touch rate and divided across
+  the session rotation (an app on a 4-app device receives ~1/4 of the
+  touches the probe received).
+- ``buggy/<case>/{bg_idle,bg,bg_awake}`` -- the Table-5 case installed
+  with screen off, under canonical screen cycling, and under cycling
+  plus an all-day suspend veto, all *without* touches: three points
+  spanning the **awake-fraction axis**. Deep sleep freezes app
+  execution, so a *mitigated* (lease-deferred) app's power depends on
+  how much of the day the phone is held out of suspend -- by the
+  user's sessions or by co-installed apps' wakelocks. The replay
+  interpolates each mitigated case piecewise-linearly along this
+  measured axis at the device's composed awake fraction (session
+  awake time unioned with every other app's probed awake excess).
+- ``buggy/<case>/fg`` -- the case *receiving* the user session, for
+  devices whose sampled mix is all-buggy.
+
+Every probe is additionally keyed by the device's **merged case
+environment**: each Table-5 case pins the phone environment that
+triggers its bug (``CaseSpec.phone_kwargs``), later installs override
+earlier ones, and whether a bug fires can depend on the *winning*
+values (a weak-signal case suppresses a stationary-tracking case's
+fix-processing spin by keeping GPS from ever locking). Probes
+therefore run under the device's final merged overrides
+(:func:`merged_case_env`), so an app's table entry reflects the
+environment it actually inhabits on that device class.
+
+Lease traffic, disruptions and classifier outcomes (fp/fn) are integer
+outcomes read straight from the probes and summed; powers are composed
+additively and perturbed by a small zero-mean multiplicative jitter
+derived from the device sub-seed (standing in for the kernel's
+seed-to-seed variance). Battery life uses the identical
+formula-and-clamp as the kernel (:func:`repro.sim.summary.
+battery_life_h`).
+
+Everything is deterministic: probes are seeded and cached
+(content-addressed, through the grid :class:`~repro.experiments.grid.
+ResultCache`), the table serialises to canonical JSON with a sha256
+fingerprint, and a replayed shard's ``FleetStats`` are bit-identical
+across shard order, batch size, kill-and-resume, and numpy presence.
+
+Accuracy is a *measured, stated* contract, not an assumption:
+:func:`cross_validate` runs N seeded random device-days through both
+paths and asserts every per-metric delta within
+:data:`DEFAULT_TOLERANCES` (see docs/fleet.md for the accuracy model).
+A device the table cannot faithfully replay -- armed fault plan,
+missing or crashed probe, non-finite composition -- **falls back to
+the kernel for that device alone**, with a structured one-time warning
+and a ``fastpath_fallbacks`` counter, instead of degrading the shard.
+"""
+
+import hashlib
+import json
+import random
+import sys
+
+from repro.fleet.population import DeviceSpec, PopulationSpec
+from repro.fleet.stats import FleetStats
+
+#: Bump when the canonical day, the probe set, or the composition model
+#: changes: it salts every probe's cache key and the table fingerprint,
+#: so stale probe results and checkpoints are never served across a
+#: model change.
+PROBE_SCHEMA = 1
+
+#: The canonical representative day every probe runs. Values sit at the
+#: midpoints of the population sampler's ranges
+#: (:meth:`~repro.fleet.population.PopulationSpec.device`).
+CANONICAL = {
+    "gps_quality": 0.765,
+    "movement_mps": 0.0,
+    "network_kind": "wifi",
+    "battery_level": 0.75,
+    "session_count": 2,
+    "session_s": 360.0,
+    "touch_interval_s": 24.0,
+}
+
+#: Fixed sub-seed for every probe phone: probes are class
+#: representatives, not sampled devices.
+PROBE_SEED = 20190451
+
+#: Relative half-width of the zero-mean per-device jitter applied to
+#: modelled powers -- stands in for the kernel's seed-to-seed variance.
+JITTER = 0.01
+
+_JITTER_SALT = 0x5DEECE66D
+
+#: ``mode="auto"`` picks the fast path at or above this population
+#: size; below it the table build cannot amortise over enough
+#: device-days to beat just running the kernel.
+AUTO_MIN_DEVICES = 512
+
+#: At most this many devices are scanned for needed probes. The
+#: distinct (profile, app, merged-environment) classes saturate within
+#: a few thousand iid samples, so for larger fleets the scan prefix
+#: covers the tail too; a genuinely unseen class simply falls back to
+#: the kernel at replay time (counted and warned, never wrong).
+PROBE_SCAN_CAP = 20000
+
+#: Exposure variants probed for the app-free base day: screen off all
+#: day, canonical screen sessions, and sessions plus an all-day suspend
+#: veto (the baseline for :data:`BUGGY_VARIANTS`' ``bg_awake`` point).
+BASE_VARIANTS = ("idle", "active", "awake")
+
+#: Exposure variants probed per normal archetype.
+NORMAL_VARIANTS = ("idle", "bg", "active")
+
+#: Exposure variants probed per Table-5 case on a mixed device: the
+#: (screen-off, screen-cycling, held-awake) points spanning the *awake
+#: fraction* axis a mitigated app's power moves along.
+BUGGY_VARIANTS = ("bg_idle", "bg", "bg_awake")
+
+#: Single-hardware-unit rails whose draw is *split* across the apps
+#: holding them (the unit runs once no matter how many holders):
+#: awake-idle CPU, the GPS chip, the wifi lock, the screen. A solo
+#: probe absorbs such a rail whole, so composing co-installed apps
+#: must collapse overlapping holds to the rail's union
+#: (:func:`fast_summary`). Per-record rails (sensors, audio, compute,
+#: network transfers) are additive and need no correction.
+SHARED_RAILS = ("cpu_base", "gps", "wifi_lock", "screen")
+
+#: Probe-summary fields carried in a table entry. ``shared_mw`` maps
+#: each :data:`SHARED_RAILS` name to the probed app's attributed draw
+#: on it (rails the app never touched are absent).
+ENTRY_FIELDS = (
+    "system_power_mw", "buggy_power_mw", "shared_mw", "awake_frac",
+    "disruptions", "renewals", "deferrals", "revocations", "fp_apps",
+    "fn_apps", "crashed",
+)
+
+#: Metrics compared kernel-vs-fast by :func:`cross_validate`, with the
+#: default per-device-day tolerance: a delta passes iff
+#: ``abs(fast - kernel) <= abs_tol + rel_tol * abs(kernel)``. These are
+#: calibrated against measured composition error (docs/fleet.md has the
+#: accuracy model and the measured envelope behind each number).
+DEFAULT_TOLERANCES = {
+    "system_power_mw": {"rel": 0.25, "abs": 60.0},
+    "buggy_power_mw": {"rel": 0.25, "abs": 60.0},
+    "battery_life_h": {"rel": 0.25, "abs": 6.0},
+    "disruptions": {"rel": 0.5, "abs": 10.0},
+    "renewals": {"rel": 0.5, "abs": 10.0},
+    "deferrals": {"rel": 1.0, "abs": 40.0},
+    "revocations": {"rel": 1.0, "abs": 10.0},
+    "fp_apps": {"rel": 0.0, "abs": 2.0},
+    "fn_apps": {"rel": 0.0, "abs": 2.0},
+}
+
+
+# -- kernel probes -------------------------------------------------------------
+
+def _probe_device(profile, normal_apps=(), buggy_apps=(),
+                  session_count=None):
+    """The canonical-day DeviceSpec a probe simulates."""
+    if session_count is None:
+        session_count = CANONICAL["session_count"]
+    return DeviceSpec(
+        index=0,
+        sub_seed=PROBE_SEED,
+        profile=profile,
+        normal_apps=tuple(normal_apps),
+        buggy_apps=tuple(buggy_apps),
+        gps_quality=CANONICAL["gps_quality"],
+        movement_mps=CANONICAL["movement_mps"],
+        network_kind=CANONICAL["network_kind"],
+        battery_level=CANONICAL["battery_level"],
+        session_count=session_count,
+        session_s=CANONICAL["session_s"],
+        touch_interval_s=CANONICAL["touch_interval_s"],
+        fault_plan_json="",
+    )
+
+
+def _screen_cycle_day(phone, session_count, session_s):
+    """Canonical screen on/off alternation with no touches.
+
+    The ambient session cost a *background* app experiences: the user
+    is present (screen cycling on the canonical schedule) but the
+    foreground belongs to apps that are not installed in this probe.
+    """
+    from repro.sim.events import Timeout
+
+    for __ in range(session_count):
+        phone.screen_on()
+        yield Timeout(session_s)
+        phone.screen_off()
+        yield Timeout(session_s)
+
+
+def merged_case_env(device):
+    """The device's final phone-kwargs overrides from its buggy cases.
+
+    Replicates :func:`repro.fleet.shard.build_device_phone`'s merge:
+    every case pins its triggering environment, later installs win.
+    """
+    from repro.apps.buggy import CASES_BY_KEY
+
+    env = {}
+    for key in device.buggy_apps:
+        env.update(CASES_BY_KEY[key].phone_kwargs)
+    return env
+
+
+def device_env_json(device):
+    """Canonical JSON of :func:`merged_case_env` -- the table's
+    environment key component."""
+    return json.dumps(merged_case_env(device), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def probe_day(kind, name, profile, mitigation, minutes, variant,
+              env_json="{}", schema=PROBE_SCHEMA):
+    """Run one table probe through the kernel; returns entry scalars.
+
+    Module-level with scalar kwargs so probes dispatch as
+    :class:`~repro.experiments.grid.FuncSpec` jobs -- parallel through
+    the grid pool and memoised in the content-addressed cache.
+    ``env_json`` is the probed device class's merged case environment,
+    applied as the final phone overrides; ``schema`` only salts the
+    cache key.
+    """
+    from repro.fleet.shard import build_device_phone
+    from repro.sim.summary import day_summary
+
+    device = _probe_device(
+        profile,
+        normal_apps=(name,) if kind == "normal" else (),
+        buggy_apps=(name,) if kind == "buggy" else ())
+    phone, buggy_uids, interactive_uids, __ = \
+        build_device_phone(device, mitigation,
+                           extra_overrides=json.loads(env_json))
+    session_uids = interactive_uids or buggy_uids
+    if variant in ("awake", "bg_awake"):
+        # Pin the phone out of deep sleep below the wakelock/lease
+        # layer (a raw suspend veto, invisible to the mitigation): the
+        # measurement point for an app on a device some *other* app
+        # holds awake all day.
+        phone.suspend.add_reason("fastpath.keepawake")
+    if variant in ("active", "fg") and session_uids:
+        # The kernel path's scripted user day: touches go to the app.
+
+        def scripted_day():
+            for __ in range(device.session_count):
+                yield from phone.user.active_session(
+                    session_uids, device.session_s,
+                    touch_interval=device.touch_interval_s)
+                yield from phone.user.idle_session(device.session_s)
+
+        phone.sim.spawn(scripted_day(), name="fastpath.user")
+    elif variant not in ("idle", "bg_idle"):
+        phone.sim.spawn(
+            _screen_cycle_day(phone, device.session_count,
+                              device.session_s),
+            name="fastpath.screen")
+    mark = phone.energy_mark()
+    crashed = 0
+    try:
+        phone.run_for(minutes=minutes)
+    except Exception:  # noqa: BLE001 -- a crashed probe is data too
+        crashed = 1
+    summary = day_summary(phone, mark, buggy_uids=buggy_uids,
+                          interactive_uids=interactive_uids)
+    summary["crashed"] = crashed
+    shared = {}
+    uids = buggy_uids + interactive_uids
+    if uids and minutes > 0:
+        for rail in SHARED_RAILS:
+            energy = phone.monitor.ledger.app_rail_mj(uids[0], rail)
+            if energy > 0:
+                shared[rail] = energy / (minutes * 60.0)
+    summary["shared_mw"] = shared
+    # Fraction of the day the phone was out of deep sleep, recovered
+    # exactly from the cpu_base rail's two-level draw (sleep vs
+    # awake-idle): deep sleep freezes app execution, so composing a
+    # mitigated (deferred) app with apps that keep the phone awake
+    # needs this per-probe signal (:func:`fast_summary`).
+    prof = phone.profile
+    day_s = minutes * 60.0
+    span = prof.cpu_awake_idle_mw - prof.cpu_sleep_mw
+    awake_frac = 1.0
+    if day_s > 0 and span > 0:
+        base_mj = phone.monitor.ledger.rail_total_mj("cpu_base")
+        awake_frac = (base_mj / day_s - prof.cpu_sleep_mw) / span
+        awake_frac = min(max(awake_frac, 0.0), 1.0)
+    summary["awake_frac"] = awake_frac
+    return {field: summary[field] for field in ENTRY_FIELDS}
+
+
+# -- the transition/outcome table ----------------------------------------------
+
+class TransitionTable:
+    """Per-(equivalence-class, mitigation) kernel outcomes, as data.
+
+    ``entries`` maps ``"kind|name|profile|mitigation|variant|env"``
+    (``env`` being the class's merged case environment as canonical
+    JSON) to the probe's :data:`ENTRY_FIELDS` dict. The table is plain
+    JSON: it rides into shard workers as a ``FuncSpec`` kwarg, and its
+    sha256 fingerprint ties checkpoints and reports to the exact
+    outcomes they were replayed from.
+    """
+
+    def __init__(self, minutes, entries=None):
+        self.minutes = float(minutes)
+        self.entries = dict(entries or {})
+
+    @staticmethod
+    def entry_key(kind, name, profile, mitigation, variant,
+                  env_json="{}"):
+        return "|".join((kind, name, profile, mitigation, variant,
+                         env_json))
+
+    def get(self, kind, name, profile, mitigation, variant,
+            env_json="{}"):
+        return self.entries.get(
+            self.entry_key(kind, name, profile, mitigation, variant,
+                           env_json))
+
+    def to_json(self):
+        return json.dumps(
+            {"schema": PROBE_SCHEMA, "minutes": self.minutes,
+             "entries": self.entries},
+            sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text):
+        data = json.loads(text)
+        return cls(data["minutes"], data["entries"])
+
+    def fingerprint(self):
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+
+def device_probes(device, mitigations):
+    """The probe tuples one device's replay will look up."""
+    env = device_env_json(device)
+    probes = []
+    for mitigation in mitigations:
+        for variant in BASE_VARIANTS:
+            probes.append(("base", "", device.profile, mitigation,
+                           variant, env))
+        for name in device.normal_apps:
+            for variant in NORMAL_VARIANTS:
+                probes.append(("normal", name, device.profile,
+                               mitigation, variant, env))
+        variants = BUGGY_VARIANTS if device.normal_apps else ("fg",)
+        for key in device.buggy_apps:
+            for variant in variants:
+                probes.append(("buggy", key, device.profile, mitigation,
+                               variant, env))
+    return probes
+
+
+def needed_probes(population):
+    """The probe set covering the population's sampled device classes.
+
+    Scans up to :data:`PROBE_SCAN_CAP` devices exactly -- a 4-device
+    test fleet probes a handful of classes, not a cross product, and
+    for larger iid-sampled fleets the class set saturates well inside
+    the scan prefix (an unseen tail class falls back to the kernel at
+    replay, counted and warned).
+    """
+    probes = set()
+    for index in range(min(population.devices, PROBE_SCAN_CAP)):
+        probes.update(device_probes(population.device(index),
+                                    population.mitigations))
+    return sorted(probes)
+
+
+def build_table(population, runner=None, verbose=False):
+    """Build (or cache-load) the population's transition table.
+
+    Probes fan out through ``runner`` -- the same grid pool, result
+    cache and supervisor the shards use -- so a warm cache rebuilds the
+    table without running a single kernel day, and a quarantined probe
+    simply leaves its entry missing (every device needing it falls
+    back to the kernel rather than failing the run).
+    """
+    from repro.experiments.grid import FuncSpec, GridRunner
+
+    if runner is None:
+        runner = GridRunner()
+    probes = needed_probes(population)
+    specs = [FuncSpec.make(probe_day, kind=kind, name=name,
+                           profile=profile, mitigation=mitigation,
+                           minutes=population.minutes, variant=variant,
+                           env_json=env_json, schema=PROBE_SCHEMA)
+             for kind, name, profile, mitigation, variant, env_json
+             in probes]
+    labels = ["probe:{}".format(TransitionTable.entry_key(*probe))
+              for probe in probes]
+    if verbose:
+        print("fastpath: building transition table ({} probes, {} "
+              "sim-min each)".format(len(specs), population.minutes),
+              file=sys.stderr)
+    results = runner.run(specs, labels=labels)
+    entries = {}
+    for probe, result in zip(probes, results):
+        if result is not None:
+            entries[TransitionTable.entry_key(*probe)] = result
+    return TransitionTable(population.minutes, entries)
+
+
+# -- replay: table lookups + perturbation --------------------------------------
+
+def active_seconds(session_count, session_s, day_s):
+    """Seconds of the day spent in active sessions, exactly as the
+    kernel's scripted alternation (active ``session_s``, idle
+    ``session_s``, truncated at day end) spends them."""
+    t = 0.0
+    active = 0.0
+    for __ in range(session_count):
+        if t >= day_s:
+            break
+        active += min(session_s, day_s - t)
+        t += 2.0 * session_s
+    return active
+
+
+_CAPACITY_CACHE = {}
+
+
+def _capacity_mj(profile):
+    if profile not in _CAPACITY_CACHE:
+        from repro.device.battery import Battery
+        from repro.device.profiles import PROFILES
+
+        _CAPACITY_CACHE[profile] = \
+            Battery.for_profile(PROFILES[profile]).capacity_mj
+    return _CAPACITY_CACHE[profile]
+
+
+def _device_guard(device, mitigations, table):
+    """Why this device cannot be replayed from the table, or None.
+
+    A non-None reason routes the device to the kernel (per-device
+    fallback): armed fault plans perturb the day in ways no canonical
+    probe captured, and a missing or crashed probe means the class was
+    never (successfully) characterised.
+    """
+    if device.fault_plan_json:
+        return "fault-plan-armed"
+    for probe in device_probes(device, mitigations):
+        entry = table.entries.get(TransitionTable.entry_key(*probe))
+        if entry is None:
+            return "missing-probe:{}".format(
+                TransitionTable.entry_key(*probe))
+        if entry["crashed"]:
+            return "crashed-probe:{}".format(
+                TransitionTable.entry_key(*probe))
+    return None
+
+
+def _lerp_shared(lo, hi, t):
+    """Interpolate two ``{rail: mW}`` shared-rail maps."""
+    out = {}
+    for rail in set(lo) | set(hi):
+        value = lo.get(rail, 0.0) \
+            + (hi.get(rail, 0.0) - lo.get(rail, 0.0)) * t
+        if value > 0.0:
+            out[rail] = value
+    return out
+
+
+def _piecewise(points, target):
+    """Piecewise-linear interpolation along the awake-fraction axis.
+
+    ``points`` are ``(awake_frac, system_add_mw, buggy_mw, shared_mw)``
+    sorted by awake fraction; ``target`` is clamped to the measured
+    span (never extrapolated). Returns ``(system_add, buggy, shared)``.
+    """
+    if target <= points[0][0]:
+        return points[0][1], points[0][2], dict(points[0][3])
+    for (a0, s0, b0, sh0), (a1, s1, b1, sh1) in zip(points, points[1:]):
+        if target <= a1:
+            span = a1 - a0
+            u = (target - a0) / span if span > 1e-9 else 1.0
+            return (s0 + (s1 - s0) * u, b0 + (b1 - b0) * u,
+                    _lerp_shared(sh0, sh1, u))
+    return points[-1][1], points[-1][2], dict(points[-1][3])
+
+
+def _shared_overlap(normal_shared, buggy_shared):
+    """Power double-counted by summing solo probes of shared rails.
+
+    Per rail: every solo probe absorbed its holds whole; co-installed,
+    overlapping holds run the rail *once* (its union -- approximated by
+    the largest single share, holds being near-nested in practice:
+    continuous wakelock/GPS bugs against periodic normal apps). Returns
+    ``(system_cut, buggy_cut)``: the total over-count, and the part of
+    it that solo ``buggy_power`` measurements over-claimed (the union
+    is re-split pro rata, matching the ledger's split attribution).
+    """
+    system_cut = 0.0
+    buggy_cut = 0.0
+    rails = set()
+    for shared in normal_shared + buggy_shared:
+        rails.update(shared)
+    for rail in rails:
+        normal_sum = sum(s.get(rail, 0.0) for s in normal_shared)
+        buggy_sum = sum(s.get(rail, 0.0) for s in buggy_shared)
+        total = normal_sum + buggy_sum
+        union = max(s.get(rail, 0.0)
+                    for s in normal_shared + buggy_shared)
+        if total <= union:
+            continue
+        system_cut += total - union
+        if buggy_sum > 0:
+            buggy_cut += buggy_sum - union * (buggy_sum / total)
+    return system_cut, buggy_cut
+
+
+def fast_summary(device, mitigation, table, minutes):
+    """One device-day from the table: the fast path's answer to
+    :func:`repro.fleet.shard.simulate_device_day`.
+
+    Returns the same flat scalar dict shape, or ``None`` when the
+    composition cannot be trusted (caller falls back to the kernel).
+    """
+    from repro.sim.summary import battery_life_h
+
+    prof = device.profile
+    env = device_env_json(device)
+    base_idle = table.get("base", "", prof, mitigation, "idle", env)
+    base_active = table.get("base", "", prof, mitigation, "active", env)
+    base_awake = table.get("base", "", prof, mitigation, "awake", env)
+    if base_idle is None or base_active is None or base_awake is None:
+        return None
+    day_s = minutes * 60.0
+    f_canon = active_seconds(CANONICAL["session_count"],
+                             CANONICAL["session_s"], day_s) / day_s
+    f_dev = active_seconds(device.session_count, device.session_s,
+                           day_s) / day_s
+    p_idle = base_idle["system_power_mw"]
+    p_active = base_active["system_power_mw"]
+    session_scale = (f_dev / f_canon) if f_canon > 0 else 0.0
+    system = p_idle + max(p_active - p_idle, 0.0) * session_scale
+
+    touches_canon = (f_canon * day_s) / CANONICAL["touch_interval_s"]
+    touches_dev = (f_dev * day_s) / device.touch_interval_s
+    touch_ratio = (touches_dev / touches_canon) if touches_canon > 0 \
+        else 0.0
+    # The user rotates the foreground across the session apps, so each
+    # receives ~1/k of the touches a solo probe received.
+    rotation = len(device.normal_apps) or len(device.buggy_apps) or 1
+
+    def _lerp(lo, hi):
+        return lo + (hi - lo) * session_scale
+
+    # Awake fraction the base day reaches at this device's session
+    # schedule, and each app's *excess* awake fraction over its probe's
+    # base context (a music player holding a wakelock all day has
+    # excess ~1; a periodic syncer ~0). Deep sleep freezes app
+    # execution, so a mitigated (deferred) buggy app's power is linear
+    # in the phone's awake fraction -- which co-installed apps raise.
+    awake_sess = _lerp(base_idle["awake_frac"],
+                       base_active["awake_frac"])
+
+    def _excess(lo, hi):
+        return _lerp(
+            max(lo["awake_frac"] - base_idle["awake_frac"], 0.0),
+            max(hi["awake_frac"] - base_active["awake_frac"], 0.0))
+
+    buggy_power = 0.0
+    disruptions = renewals = deferrals = revocations = 0
+    fp_apps = fn_apps = 0
+    normal_shared = []  # per-app {rail: solo-probe attributed mW}
+    buggy_shared = []
+    awake_excess = []  # per-app excess awake fraction (all apps)
+    buggy_pairs = []  # mixed-device buggy (lo, hi) entries, probe order
+    for name in device.normal_apps:
+        idl = table.get("normal", name, prof, mitigation, "idle", env)
+        bgp = table.get("normal", name, prof, mitigation, "bg", env)
+        act = table.get("normal", name, prof, mitigation, "active",
+                        env)
+        if idl is None or bgp is None or act is None:
+            return None
+        # Background cost at the device's screen exposure: linear
+        # between the screen-off (idle) and canonical-cycling (bg)
+        # measurement points; the active-bg difference is pure touches.
+        bg_idle = max(idl["system_power_mw"] - p_idle, 0.0)
+        bg_active = max(bgp["system_power_mw"] - p_active, 0.0)
+        background = bg_idle + (bg_active - bg_idle) * session_scale
+        touch = max(act["system_power_mw"] - bgp["system_power_mw"], 0.0)
+        system += max(background, 0.0) + touch * (touch_ratio / rotation)
+        normal_shared.append(_lerp_shared(
+            idl["shared_mw"], bgp["shared_mw"], session_scale))
+        awake_excess.append(_excess(idl, bgp))
+        disruptions += act["disruptions"]
+        renewals += act["renewals"]
+        deferrals += act["deferrals"]
+        revocations += act["revocations"]
+        fp_apps += act["fp_apps"]
+    for key in device.buggy_apps:
+        if device.normal_apps:
+            lo = table.get("buggy", key, prof, mitigation, "bg_idle", env)
+            hi = table.get("buggy", key, prof, mitigation, "bg", env)
+            awk = table.get("buggy", key, prof, mitigation, "bg_awake",
+                            env)
+            if lo is None or hi is None or awk is None:
+                return None
+            # Power contribution computed after the loop: the exposure
+            # parameter depends on every *other* app's awake excess.
+            buggy_pairs.append((lo, hi, awk))
+            awake_excess.append(_excess(lo, hi))
+            entry = hi
+        else:
+            entry = table.get("buggy", key, prof, mitigation, "fg", env)
+            if entry is None:
+                return None
+            system += max(entry["system_power_mw"] - p_active, 0.0)
+            buggy_power += max(entry["buggy_power_mw"], 0.0)
+            buggy_shared.append(dict(entry["shared_mw"]))
+        disruptions += entry["disruptions"]
+        renewals += entry["renewals"]
+        deferrals += entry["deferrals"]
+        revocations += entry["revocations"]
+        fn_apps += entry["fn_apps"]
+    p_awake = base_awake["system_power_mw"]
+    for position, (lo, hi, awk) in enumerate(buggy_pairs):
+        # The (bg_idle, bg, bg_awake) triple measures the case's power
+        # at three *awake fractions* (phone asleep nearly all day,
+        # canonical screen cycling, held awake all day). A deferred app
+        # freezes only while the phone actually suspends, so its power
+        # is interpolated piecewise-linearly along that measured awake
+        # axis, at the device's awake fraction: the union of its
+        # session awake time and every other app's excess awake
+        # fraction (combined as independent overlaps). A case whose own
+        # wakelock pins every probe awake spans no axis at all; it
+        # falls back to the plain session-scale exposure.
+        points = sorted(
+            ((lo["awake_frac"],
+              max(lo["system_power_mw"] - p_idle, 0.0),
+              max(lo["buggy_power_mw"], 0.0), lo["shared_mw"]),
+             (hi["awake_frac"],
+              max(hi["system_power_mw"] - p_active, 0.0),
+              max(hi["buggy_power_mw"], 0.0), hi["shared_mw"]),
+             (awk["awake_frac"],
+              max(awk["system_power_mw"] - p_awake, 0.0),
+              max(awk["buggy_power_mw"], 0.0), awk["shared_mw"])),
+            key=lambda point: point[0])
+        if points[-1][0] - points[0][0] < 0.05:
+            sys_add = _lerp(max(lo["system_power_mw"] - p_idle, 0.0),
+                            max(hi["system_power_mw"] - p_active, 0.0))
+            bug_add = _lerp(max(lo["buggy_power_mw"], 0.0),
+                            max(hi["buggy_power_mw"], 0.0))
+            shared = _lerp_shared(lo["shared_mw"], hi["shared_mw"],
+                                  session_scale)
+        else:
+            asleep = 1.0 - min(max(awake_sess, 0.0), 1.0)
+            for other, excess in enumerate(awake_excess):
+                if other == len(device.normal_apps) + position:
+                    continue
+                asleep *= 1.0 - min(max(excess, 0.0), 1.0)
+            target = 1.0 - asleep
+            sys_add, bug_add, shared = _piecewise(points, target)
+        system += max(sys_add, 0.0)
+        buggy_power += max(bug_add, 0.0)
+        buggy_shared.append(dict(shared))
+    system_cut, buggy_cut = _shared_overlap(normal_shared, buggy_shared)
+    system = max(system - system_cut, 0.0)
+    buggy_power = max(buggy_power - buggy_cut, 0.0)
+
+    # Zero-mean, sub-seed-deterministic jitter; one factor per device
+    # (not per mitigation) so paired ratios like waste reduction stay
+    # consistent with the kernel's paired-baseline design.
+    rng = random.Random(device.sub_seed ^ _JITTER_SALT)
+    factor = 1.0 + JITTER * (2.0 * rng.random() - 1.0)
+    system *= factor
+    buggy_power *= factor
+    if not (system > 0.0 and system < float("inf")):
+        return None
+    return {
+        "index": device.index,
+        "mitigation": mitigation,
+        "system_power_mw": system,
+        "buggy_power_mw": buggy_power,
+        "battery_life_h": battery_life_h(_capacity_mj(prof), system),
+        "disruptions": disruptions,
+        "buggy_installed": len(device.buggy_apps),
+        "normal_installed": len(device.normal_apps),
+        "crashed": 0,
+        "crash_error": "",
+        "faults_applied": 0,
+        "renewals": renewals,
+        "deferrals": deferrals,
+        "revocations": revocations,
+        "fp_apps": fp_apps,
+        "fn_apps": fn_apps,
+    }
+
+
+# -- shard replay --------------------------------------------------------------
+
+#: Fallback reasons already warned about by this process (structured,
+#: one line per distinct reason; every occurrence is still counted).
+_LOGGED_FALLBACKS = set()
+
+
+def _log_fallback_once(reason, device_index):
+    if reason in _LOGGED_FALLBACKS:
+        return
+    _LOGGED_FALLBACKS.add(reason)
+    print(json.dumps(
+        {"event": "fastpath_fallback", "reason": reason,
+         "first_device": device_index,
+         "action": "device rerouted to the kernel path; occurrences "
+                   "are counted in the fastpath_fallbacks counter"},
+        sort_keys=True), file=sys.stderr)
+
+
+class _BatchFold:
+    """Order-preserving batched stand-in for ``FleetStats`` folding.
+
+    Collects observations per metric, then flushes through
+    ``observe_many`` -- bit-identical to per-device ``observe`` calls
+    (same per-metric value sequence), with the batch accumulators'
+    tighter loops and the numpy histogram path doing the counting.
+    """
+
+    def __init__(self):
+        self.stats = FleetStats()
+        self._values = {}
+
+    def observe(self, name, value):
+        self._values.setdefault(name, []).append(value)
+
+    def count(self, name, amount=1):
+        self.stats.count(name, amount)
+
+    def flush(self):
+        for name, values in self._values.items():
+            self.stats.observe_many(name, values)
+        self._values = {}
+        return self.stats
+
+
+def replay_shard(population, start, stop, table,
+                 max_crash_records=None):
+    """Replay devices [start, stop) from the table, kernel-fallback
+    per device; returns ``({mitigation: FleetStats}, crashes)``.
+
+    The same fold as the kernel path (:func:`repro.fleet.shard.
+    _fold_device` drives a batched sink), plus two fast-path counters
+    per mitigation: ``fastpath_devices`` and ``fastpath_fallbacks``.
+    No per-device record survives the loop.
+    """
+    from repro.fleet.shard import (
+        MAX_CRASH_RECORDS,
+        _fold_device,
+        simulate_device_day,
+    )
+
+    if max_crash_records is None:
+        max_crash_records = MAX_CRASH_RECORDS
+    folds = {name: _BatchFold() for name in population.mitigations}
+    crashes = []
+    for index in range(start, stop):
+        device = population.device(index)
+        reason = _device_guard(device, population.mitigations, table)
+        summaries = {}
+        if reason is None:
+            for mitigation in population.mitigations:
+                summary = fast_summary(device, mitigation, table,
+                                       population.minutes)
+                if summary is None:
+                    reason = "non-finite-composition"
+                    summaries = {}
+                    break
+                summaries[mitigation] = summary
+        if reason is not None:
+            _log_fallback_once(reason, index)
+            for mitigation in population.mitigations:
+                summaries[mitigation] = simulate_device_day(
+                    device, mitigation, population.minutes)
+        vanilla_summary = None
+        for mitigation in population.mitigations:
+            summary = summaries[mitigation]
+            if mitigation == "vanilla":
+                vanilla_summary = summary
+            if summary["crashed"] and len(crashes) < max_crash_records:
+                crashes.append({"device": device.index,
+                                "mitigation": mitigation,
+                                "error": summary["crash_error"]})
+            fold = folds[mitigation]
+            _fold_device(fold, summary, vanilla_summary)
+            fold.count("fastpath_devices")
+            if reason is not None:
+                fold.count("fastpath_fallbacks")
+    return {name: fold.flush() for name, fold in folds.items()}, crashes
+
+
+# -- cross-validation ----------------------------------------------------------
+
+def kernel_device_day(population_json, index, mitigation):
+    """One kernel device-day as a ``FuncSpec`` target, so
+    cross-validation's kernel half fans out and memoises like any other
+    grid job."""
+    from repro.fleet.shard import simulate_device_day
+
+    population = PopulationSpec.from_json(population_json)
+    return simulate_device_day(population.device(index), mitigation,
+                               population.minutes)
+
+
+def validation_population(population, n, seed):
+    """An ``n``-device population drawn from the same sampling law as
+    ``population`` (same pools, prevalence, minutes, mitigations) but
+    an independent seed and no chaos -- the fast path's random exam."""
+    return PopulationSpec(
+        seed=seed, devices=n, mitigations=population.mitigations,
+        minutes=population.minutes, shard_size=population.shard_size,
+        buggy_prevalence=population.buggy_prevalence,
+        min_apps=population.min_apps, max_apps=population.max_apps,
+        profiles=population.profiles, buggy_pool=population.buggy_pool,
+        chaos_rate=0.0)
+
+
+def cross_validate(population, n=50, seed=20190451, runner=None,
+                   table=None, tolerances=None):
+    """Kernel vs fast path on ``n`` seeded random device-days.
+
+    Returns a plain dict (embedded verbatim in the fleet report's
+    provenance block): per-metric worst/mean absolute deltas, the
+    tolerance each was judged against, violations (capped detail), and
+    an overall ``pass``. Deterministic -- no timestamps, no host facts.
+    """
+    from repro.experiments.grid import FuncSpec, GridRunner
+
+    if runner is None:
+        runner = GridRunner()
+    if tolerances is None:
+        tolerances = DEFAULT_TOLERANCES
+    vpop = validation_population(population, n, seed)
+    if table is None:
+        table = build_table(vpop, runner=runner)
+    population_json = vpop.to_json()
+    pairs = [(index, mitigation) for index in range(n)
+             for mitigation in vpop.mitigations]
+    specs = [FuncSpec.make(kernel_device_day,
+                           population_json=population_json,
+                           index=index, mitigation=mitigation)
+             for index, mitigation in pairs]
+    labels = ["xval:{:04d}:{}".format(index, mitigation)
+              for index, mitigation in pairs]
+    kernel_days = runner.run(specs, labels=labels)
+
+    metrics = {name: {"max_abs_delta": 0.0, "mean_abs_delta": 0.0,
+                      "worst": None}
+               for name in tolerances}
+    violations = []
+    compared = fallbacks = crashed = 0
+    for (index, mitigation), kernel in zip(pairs, kernel_days):
+        if kernel is None or kernel["crashed"]:
+            crashed += 1
+            continue
+        device = vpop.device(index)
+        if _device_guard(device, (mitigation,), table) is not None:
+            fallbacks += 1
+            continue
+        fast = fast_summary(device, mitigation, table, vpop.minutes)
+        if fast is None:
+            fallbacks += 1
+            continue
+        compared += 1
+        for name, tol in tolerances.items():
+            delta = abs(fast[name] - kernel[name])
+            bound = tol.get("abs", 0.0) + tol.get("rel", 0.0) \
+                * abs(kernel[name])
+            entry = metrics[name]
+            entry["mean_abs_delta"] += delta
+            if delta >= entry["max_abs_delta"]:
+                entry["max_abs_delta"] = delta
+                entry["worst"] = {"device": index,
+                                  "mitigation": mitigation,
+                                  "kernel": kernel[name],
+                                  "fast": fast[name],
+                                  "tolerance": bound}
+            if delta > bound:
+                violations.append(
+                    {"device": index, "mitigation": mitigation,
+                     "metric": name, "kernel": kernel[name],
+                     "fast": fast[name], "delta": delta,
+                     "tolerance": bound})
+    for entry in metrics.values():
+        if compared:
+            entry["mean_abs_delta"] /= compared
+    return {
+        "kind": "fastpath_cross_validation",
+        "n": n,
+        "seed": seed,
+        "minutes": vpop.minutes,
+        "mitigations": list(vpop.mitigations),
+        "device_days_compared": compared,
+        "fallbacks": fallbacks,
+        "crashed_skipped": crashed,
+        "table_fingerprint": table.fingerprint(),
+        "tolerances": tolerances,
+        "metrics": metrics,
+        "violations": violations[:20],
+        "violation_count": len(violations),
+        "pass": not violations,
+    }

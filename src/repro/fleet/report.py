@@ -41,11 +41,16 @@ def _metric_block(summary):
     return block
 
 
-def build_report(population, merged):
+def build_report(population, merged, execution=None):
     """The full report dict for a completed fleet run.
 
     ``merged`` is ``{mitigation: FleetStats}`` from
-    :meth:`~repro.fleet.shard.FleetRunner.merged_stats`.
+    :meth:`~repro.fleet.shard.FleetRunner.merged_stats`. ``execution``
+    is an optional provenance block (execution mode, transition-table
+    fingerprint, cross-validation results -- deterministic facts only,
+    never host- or timing-dependent ones); when omitted the report's
+    bytes are exactly what they were before the block existed, which
+    the determinism goldens pin.
     """
     mitigations = {}
     for name in population.mitigations:
@@ -70,7 +75,7 @@ def build_report(population, merged):
                 "normal_apps": normal, "buggy_apps": buggy,
             }
         mitigations[name] = block
-    return {
+    report = {
         "kind": "fleet_report",
         "version": __version__,
         "population": json.loads(population.to_json()),
@@ -79,6 +84,9 @@ def build_report(population, merged):
         "devices": population.devices,
         "mitigations": mitigations,
     }
+    if execution is not None:
+        report["execution"] = execution
+    return report
 
 
 def report_json(report):

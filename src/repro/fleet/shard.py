@@ -54,12 +54,17 @@ def _log_device_crash_once(index, mitigation, reason):
           file=sys.stderr)
 
 
-def simulate_device_day(device, mitigation, minutes):
-    """Run one sampled device-day under one mitigation.
+def build_device_phone(device, mitigation, extra_overrides=None):
+    """Materialise a DeviceSpec as a live phone, apps installed.
 
-    Returns a flat dict of scalars -- the *only* thing that survives
-    the simulation. The Phone, its apps and the event heap are garbage
-    the moment this returns, which is what keeps shard memory flat.
+    Returns ``(phone, buggy_uids, interactive_uids, injector)``. Shared
+    by the kernel path below and the fast path's table probes
+    (:mod:`repro.fleet.fastpath`), so a probe day exercises the *exact*
+    construction a real device-day does. ``extra_overrides`` are final
+    phone-kwargs overrides applied after every case's -- the fast path
+    uses them to probe one app under the *merged* environment of a
+    multi-case device (a later case's triggering environment overrides
+    an earlier one's, which changes whether the earlier bug fires).
     """
     from repro.apps.buggy import CASES_BY_KEY
     from repro.device.profiles import PROFILES
@@ -80,6 +85,8 @@ def simulate_device_day(device, mitigation, minutes):
     # ambient one (a bug that never triggers measures nothing).
     for case in cases:
         overrides.update(case.phone_kwargs)
+    if extra_overrides:
+        overrides.update(extra_overrides)
     phone = Phone(profile=PROFILES[device.profile],
                   seed=device.sub_seed % (2 ** 31), mitigation=mit,
                   **overrides)
@@ -107,7 +114,20 @@ def simulate_device_day(device, mitigation, minutes):
             seed=device.sub_seed % (2 ** 31),
             target_uid=buggy_uids[0] if buggy_uids else None)
         injector.arm()
+    return phone, buggy_uids, interactive_uids, injector
 
+
+def simulate_device_day(device, mitigation, minutes):
+    """Run one sampled device-day under one mitigation.
+
+    Returns a flat dict of scalars -- the *only* thing that survives
+    the simulation. The Phone, its apps and the event heap are garbage
+    the moment this returns, which is what keeps shard memory flat.
+    """
+    from repro.sim.summary import day_summary
+
+    phone, buggy_uids, interactive_uids, injector = \
+        build_device_phone(device, mitigation)
     session_uids = interactive_uids or buggy_uids
 
     def scripted_day():
@@ -128,40 +148,15 @@ def simulate_device_day(device, mitigation, minutes):
         crash_error = "{}: {}".format(type(exc).__name__, exc)
         _log_device_crash_once(device.index, mitigation, crash_error)
 
-    elapsed_s = max(phone.sim.now, 1e-9)
-    system_mw = phone.power_since(mark)
-    buggy_mw = sum(phone.power_since(mark, uid) for uid in buggy_uids)
-    battery_life_h = (phone.battery.capacity_mj / system_mw) / 3600.0 \
-        if system_mw > 0 else float(24 * 14)
-    summary = {
+    summary = day_summary(phone, mark, buggy_uids=buggy_uids,
+                          interactive_uids=interactive_uids)
+    summary.update({
         "index": device.index,
         "mitigation": mitigation,
-        "system_power_mw": system_mw,
-        "buggy_power_mw": buggy_mw,
-        "battery_life_h": min(battery_life_h, 24.0 * 14),
-        "disruptions": sum(len(app.disruptions)
-                           for app in phone.apps.values()),
-        "buggy_installed": len(buggy_uids),
-        "normal_installed": len(interactive_uids),
         "crashed": crashed,
         "crash_error": crash_error,
         "faults_applied": injector.applied_count if injector else 0,
-        "renewals": 0, "deferrals": 0, "revocations": 0,
-        "fp_apps": 0, "fn_apps": 0,
-    }
-    manager = phone.lease_manager
-    if manager is not None:
-        summary["renewals"] = manager.op_counts["renew"]
-        summary["deferrals"] = sum(
-            1 for d in manager.decisions if d.action == "defer")
-        summary["revocations"] = manager.op_counts["remove"] \
-            + manager.gc_removed
-        flagged = {d.lease.uid for d in manager.decisions
-                   if d.behavior.is_misbehavior}
-        summary["fp_apps"] = sum(
-            1 for uid in interactive_uids if uid in flagged)
-        summary["fn_apps"] = sum(
-            1 for uid in buggy_uids if uid not in flagged)
+    })
     return summary
 
 
@@ -192,15 +187,41 @@ def _fold_device(stats, summary, vanilla_summary):
 
 # -- the shard job ------------------------------------------------------------
 
-def run_shard(population_json, start, stop):
+def run_shard(population_json, start, stop, mode="kernel",
+              table_json=""):
     """Simulate devices [start, stop) under every mitigation.
 
     Module-level with scalar kwargs only, so it dispatches as a
     :class:`FuncSpec` (process pool + content-addressed cache). Returns
     the shard summary: per-mitigation ``FleetStats`` dicts plus
     bookkeeping -- size O(1) in the device count.
+
+    ``mode="fast"`` replays the shard from the transition table in
+    ``table_json`` (:mod:`repro.fleet.fastpath`) instead of running the
+    event kernel, falling back to the kernel per device where the
+    table cannot be trusted. The extra kwargs also mean fast and
+    kernel shard results can never collide in the grid's
+    content-addressed cache: a kernel dispatch omits them entirely, so
+    its cache keys are byte-identical to what they always were.
     """
     population = PopulationSpec.from_json(population_json)
+    if mode == "fast":
+        from repro.fleet.fastpath import TransitionTable, replay_shard
+
+        table = TransitionTable.from_json(table_json)
+        per_mitigation, crashes = replay_shard(
+            population, start, stop, table)
+        return {
+            "schema": CHECKPOINT_SCHEMA,
+            "population": population.fingerprint(),
+            "start": start,
+            "stop": stop,
+            "mode": "fast",
+            "table": table.fingerprint(),
+            "stats": {name: stats.to_dict()
+                      for name, stats in sorted(per_mitigation.items())},
+            "crashes": crashes,
+        }
     per_mitigation = {name: FleetStats() for name in population.mitigations}
     crashes = []
     for device in population.devices_in(start, stop):
@@ -221,6 +242,7 @@ def run_shard(population_json, start, stop):
         "population": population.fingerprint(),
         "start": start,
         "stop": stop,
+        "mode": "kernel",
         "stats": {name: stats.to_dict()
                   for name, stats in sorted(per_mitigation.items())},
         # Structured per-device crash records (capped): the aggregate
@@ -235,21 +257,45 @@ class FleetRunner:
     """Drives a population's shards through a GridRunner with resume.
 
     ``checkpoint_dir`` defaults to a per-population directory under
-    ``results/.fleet/<fingerprint12>/``, so re-running the same spec
-    resumes automatically and different specs never collide. Checkpoint
-    files from another population, package version or checkpoint schema
-    are ignored (and reported), never served.
+    ``results/.fleet/<fingerprint12>/`` (suffixed ``-fast`` on the fast
+    path, so the two execution modes never share checkpoint files), so
+    re-running the same spec resumes automatically and different specs
+    never collide. Checkpoint files from another population, package
+    version, checkpoint schema, execution mode or transition table are
+    ignored (and reported), never served.
+
+    ``mode`` selects the device-day executor: ``"kernel"`` (the full
+    event loop), ``"fast"`` (transition-table replay,
+    :mod:`repro.fleet.fastpath`, with per-device kernel fallback), or
+    ``"auto"`` (fast at or above
+    :data:`~repro.fleet.fastpath.AUTO_MIN_DEVICES` devices, kernel
+    below -- the table build only amortises over enough device-days).
     """
 
     def __init__(self, population, runner=None, checkpoint_dir=None,
-                 verbose=False):
+                 verbose=False, mode="kernel"):
+        if mode not in ("kernel", "fast", "auto"):
+            raise ValueError("unknown fleet mode {!r}".format(mode))
         self.population = population
         self.runner = runner if runner is not None else GridRunner()
+        self.requested_mode = mode
+        if mode == "auto":
+            from repro.fleet.fastpath import AUTO_MIN_DEVICES
+
+            mode = "fast" if population.devices >= AUTO_MIN_DEVICES \
+                else "kernel"
+        self.mode = mode
         if checkpoint_dir is None:
             checkpoint_dir = os.path.join(
-                DEFAULT_CHECKPOINT_ROOT, population.fingerprint()[:12])
+                DEFAULT_CHECKPOINT_ROOT,
+                population.fingerprint()[:12]
+                + ("-fast" if self.mode == "fast" else ""))
         self.checkpoint_dir = checkpoint_dir
         self.verbose = verbose
+        #: Lazily built transition table (fast mode only): JSON payload
+        #: and fingerprint, shared by every shard dispatch this run.
+        self._table_json = None
+        self.table_fingerprint = None
         self.shards_run = 0
         self.shards_resumed = 0
         #: Shard indices whose on-disk checkpoint was rejected (stale
@@ -293,7 +339,12 @@ class FleetRunner:
                 or summary.get("population")
                 != self.population.fingerprint()
                 or (summary.get("start"), summary.get("stop"))
-                != (start, stop)):
+                != (start, stop)
+                or summary.get("mode", "kernel") != self.mode
+                or (self.mode == "fast"
+                    and self.table_fingerprint is not None
+                    and summary.get("table")
+                    != self.table_fingerprint)):
             self.rejected_shards.add(shard_index)
             if self.verbose:
                 print("fleet: ignoring stale checkpoint {}".format(
@@ -329,6 +380,24 @@ class FleetRunner:
         """The supervision/fault-matching label for one shard job."""
         return "shard:{:06d}".format(shard_index)
 
+    def _ensure_table(self):
+        """The fast path's transition table JSON, built on first use.
+
+        Probes dispatch through the same grid runner as the shards, so
+        a warm result cache makes this a pure load. Building *before*
+        ``pending_shards`` also pins ``table_fingerprint``, which the
+        checkpoint validator then enforces: a checkpoint replayed from
+        a different table is stale, never served.
+        """
+        if self._table_json is None:
+            from repro.fleet.fastpath import build_table
+
+            table = build_table(self.population, runner=self.runner,
+                                verbose=self.verbose)
+            self._table_json = table.to_json()
+            self.table_fingerprint = table.fingerprint()
+        return self._table_json
+
     def run_shards(self, limit=None):
         """Execute up to ``limit`` pending shards (all by default).
 
@@ -343,6 +412,7 @@ class FleetRunner:
         must not publish partial state) and their indices land in
         ``quarantined_shards``. Returns the number of shards executed.
         """
+        table_json = self._ensure_table() if self.mode == "fast" else None
         pending = self.pending_shards()
         self.shards_resumed += self.population.shard_count - len(pending)
         if limit is not None:
@@ -359,9 +429,18 @@ class FleetRunner:
             specs, labels = [], []
             for shard_index in batch:
                 start, stop = self.population.shard_range(shard_index)
-                specs.append(FuncSpec.make(
-                    run_shard, population_json=population_json,
-                    start=start, stop=stop))
+                if self.mode == "fast":
+                    # The extra kwargs separate fast shard results from
+                    # kernel ones in the grid cache; a kernel dispatch
+                    # omits them so its cache keys never change.
+                    specs.append(FuncSpec.make(
+                        run_shard, population_json=population_json,
+                        start=start, stop=stop, mode="fast",
+                        table_json=table_json))
+                else:
+                    specs.append(FuncSpec.make(
+                        run_shard, population_json=population_json,
+                        start=start, stop=stop))
                 labels.append(self.shard_label(shard_index))
 
             def checkpoint(index, spec, summary):
@@ -424,13 +503,17 @@ class FleetRunner:
         checkpoint means silent recomputation, and an operator reading
         a quiet run's summary must see that it happened.
         """
-        return {
+        summary = {
+            "mode": self.mode,
             "shards_total": self.population.shard_count,
             "shards_run": self.shards_run,
             "shards_resumed": self.shards_resumed,
             "checkpoints_rejected": self.checkpoints_rejected,
             "shards_quarantined": self.shards_quarantined,
         }
+        if self.mode == "fast":
+            summary["table_fingerprint"] = self.table_fingerprint or ""
+        return summary
 
     def run(self, limit=None, allow_missing=False):
         """Run (or resume) the fleet; returns merged stats when

@@ -29,6 +29,31 @@ Merge guarantees (relied on by checkpoint/resume -- see docs/fleet.md):
 """
 
 import math
+import os
+
+#: Below this many values the numpy histogram path costs more in array
+#: conversion than it saves; the pure loop is used either way.
+_NUMPY_BATCH_MIN = 64
+
+
+def _numpy():
+    """The numpy module, or None (absent, or disabled via env).
+
+    numpy is an *optional* accelerator: every batch operation has a
+    pure-python implementation that produces bit-identical accumulator
+    state, and only exact computations (elementwise float64 ops, which
+    IEEE-754 guarantees match Python's scalar arithmetic, plus integer
+    bin counting) are delegated to numpy. ``REPRO_FASTPATH_NUMPY=0``
+    forces the pure path, which the parity tests use to prove the two
+    implementations byte-identical.
+    """
+    if os.environ.get("REPRO_FASTPATH_NUMPY", "1") == "0":
+        return None
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
 
 
 class Moments:
@@ -52,6 +77,27 @@ class Moments:
         self.m2 += delta * (value - self.mean)
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+
+    def add_many(self, values):
+        """Fold a batch; bit-identical to calling :meth:`add` per value.
+
+        The Welford recurrence is inherently sequential (each update
+        reads the previous mean), so the win here is keeping the state
+        in locals instead of attribute round-trips -- the float op
+        sequence is exactly the one ``add`` performs.
+        """
+        count, mean, m2 = self.count, self.mean, self.m2
+        lo, hi = self.min, self.max
+        for value in values:
+            value = float(value)
+            count += 1
+            delta = value - mean
+            mean += delta / count
+            m2 += delta * (value - mean)
+            lo = value if lo is None else min(lo, value)
+            hi = value if hi is None else max(hi, value)
+        self.count, self.mean, self.m2 = count, mean, m2
+        self.min, self.max = lo, hi
 
     @property
     def variance(self):
@@ -131,6 +177,35 @@ class Histogram:
                                  len(self.bins) - 1)
             self.bins[index] += weight
 
+    def add_many(self, values):
+        """Count a batch of unit-weight values; exact either way.
+
+        Binning is pure integer counting on top of elementwise float64
+        index arithmetic, so the numpy path (vectorised compare +
+        ``bincount``) lands every value in the same bin as the scalar
+        loop and produces identical counts -- it is an accelerator, not
+        an approximation.
+        """
+        np = _numpy() if len(values) >= _NUMPY_BATCH_MIN else None
+        if np is None:
+            for value in values:
+                self.add(value)
+            return
+        arr = np.asarray(values, dtype=np.float64)
+        under = arr < self.lo
+        over = arr >= self.hi
+        self.underflow += int(under.sum())
+        self.overflow += int(over.sum())
+        mid = arr[~(under | over)]
+        if mid.size:
+            nbins = len(self.bins)
+            span = (mid - self.lo) / (self.hi - self.lo)
+            index = np.minimum((span * nbins).astype(np.int64), nbins - 1)
+            counts = np.bincount(index, minlength=nbins)
+            for i, extra in enumerate(counts.tolist()):
+                if extra:
+                    self.bins[i] += extra
+
     @property
     def total(self):
         return sum(self.bins) + self.underflow + self.overflow
@@ -181,6 +256,18 @@ class QuantileDigest:
         self.entries.append((float(value), float(weight)))
         if len(self.entries) > 2 * self.capacity:
             self._compact()
+
+    def add_many(self, values):
+        """Append a batch; compaction fires at the same points as
+        per-value :meth:`add` calls would, so the digest state is
+        bit-identical to the sequential path."""
+        entries = self.entries
+        threshold = 2 * self.capacity
+        for value in values:
+            entries.append((float(value), 1.0))
+            if len(entries) > threshold:
+                self._compact()
+                entries = self.entries
 
     def _compact(self):
         self.entries.sort()
@@ -263,6 +350,11 @@ class MetricSummary:
         self.histogram.add(value)
         self.digest.add(value)
 
+    def add_many(self, values):
+        self.moments.add_many(values)
+        self.histogram.add_many(values)
+        self.digest.add_many(values)
+
     def merge(self, other):
         return MetricSummary(
             self.name,
@@ -305,6 +397,20 @@ class FleetStats:
         if name not in self.metrics:
             self.metrics[name] = MetricSummary(name)
         self.metrics[name].add(value)
+
+    def observe_many(self, name, values):
+        """Fold a batch of observations; bit-identical to observing
+        them one by one (the fast path's shard fold uses this).
+
+        An empty batch is a no-op -- it must not create the metric,
+        or a shard that never saw it would merge differently from one
+        that observed nothing.
+        """
+        if not values:
+            return
+        if name not in self.metrics:
+            self.metrics[name] = MetricSummary(name)
+        self.metrics[name].add_many(values)
 
     def count(self, name, amount=1):
         self.counters[name] = self.counters.get(name, 0) + amount

@@ -10,6 +10,8 @@ A small, deterministic engine purpose-built for this reproduction:
 - :class:`~repro.sim.events.Event` -- one-shot waitable events.
 - :class:`~repro.sim.trace.KernelTrace` -- opt-in kernel profiler
   attributing dispatched events and wall time per callback site.
+- :func:`~repro.sim.summary.day_summary` -- the per-day summary
+  extraction hook shared by the fleet kernel path and fast path.
 - :class:`~repro.sim.engine.RunBudget` -- opt-in runaway guard
   (max events / max sim-time / max wall-clock) that aborts a spinning
   run with a :class:`~repro.sim.engine.BudgetExceeded` carrying kernel
@@ -28,6 +30,7 @@ from repro.sim.engine import (
 )
 from repro.sim.events import Event, Timeout, after, any_of
 from repro.sim.process import Process, ProcessKilled, ProcessState
+from repro.sim.summary import MAX_BATTERY_LIFE_H, battery_life_h, day_summary
 from repro.sim.trace import KernelTrace, SiteStats, site_for
 
 __all__ = [
@@ -49,4 +52,7 @@ __all__ = [
     "KernelTrace",
     "SiteStats",
     "site_for",
+    "day_summary",
+    "battery_life_h",
+    "MAX_BATTERY_LIFE_H",
 ]

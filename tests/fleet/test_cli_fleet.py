@@ -76,6 +76,31 @@ def test_chaos_replay_exit_zero_on_clean_match(tmp_path):
     assert "matches the original run" in text
 
 
+def test_fleet_cli_fast_path_end_to_end(tmp_path):
+    code, text = _run_cli(_fleet_argv(tmp_path, ["--fast-path"]))
+    assert code == 0
+    assert "Fleet comparison: 4 devices" in text
+    assert "execution: fast path" in text
+    report = json.loads((tmp_path / "fleet.json").read_text())
+    execution = report["execution"]
+    assert execution["mode"] == "fast"
+    assert execution["requested_mode"] == "fast"
+    assert len(execution["table_fingerprint"]) == 64
+
+
+def test_fleet_cli_cross_validation_block_and_exit_code(tmp_path):
+    code, text = _run_cli(_fleet_argv(
+        tmp_path, ["--fast-path", "--cross-validate", "2"]))
+    report = json.loads((tmp_path / "fleet.json").read_text())
+    validation = report["execution"]["cross_validation"]
+    assert validation["kind"] == "fastpath_cross_validation"
+    assert validation["n"] == 2
+    assert "tolerances" in validation and "metrics" in validation
+    # The exit code gates on the verdict, so CI can trust a green run.
+    assert code == (0 if validation["pass"] else 1)
+    assert "cross-validation" in text
+
+
 def test_fleet_parser_defaults():
     from repro.cli import build_parser
 
@@ -85,6 +110,10 @@ def test_fleet_parser_defaults():
     assert args.mitigations == "vanilla,leaseos"
     assert args.max_shards is None
     assert args.minutes == 15.0
+    assert args.mode == "kernel"
+    assert args.cross_validate == 0
+    fast = build_parser().parse_args(["fleet", "--fast-path"])
+    assert fast.mode == "fast"
 
 
 def test_fleet_excluded_from_all():

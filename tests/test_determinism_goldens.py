@@ -139,7 +139,7 @@ def test_golden_fleet_report(tmp_path):
                          checkpoint_dir=str(tmp_path / "ck"))
     text = report_json(build_report(population, runner.run()))
     assert _digest(text) == (
-        "27b06d126171bf1950a8e5d3f80b8329dfc526ab876b619eb179a57a24ad9518")
+        "b1899f6868d7d5e44c2e87ff68a9a39f92886019909a4ecb50e5d368878f28bc")
 
 
 def test_golden_chaos_case_fingerprint():
