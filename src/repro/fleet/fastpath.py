@@ -84,7 +84,6 @@ and a ``fastpath_fallbacks`` counter, instead of degrading the shard.
 
 import hashlib
 import json
-import random
 import sys
 
 from repro.fleet.population import DeviceSpec, PopulationSpec
@@ -118,6 +117,26 @@ PROBE_SEED = 20190451
 JITTER = 0.01
 
 _JITTER_SALT = 0x5DEECE66D
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def jitter_unit(sub_seed):
+    """The device's jitter draw in [0, 1): splitmix64 of the sub-seed.
+
+    A single hash-derived uniform instead of seeding a Mersenne
+    Twister per device: the same determinism contract (device
+    sub-seed -> factor, platform-independent), but pure 64-bit integer
+    arithmetic, so the vector engine computes it for a whole shard as
+    elementwise ``uint64`` numpy ops that are bit-identical to this
+    scalar (``(z >> 11) * 2**-53`` is exact in float64 both ways).
+    """
+    z = (sub_seed ^ _JITTER_SALT) & _MASK64
+    z = (z + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    z = z ^ (z >> 31)
+    return (z >> 11) * (2.0 ** -53)
 
 #: ``mode="auto"`` picks the fast path at or above this population
 #: size; below it the table build cannot amortise over enough
@@ -220,25 +239,50 @@ def _screen_cycle_day(phone, session_count, session_s):
         yield Timeout(session_s)
 
 
+#: Merged-environment memo, keyed by the device's ``buggy_apps`` tuple
+#: (the only input to the merge). The buggy-case registry is static, so
+#: entries never go stale; the key space is bounded by the distinct
+#: buggy-app combinations a process actually samples (tiny next to the
+#: device count -- this is exactly the device-equivalence-class axis).
+_ENV_CACHE = {}
+
+
+def _case_env(buggy_apps):
+    """``(merged env dict, canonical JSON)`` for one buggy-app tuple."""
+    cached = _ENV_CACHE.get(buggy_apps)
+    if cached is None:
+        from repro.apps.buggy import CASES_BY_KEY
+
+        env = {}
+        for key in buggy_apps:
+            env.update(CASES_BY_KEY[key].phone_kwargs)
+        cached = (env, json.dumps(env, sort_keys=True,
+                                  separators=(",", ":")))
+        _ENV_CACHE[buggy_apps] = cached
+    return cached
+
+
 def merged_case_env(device):
     """The device's final phone-kwargs overrides from its buggy cases.
 
     Replicates :func:`repro.fleet.shard.build_device_phone`'s merge:
     every case pins its triggering environment, later installs win.
+    Memoised per buggy-app tuple (the device-equivalence-class key), so
+    table build and replay do the JSON canonicalisation once per class
+    instead of once per device.
     """
-    from repro.apps.buggy import CASES_BY_KEY
+    return dict(_case_env(tuple(device.buggy_apps))[0])
 
-    env = {}
-    for key in device.buggy_apps:
-        env.update(CASES_BY_KEY[key].phone_kwargs)
-    return env
+
+def case_env_json(buggy_apps):
+    """Canonical env JSON for a buggy-app tuple (class-level lookup)."""
+    return _case_env(tuple(buggy_apps))[1]
 
 
 def device_env_json(device):
     """Canonical JSON of :func:`merged_case_env` -- the table's
     environment key component."""
-    return json.dumps(merged_case_env(device), sort_keys=True,
-                      separators=(",", ":"))
+    return _case_env(tuple(device.buggy_apps))[1]
 
 
 def probe_day(kind, name, profile, mitigation, minutes, variant,
@@ -528,7 +572,12 @@ def _shared_overlap(normal_shared, buggy_shared):
     rails = set()
     for shared in normal_shared + buggy_shared:
         rails.update(shared)
-    for rail in rails:
+    # Sorted iteration pins the float accumulation order: set order
+    # varies with the process hash seed, and with three or more
+    # contributing rails that would make the last few ulps of a report
+    # machine-dependent. Sorted order is also what the vector engine
+    # uses, so scalar and columnar composition agree bit-for-bit.
+    for rail in sorted(rails):
         normal_sum = sum(s.get(rail, 0.0) for s in normal_shared)
         buggy_sum = sum(s.get(rail, 0.0) for s in buggy_shared)
         total = normal_sum + buggy_sum
@@ -696,8 +745,7 @@ def fast_summary(device, mitigation, table, minutes):
     # Zero-mean, sub-seed-deterministic jitter; one factor per device
     # (not per mitigation) so paired ratios like waste reduction stay
     # consistent with the kernel's paired-baseline design.
-    rng = random.Random(device.sub_seed ^ _JITTER_SALT)
-    factor = 1.0 + JITTER * (2.0 * rng.random() - 1.0)
+    factor = 1.0 + JITTER * (2.0 * jitter_unit(device.sub_seed) - 1.0)
     system *= factor
     buggy_power *= factor
     if not (system > 0.0 and system < float("inf")):
@@ -724,9 +772,17 @@ def fast_summary(device, mitigation, table, minutes):
 
 # -- shard replay --------------------------------------------------------------
 
-#: Fallback reasons already warned about by this process (structured,
-#: one line per distinct reason; every occurrence is still counted).
+#: Fallback reasons already warned about (structured, one line per
+#: distinct reason; every occurrence is still counted). Scoped per
+#: *run*, not per process: :class:`repro.fleet.shard.FleetRunner` calls
+#: :func:`reset_fallback_warnings` at construction so a second run in
+#: the same process warns again instead of staying silent.
 _LOGGED_FALLBACKS = set()
+
+
+def reset_fallback_warnings():
+    """Clear the warn-once dedup set (start of a new fleet run)."""
+    _LOGGED_FALLBACKS.clear()
 
 
 def _log_fallback_once(reason, device_index):
@@ -744,10 +800,11 @@ def _log_fallback_once(reason, device_index):
 class _BatchFold:
     """Order-preserving batched stand-in for ``FleetStats`` folding.
 
-    Collects observations per metric, then flushes through
-    ``observe_many`` -- bit-identical to per-device ``observe`` calls
-    (same per-metric value sequence), with the batch accumulators'
-    tighter loops and the numpy histogram path doing the counting.
+    Collects observations per metric across the whole shard, then
+    flushes each metric through ``observe_many`` exactly once -- the
+    same one-batch-per-metric-per-shard fold the vector engine
+    performs, so fast and vector shard stats stay bit-identical (see
+    the batch-fold contract in :mod:`repro.fleet.stats`).
     """
 
     def __init__(self):

@@ -234,3 +234,171 @@ class PopulationSpec:
         """Yield DeviceSpecs for a device-index range."""
         for index in range(start, stop):
             yield self.device(index)
+
+    def sample_columns(self, start, stop):
+        """Batch-sample ``[start, stop)`` into :class:`DeviceColumns`.
+
+        Draw-for-draw identical to :meth:`device` -- same sub-seed
+        derivation, same ``random.Random`` call sequence -- but emits
+        struct-of-arrays columns instead of one frozen dataclass per
+        device, and records chaos arming as a boolean instead of
+        sampling the (expensive) fault-plan JSON.  Devices whose
+        ``has_fault`` flag is set must be materialised through
+        :meth:`device` when the plan itself is needed; the vector
+        engine only needs to know they exist so it can route them to
+        the scalar fallback.
+        """
+        if not 0 <= start <= stop <= self.devices:
+            raise IndexError("range [{}, {}) out of population".format(
+                start, stop))
+        columns = DeviceColumns()
+        # The loop below is the vector engine's per-device floor, so
+        # every draw is inlined: ``choice``/``randint`` reduce to
+        # ``_randbelow`` (rejection-sampled ``getrandbits``, the
+        # documented CPython algorithm ``device()`` already relies on
+        # for cross-version stability) and ``uniform(a, b)`` is
+        # literally ``a + (b - a) * random()``. The column parity test
+        # (sample_columns == device, thousands of devices) pins the
+        # draw-for-draw equivalence.
+        profiles = list(self.profiles)
+        buggy_pool = list(self.buggy_pool)
+        normal_pool = list(NORMAL_ARCHETYPES)
+        n_prof, k_prof = len(profiles), len(profiles).bit_length()
+        n_bug, k_bug = len(buggy_pool), len(buggy_pool).bit_length()
+        n_norm, k_norm = len(normal_pool), len(normal_pool).bit_length()
+        # uniform(a, b) is a + (b - a) * random(); the spans are
+        # precomputed with the same subtraction so the products are
+        # bit-identical (0.98 - 0.55 is not the literal 0.43).
+        gps_span = 0.98 - 0.55
+        batt_span = 1.0 - 0.5
+        sess_span = 600.0 - 120.0
+        touch_span = 45.0 - 6.0
+        prevalence = self.buggy_prevalence
+        chaos = self.chaos_rate
+        seed = self.seed
+        min_apps = self.min_apps
+        app_width = self.max_apps - self.min_apps + 1
+        k_apps = app_width.bit_length()
+        movement_pool = (0.0, 0.0, 0.8, 1.4)
+        network_pool = ("wifi", "wifi", "cellular")
+        sha256 = hashlib.sha256
+        from_bytes = int.from_bytes
+        fromkeys = dict.fromkeys
+        rng = random.Random()
+        reseed = rng.seed
+        grb = rng.getrandbits
+        uniform = rng.random
+        ap_index = columns.index.append
+        ap_sub_seed = columns.sub_seed.append
+        ap_profile = columns.profile.append
+        ap_normal = columns.normal_apps.append
+        ap_buggy = columns.buggy_apps.append
+        ap_gps = columns.gps_quality.append
+        ap_move = columns.movement_mps.append
+        ap_net = columns.network_kind.append
+        ap_batt = columns.battery_level.append
+        ap_sess_n = columns.session_count.append
+        ap_sess_s = columns.session_s.append
+        ap_touch = columns.touch_interval_s.append
+        ap_fault = columns.has_fault.append
+        for index in range(start, stop):
+            sub_seed = from_bytes(
+                sha256(b"%d:%d" % (seed, index)).digest()[:8], "big")
+            reseed(sub_seed)
+            r = grb(k_prof)
+            while r >= n_prof:
+                r = grb(k_prof)
+            profile = profiles[r]
+            r = grb(k_apps)
+            while r >= app_width:
+                r = grb(k_apps)
+            slots = min_apps + r
+            normal, buggy = [], []
+            for __ in range(slots):
+                if n_bug and uniform() < prevalence:
+                    r = grb(k_bug)
+                    while r >= n_bug:
+                        r = grb(k_bug)
+                    buggy.append(buggy_pool[r])
+                else:
+                    r = grb(k_norm)
+                    while r >= n_norm:
+                        r = grb(k_norm)
+                    normal.append(normal_pool[r])
+            has_fault = bool(chaos > 0 and uniform() < chaos)
+            ap_index(index)
+            ap_sub_seed(sub_seed)
+            ap_profile(profile)
+            ap_normal(tuple(fromkeys(normal)))
+            ap_buggy(tuple(fromkeys(buggy)))
+            # gps/battery never feed the columnar composition, so
+            # device()'s rounding is applied lazily in spec().
+            ap_gps(0.55 + gps_span * uniform())
+            r = grb(3)
+            while r >= 4:
+                r = grb(3)
+            ap_move(movement_pool[r])
+            r = grb(2)
+            while r >= 3:
+                r = grb(2)
+            ap_net(network_pool[r])
+            ap_batt(0.5 + batt_span * uniform())
+            r = grb(2)
+            while r >= 3:
+                r = grb(2)
+            ap_sess_n(1 + r)
+            ap_sess_s(round(120.0 + sess_span * uniform(), 1))
+            ap_touch(round(6.0 + touch_span * uniform(), 1))
+            ap_fault(has_fault)
+        return columns
+
+
+class DeviceColumns:
+    """Struct-of-arrays view of a sampled device range.
+
+    Parallel lists, one row per device, in device-index order.  This is
+    the input format of the vector engine (:mod:`repro.fleet.vector`):
+    scalar columns become numpy arrays, app tuples key equivalence
+    classes.  ``has_fault`` stands in for ``fault_plan_json`` -- the
+    plan is only sampled when a device actually falls back to the
+    kernel path.
+    """
+
+    __slots__ = (
+        "index", "sub_seed", "profile", "normal_apps", "buggy_apps",
+        "gps_quality", "movement_mps", "network_kind", "battery_level",
+        "session_count", "session_s", "touch_interval_s", "has_fault",
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, [])
+
+    def __len__(self):
+        return len(self.index)
+
+    def spec(self, row, population):
+        """Materialise row ``row`` as a :class:`DeviceSpec`.
+
+        Fault-armed rows delegate to :meth:`PopulationSpec.device` (the
+        plan JSON must come from the canonical sampler); everything
+        else is rebuilt directly from the columns, which hold exactly
+        the values ``device()`` would have drawn.
+        """
+        if self.has_fault[row]:
+            return population.device(self.index[row])
+        return DeviceSpec(
+            index=self.index[row],
+            sub_seed=self.sub_seed[row],
+            profile=self.profile[row],
+            normal_apps=self.normal_apps[row],
+            buggy_apps=self.buggy_apps[row],
+            gps_quality=round(self.gps_quality[row], 3),
+            movement_mps=self.movement_mps[row],
+            network_kind=self.network_kind[row],
+            battery_level=round(self.battery_level[row], 3),
+            session_count=self.session_count[row],
+            session_s=self.session_s[row],
+            touch_interval_s=self.touch_interval_s[row],
+            fault_plan_json="",
+        )

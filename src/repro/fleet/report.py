@@ -173,4 +173,21 @@ def render(report):
             for m in population["mitigations"])
         lines.append("chaos: rate {:.0%}, {} faults applied fleet-wide"
                      .format(chaos, total_faults))
+    # Executor provenance: which engine composed the device-days. The
+    # counters are per-mitigation device-days, summed fleet-wide here.
+    fast_days = sum(
+        report["mitigations"][m]["counters"].get("fastpath_devices", 0)
+        for m in population["mitigations"])
+    if fast_days:
+        vector_days = sum(
+            report["mitigations"][m]["counters"].get("vector_devices", 0)
+            for m in population["mitigations"])
+        fallbacks = sum(
+            report["mitigations"][m]["counters"].get(
+                "fastpath_fallbacks", 0)
+            for m in population["mitigations"])
+        lines.append(
+            "executor: {} table-replayed device-day(s) ({} columnar-"
+            "composed), {} kernel fallback(s)".format(
+                fast_days, vector_days, fallbacks))
     return "\n".join(lines)

@@ -39,9 +39,16 @@ MAX_CRASH_RECORDS = 20
 
 # -- one device-day -----------------------------------------------------------
 
-#: Distinct device-crash reasons already logged by this process; a
-#: 10k-device shard with one systematic bug logs one line, not 10k.
+#: Distinct device-crash reasons already logged; a 10k-device shard
+#: with one systematic bug logs one line, not 10k. Scoped per *run*:
+#: :class:`FleetRunner` clears it (and the fast path's fallback twin)
+#: at construction, so a second run in the same process warns again.
 _LOGGED_CRASH_REASONS = set()
+
+
+def reset_crash_warnings():
+    """Clear the warn-once dedup set (start of a new fleet run)."""
+    _LOGGED_CRASH_REASONS.clear()
 
 
 def _log_device_crash_once(index, mitigation, reason):
@@ -199,24 +206,34 @@ def run_shard(population_json, start, stop, mode="kernel",
     ``mode="fast"`` replays the shard from the transition table in
     ``table_json`` (:mod:`repro.fleet.fastpath`) instead of running the
     event kernel, falling back to the kernel per device where the
-    table cannot be trusted. The extra kwargs also mean fast and
-    kernel shard results can never collide in the grid's
-    content-addressed cache: a kernel dispatch omits them entirely, so
-    its cache keys are byte-identical to what they always were.
+    table cannot be trusted; ``mode="vector"`` composes the whole
+    shard columnar over the same table
+    (:mod:`repro.fleet.vector`), same per-device fallback rules. The
+    extra kwargs also mean table-replayed shard results can never
+    collide with kernel ones in the grid's content-addressed cache
+    (and ``mode`` separates fast from vector): a kernel dispatch omits
+    them entirely, so its cache keys are byte-identical to what they
+    always were.
     """
     population = PopulationSpec.from_json(population_json)
-    if mode == "fast":
+    if mode in ("fast", "vector"):
         from repro.fleet.fastpath import TransitionTable, replay_shard
 
         table = TransitionTable.from_json(table_json)
-        per_mitigation, crashes = replay_shard(
-            population, start, stop, table)
+        if mode == "vector":
+            from repro.fleet.vector import replay_shard_vector
+
+            per_mitigation, crashes = replay_shard_vector(
+                population, start, stop, table)
+        else:
+            per_mitigation, crashes = replay_shard(
+                population, start, stop, table)
         return {
             "schema": CHECKPOINT_SCHEMA,
             "population": population.fingerprint(),
             "start": start,
             "stop": stop,
-            "mode": "fast",
+            "mode": mode,
             "table": table.fingerprint(),
             "stats": {name: stats.to_dict()
                       for name, stats in sorted(per_mitigation.items())},
@@ -266,30 +283,44 @@ class FleetRunner:
 
     ``mode`` selects the device-day executor: ``"kernel"`` (the full
     event loop), ``"fast"`` (transition-table replay,
-    :mod:`repro.fleet.fastpath`, with per-device kernel fallback), or
-    ``"auto"`` (fast at or above
-    :data:`~repro.fleet.fastpath.AUTO_MIN_DEVICES` devices, kernel
-    below -- the table build only amortises over enough device-days).
+    :mod:`repro.fleet.fastpath`, with per-device kernel fallback),
+    ``"vector"`` (whole-shard columnar composition over the same
+    table, :mod:`repro.fleet.vector`, same fallback rules), or
+    ``"auto"`` (table-driven at or above
+    :data:`~repro.fleet.fastpath.AUTO_MIN_DEVICES` devices -- vector
+    when numpy is importable, fast otherwise -- kernel below: the
+    table build only amortises over enough device-days).
     """
 
     def __init__(self, population, runner=None, checkpoint_dir=None,
                  verbose=False, mode="kernel"):
-        if mode not in ("kernel", "fast", "auto"):
+        if mode not in ("kernel", "fast", "vector", "auto"):
             raise ValueError("unknown fleet mode {!r}".format(mode))
+        # New run: re-arm the warn-once logs so this run's first
+        # fallback/crash of each kind is reported again (satellite of
+        # the vector-engine PR; see reset_crash_warnings).
+        from repro.fleet.fastpath import reset_fallback_warnings
+
+        reset_crash_warnings()
+        reset_fallback_warnings()
         self.population = population
         self.runner = runner if runner is not None else GridRunner()
         self.requested_mode = mode
         if mode == "auto":
             from repro.fleet.fastpath import AUTO_MIN_DEVICES
+            from repro.fleet.stats import _numpy
 
-            mode = "fast" if population.devices >= AUTO_MIN_DEVICES \
-                else "kernel"
+            if population.devices < AUTO_MIN_DEVICES:
+                mode = "kernel"
+            else:
+                mode = "vector" if _numpy() is not None else "fast"
         self.mode = mode
         if checkpoint_dir is None:
+            suffix = {"fast": "-fast", "vector": "-vector"}.get(
+                self.mode, "")
             checkpoint_dir = os.path.join(
                 DEFAULT_CHECKPOINT_ROOT,
-                population.fingerprint()[:12]
-                + ("-fast" if self.mode == "fast" else ""))
+                population.fingerprint()[:12] + suffix)
         self.checkpoint_dir = checkpoint_dir
         self.verbose = verbose
         #: Lazily built transition table (fast mode only): JSON payload
@@ -341,7 +372,7 @@ class FleetRunner:
                 or (summary.get("start"), summary.get("stop"))
                 != (start, stop)
                 or summary.get("mode", "kernel") != self.mode
-                or (self.mode == "fast"
+                or (self.mode in ("fast", "vector")
                     and self.table_fingerprint is not None
                     and summary.get("table")
                     != self.table_fingerprint)):
@@ -412,7 +443,8 @@ class FleetRunner:
         must not publish partial state) and their indices land in
         ``quarantined_shards``. Returns the number of shards executed.
         """
-        table_json = self._ensure_table() if self.mode == "fast" else None
+        table_json = self._ensure_table() \
+            if self.mode in ("fast", "vector") else None
         pending = self.pending_shards()
         self.shards_resumed += self.population.shard_count - len(pending)
         if limit is not None:
@@ -429,13 +461,14 @@ class FleetRunner:
             specs, labels = [], []
             for shard_index in batch:
                 start, stop = self.population.shard_range(shard_index)
-                if self.mode == "fast":
-                    # The extra kwargs separate fast shard results from
-                    # kernel ones in the grid cache; a kernel dispatch
-                    # omits them so its cache keys never change.
+                if self.mode in ("fast", "vector"):
+                    # The extra kwargs separate table-replayed shard
+                    # results from kernel ones (and fast from vector)
+                    # in the grid cache; a kernel dispatch omits them
+                    # so its cache keys never change.
                     specs.append(FuncSpec.make(
                         run_shard, population_json=population_json,
-                        start=start, stop=stop, mode="fast",
+                        start=start, stop=stop, mode=self.mode,
                         table_json=table_json))
                 else:
                     specs.append(FuncSpec.make(
@@ -511,7 +544,7 @@ class FleetRunner:
             "checkpoints_rejected": self.checkpoints_rejected,
             "shards_quarantined": self.shards_quarantined,
         }
-        if self.mode == "fast":
+        if self.mode in ("fast", "vector"):
             summary["table_fingerprint"] = self.table_fingerprint or ""
         return summary
 

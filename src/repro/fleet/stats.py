@@ -26,6 +26,17 @@ Merge guarantees (relied on by checkpoint/resume -- see docs/fleet.md):
   uninterrupted run and the final report is byte-identical.
 - serialisation is lossless: Python's JSON float round-trip is exact,
   so ``from_dict(to_dict(x))`` reproduces ``x`` bit-for-bit.
+
+Batch folds (``add_many`` / ``observe_many``) are *batch-merge* folds,
+not replays of the per-value loop: the batch is summarised with a
+fixed pairwise halving tree (sums for :class:`Moments`, weighted-mean
+sketch points for :class:`QuantileDigest`) and merged into the current
+state exactly as a shard merge would be. The tree shape depends only
+on the batch length, so the result is deterministic, bit-identical
+between the numpy and pure-python backends, and -- because the table
+paths fold exactly one batch per metric per shard -- byte-stable
+across resume for the same shard boundaries. The kernel path folds
+per value (``add``/``observe``) and is untouched by batching.
 """
 
 import math
@@ -56,6 +67,45 @@ def _numpy():
     return numpy
 
 
+def numpy_backend():
+    """Public alias for :func:`_numpy`: the numpy module the fleet's
+    batched paths (stats accumulators, the vector engine) will use, or
+    ``None`` when numpy is absent or disabled via
+    ``REPRO_FASTPATH_NUMPY=0``. Mode selection (``repro fleet --mode
+    auto``) and tests key off this single gate so every layer degrades
+    together."""
+    return _numpy()
+
+
+def _tree_sum_pure(values):
+    """Pairwise-halving sum of a non-empty list of floats.
+
+    Adjacent pairs are added, an odd tail is carried to the end of the
+    next level, and the process repeats until one value remains. The
+    tree shape is a function of ``len(values)`` alone, so the float-op
+    sequence -- and therefore the result, bit for bit -- matches
+    :func:`_tree_sum_numpy` on the same values.
+    """
+    while len(values) > 1:
+        nxt = [a + b for a, b in zip(values[0::2], values[1::2])]
+        if len(values) % 2:
+            nxt.append(values[-1])
+        values = nxt
+    return values[0]
+
+
+def _tree_sum_numpy(arr, np):
+    """Numpy twin of :func:`_tree_sum_pure`: same halving tree, same
+    odd-tail carry, elementwise float64 adds -- bit-identical result."""
+    while arr.shape[0] > 1:
+        if arr.shape[0] % 2:
+            tail = arr[-1:]
+            arr = np.concatenate([arr[0:-1:2] + arr[1::2], tail])
+        else:
+            arr = arr[0::2] + arr[1::2]
+    return float(arr[0])
+
+
 class Moments:
     """Streaming count/mean/M2 with exact-merge bookkeeping."""
 
@@ -79,25 +129,37 @@ class Moments:
         self.max = value if self.max is None else max(self.max, value)
 
     def add_many(self, values):
-        """Fold a batch; bit-identical to calling :meth:`add` per value.
+        """Batch-merge fold: summarise the batch, Chan-merge it in.
 
-        The Welford recurrence is inherently sequential (each update
-        reads the previous mean), so the win here is keeping the state
-        in locals instead of attribute round-trips -- the float op
-        sequence is exactly the one ``add`` performs.
+        The per-value Welford recurrence is inherently sequential, so
+        the batch is instead summarised with a pairwise halving tree
+        (sum for the mean, sum of squared deviations for M2 -- both
+        exact elementwise float64 ops with a length-determined tree
+        shape) and merged like a shard. The numpy and pure paths
+        produce bit-identical state; which one runs is a speed choice
+        only.
         """
-        count, mean, m2 = self.count, self.mean, self.m2
-        lo, hi = self.min, self.max
-        for value in values:
-            value = float(value)
-            count += 1
-            delta = value - mean
-            mean += delta / count
-            m2 += delta * (value - mean)
-            lo = value if lo is None else min(lo, value)
-            hi = value if hi is None else max(hi, value)
-        self.count, self.mean, self.m2 = count, mean, m2
-        self.min, self.max = lo, hi
+        n = len(values)
+        if n == 0:
+            return
+        np = _numpy() if n >= _NUMPY_BATCH_MIN else None
+        if np is not None:
+            arr = np.asarray(values, dtype=np.float64)
+            lo = float(arr.min())
+            hi = float(arr.max())
+            mean = _tree_sum_numpy(arr, np) / n
+            delta = arr - mean
+            m2 = _tree_sum_numpy(delta * delta, np)
+        else:
+            vals = [float(value) for value in values]
+            lo = min(vals)
+            hi = max(vals)
+            mean = _tree_sum_pure(vals) / n
+            m2 = _tree_sum_pure(
+                [(value - mean) * (value - mean) for value in vals])
+        merged = self.merge(Moments(n, mean, m2, lo, hi))
+        self.count, self.mean, self.m2 = merged.count, merged.mean, merged.m2
+        self.min, self.max = merged.min, merged.max
 
     @property
     def variance(self):
@@ -258,16 +320,49 @@ class QuantileDigest:
             self._compact()
 
     def add_many(self, values):
-        """Append a batch; compaction fires at the same points as
-        per-value :meth:`add` calls would, so the digest state is
-        bit-identical to the sequential path."""
-        entries = self.entries
-        threshold = 2 * self.capacity
-        for value in values:
-            entries.append((float(value), 1.0))
-            if len(entries) > threshold:
-                self._compact()
-                entries = self.entries
+        """Batch-merge fold: sketch the batch, merge it in.
+
+        The batch is sorted and pairwise-halved down to ``capacity``
+        weighted points -- the same adjacent-pair weighted-mean step
+        :meth:`_compact` uses, with the same odd-tail carry -- then
+        folded into the digest exactly as :meth:`merge` would fold
+        another digest. Sorting, pairing and weighted means are exact
+        elementwise float64 ops over a length-determined tree, so the
+        numpy and pure paths produce bit-identical entries.
+        """
+        n = len(values)
+        if n == 0:
+            return
+        np = _numpy() if n >= _NUMPY_BATCH_MIN else None
+        capacity = self.capacity
+        if np is not None:
+            vals = np.sort(np.asarray(values, dtype=np.float64))
+            weights = np.ones(n, dtype=np.float64)
+            while vals.shape[0] > capacity:
+                odd = vals.shape[0] % 2
+                stop = vals.shape[0] - odd or None
+                wsum = weights[0:stop:2] + weights[1::2]
+                pair = (vals[0:stop:2] * weights[0:stop:2]
+                        + vals[1::2] * weights[1::2]) / wsum
+                if odd:
+                    pair = np.concatenate([pair, vals[-1:]])
+                    wsum = np.concatenate([wsum, weights[-1:]])
+                vals, weights = pair, wsum
+            batch = list(zip(vals.tolist(), weights.tolist()))
+        else:
+            batch = [(float(value), 1.0) for value in values]
+            batch.sort()
+            while len(batch) > capacity:
+                combined = [
+                    ((v1 * w1 + v2 * w2) / (w1 + w2), w1 + w2)
+                    for (v1, w1), (v2, w2) in zip(batch[0::2], batch[1::2])
+                ]
+                if len(batch) % 2:
+                    combined.append(batch[-1])
+                batch = combined
+        self.entries = sorted(self.entries + batch)
+        if len(self.entries) > 2 * capacity:
+            self._compact()
 
     def _compact(self):
         self.entries.sort()
@@ -351,6 +446,11 @@ class MetricSummary:
         self.digest.add(value)
 
     def add_many(self, values):
+        np = _numpy() if len(values) >= _NUMPY_BATCH_MIN else None
+        if np is not None:
+            # One list->array conversion shared by all three
+            # accumulators (asarray on an ndarray is a no-copy pass).
+            values = np.asarray(values, dtype=np.float64)
         self.moments.add_many(values)
         self.histogram.add_many(values)
         self.digest.add_many(values)
@@ -399,14 +499,17 @@ class FleetStats:
         self.metrics[name].add(value)
 
     def observe_many(self, name, values):
-        """Fold a batch of observations; bit-identical to observing
-        them one by one (the fast path's shard fold uses this).
+        """Fold one batch of observations via the accumulators'
+        batch-merge folds (see the module docstring); the table paths
+        call this exactly once per metric per shard, which is what
+        makes their reports byte-stable across resume. Accepts a list
+        or a 1-D numpy array.
 
         An empty batch is a no-op -- it must not create the metric,
         or a shard that never saw it would merge differently from one
         that observed nothing.
         """
-        if not values:
+        if len(values) == 0:
             return
         if name not in self.metrics:
             self.metrics[name] = MetricSummary(name)

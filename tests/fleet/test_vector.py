@@ -1,0 +1,312 @@
+"""Columnar vector engine: sampling parity, bitwise replay, fallbacks.
+
+The contract under test is strong: for every device the columnar
+composition must be *bit-identical* to the scalar fast path (same
+IEEE-754 op sequence), the pure-python backend must match the numpy
+backend byte for byte, and every fallback tier (fault plans, missing
+probes, non-finite compositions) must route through the kernel with
+the scalar path's exact reason strings and counters.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.grid import GridRunner
+from repro.fleet import fastpath
+from repro.fleet.fastpath import (
+    JITTER,
+    build_table,
+    jitter_unit,
+    replay_shard,
+)
+from repro.fleet.population import PopulationSpec
+from repro.fleet.shard import FleetRunner
+from repro.fleet.stats import FleetStats, numpy_backend
+from repro.fleet.vector import (
+    _jitter_factors,
+    _ShardClasses,
+    compose_shard,
+    cross_validate,
+    replay_shard_vector,
+)
+
+#: Small-but-real mixed population; its table is built once through a
+#: module-scoped cached grid runner (the test_fastpath idiom).
+POP = PopulationSpec(seed=31, devices=10, shard_size=4, minutes=2.0,
+                     mitigations=("vanilla", "leaseos"))
+
+#: Same law, every device carrying an armed fault plan.
+CHAOS = PopulationSpec(seed=31, devices=3, shard_size=3, minutes=2.0,
+                       mitigations=("vanilla", "leaseos"),
+                       chaos_rate=1.0)
+
+#: All-buggy devices: exercises the foreground (no-normal-apps)
+#: composition branch.
+FG = PopulationSpec(seed=31, devices=4, shard_size=4, minutes=2.0,
+                    mitigations=("vanilla", "leaseos"),
+                    buggy_prevalence=1.0)
+
+
+@pytest.fixture(scope="module")
+def grid(tmp_path_factory):
+    return GridRunner(jobs=1,
+                      cache=str(tmp_path_factory.mktemp("grid-cache")))
+
+
+@pytest.fixture(scope="module")
+def table(grid):
+    return build_table(POP, runner=grid)
+
+
+@pytest.fixture(scope="module")
+def fg_table(grid):
+    return build_table(FG, runner=grid)
+
+
+def _stats_dicts(stats, drop_vector_counter=False):
+    out = {}
+    for name, fold in stats.items():
+        data = fold.to_dict()
+        if drop_vector_counter:
+            data["counters"].pop("vector_devices", None)
+        out[name] = data
+    return json.dumps(out, sort_keys=True)
+
+
+def _assert_bitwise_match(population, table, start=None, stop=None):
+    """Fast and vector replays agree byte-for-byte on a range."""
+    if start is None:
+        start, stop = 0, population.devices
+    fastpath.reset_fallback_warnings()
+    fast_stats, fast_crashes = replay_shard(population, start, stop,
+                                            table)
+    fastpath.reset_fallback_warnings()
+    vec_stats, vec_crashes = replay_shard_vector(population, start,
+                                                 stop, table)
+    assert _stats_dicts(fast_stats) == _stats_dicts(
+        vec_stats, drop_vector_counter=True)
+    assert fast_crashes == vec_crashes
+    return vec_stats
+
+
+# -- batched sampling ----------------------------------------------------------
+
+def test_sample_columns_matches_device_exactly():
+    for population in (POP, CHAOS, FG):
+        columns = population.sample_columns(0, population.devices)
+        assert len(columns) == population.devices
+        for row in range(population.devices):
+            assert columns.spec(row, population) \
+                == population.device(row)
+
+
+def test_sample_columns_records_fault_arming_without_plans():
+    columns = CHAOS.sample_columns(0, CHAOS.devices)
+    assert all(columns.has_fault)
+    # The plan JSON itself is only sampled on materialisation.
+    spec = columns.spec(0, CHAOS)
+    assert spec.fault_plan_json
+
+
+def test_jitter_factors_bitwise_across_backends():
+    np = numpy_backend()
+    columns = POP.sample_columns(0, POP.devices)
+    rows = list(range(len(columns)))
+    pure = _jitter_factors(columns, rows, np=None)
+    expected = [1.0 + JITTER
+                * (2.0 * jitter_unit(columns.sub_seed[row]) - 1.0)
+                for row in rows]
+    assert pure == expected
+    if np is not None:
+        vec = _jitter_factors(columns, rows, np=np)
+        assert [float(v) for v in vec] == expected
+
+
+# -- bitwise replay equivalence ------------------------------------------------
+
+def test_vector_replay_matches_fast_bitwise(table):
+    vec_stats = _assert_bitwise_match(POP, table)
+    for name in POP.mitigations:
+        counters = vec_stats[name].counters
+        assert counters["vector_devices"] == POP.devices
+        assert counters.get("fastpath_fallbacks", 0) == 0
+
+
+def test_all_buggy_population_composes_columnar(fg_table):
+    vec_stats = _assert_bitwise_match(FG, fg_table)
+    for name in FG.mitigations:
+        assert vec_stats[name].counters["vector_devices"] == FG.devices
+
+
+def test_pure_python_backend_is_byte_identical(table, monkeypatch):
+    fastpath.reset_fallback_warnings()
+    with_numpy, __ = replay_shard_vector(POP, 0, POP.devices, table)
+    monkeypatch.setenv("REPRO_FASTPATH_NUMPY", "0")
+    fastpath.reset_fallback_warnings()
+    pure, __ = replay_shard_vector(POP, 0, POP.devices, table)
+    assert _stats_dicts(with_numpy) == _stats_dicts(pure)
+    monkeypatch.delenv("REPRO_FASTPATH_NUMPY")
+    _assert_bitwise_match(POP, table)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_any_shard_range_replays_identically(table, data):
+    start = data.draw(st.integers(0, POP.devices - 1))
+    stop = data.draw(st.integers(start + 1, POP.devices))
+    _assert_bitwise_match(POP, table, start, stop)
+
+
+# -- fallback tiers ------------------------------------------------------------
+
+def test_fault_plans_route_every_device_to_kernel(table, capsys):
+    fastpath.reset_fallback_warnings()
+    vec_stats, __ = replay_shard_vector(CHAOS, 0, CHAOS.devices, table)
+    for name in CHAOS.mitigations:
+        counters = vec_stats[name].counters
+        assert counters["vector_devices"] == 0
+        assert counters["fastpath_fallbacks"] == CHAOS.devices
+    err = capsys.readouterr().err
+    assert err.count("fault-plan-armed") == 1  # warned once, not 3x
+    replay_shard_vector(CHAOS, 0, CHAOS.devices, table)
+    assert "fault-plan-armed" not in capsys.readouterr().err
+    fastpath.reset_fallback_warnings()
+    replay_shard_vector(CHAOS, 0, CHAOS.devices, table)
+    assert capsys.readouterr().err.count("fault-plan-armed") == 1
+
+
+def test_chaos_replay_still_matches_fast_bitwise(table):
+    _assert_bitwise_match(CHAOS, table)
+
+
+def test_missing_probes_fall_back_per_device(table):
+    # Cripple the table: every probe of device 0's first normal app
+    # disappears, so exactly the devices carrying that app fall back
+    # (with the guard's missing-probe reason) while the rest stay
+    # columnar -- and the stats still match the fast path bitwise.
+    crippled = fastpath.TransitionTable.from_json(table.to_json())
+    victim = POP.device(0).normal_apps[0]
+    dropped = [key for key in crippled.entries
+               if key.startswith("normal|{}|".format(victim))]
+    assert dropped
+    for key in dropped:
+        del crippled.entries[key]
+    vec_stats = _assert_bitwise_match(POP, crippled)
+    carriers = sum(1 for index in range(POP.devices)
+                   if victim in POP.device(index).normal_apps)
+    for name in POP.mitigations:
+        counters = vec_stats[name].counters
+        assert counters["fastpath_fallbacks"] == carriers
+        assert counters["vector_devices"] == POP.devices - carriers
+    assert 0 < carriers < POP.devices
+
+
+def test_compose_shard_reports_fallback_reasons(table):
+    columns = CHAOS.sample_columns(0, CHAOS.devices)
+    classes = _ShardClasses(table, CHAOS.mitigations)
+    comp = compose_shard(CHAOS, columns, classes, np=numpy_backend())
+    assert comp.vector_rows == []
+    assert set(comp.fallback.values()) == {"fault-plan-armed"}
+
+
+# -- cross-validation ----------------------------------------------------------
+
+def test_cross_validate_is_exact_and_deterministic(grid):
+    first = cross_validate(POP, n=3, runner=grid)
+    assert first["kind"] == "vector_cross_validation"
+    assert first["pass"], first["violations"]
+    assert first["device_days_compared"] > 0
+    # The columnar composition is designed bit-identical, and this is
+    # where that claim is enforced: zero delta, not merely in-band.
+    for entry in first["metrics"].values():
+        assert entry["max_abs_delta"] == 0.0
+        assert entry["mean_abs_delta"] == 0.0
+    second = cross_validate(POP, n=3, runner=grid)
+    assert json.dumps(first, sort_keys=True) \
+        == json.dumps(second, sort_keys=True)
+
+
+def test_cross_validate_pure_backend(grid, monkeypatch):
+    monkeypatch.setenv("REPRO_FASTPATH_NUMPY", "0")
+    result = cross_validate(POP, n=2, runner=grid)
+    assert result["backend"] == "python"
+    assert result["pass"], result["violations"]
+    for entry in result["metrics"].values():
+        assert entry["max_abs_delta"] == 0.0
+
+
+# -- batch folds ---------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=200))
+def test_batch_fold_backends_bitwise(values):
+    import os
+
+    a = FleetStats()
+    a.observe_many("metric", values)
+    previous = os.environ.get("REPRO_FASTPATH_NUMPY")
+    os.environ["REPRO_FASTPATH_NUMPY"] = "0"
+    try:
+        b = FleetStats()
+        b.observe_many("metric", values)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_FASTPATH_NUMPY"]
+        else:
+            os.environ["REPRO_FASTPATH_NUMPY"] = previous
+    assert json.dumps(a.to_dict(), sort_keys=True) \
+        == json.dumps(b.to_dict(), sort_keys=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_batch_fold_split_merge_is_consistent(data):
+    values = data.draw(st.lists(
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=2, max_size=120))
+    cut = data.draw(st.integers(1, len(values) - 1))
+    whole = FleetStats()
+    whole.observe_many("metric", values)
+    left = FleetStats()
+    left.observe_many("metric", values[:cut])
+    right = FleetStats()
+    right.observe_many("metric", values[cut:])
+    combined = left.merge(right)
+    wm = whole.metrics["metric"].moments
+    lm = combined.metrics["metric"].moments
+    # Shard boundaries are part of the frozen fold contract, so the
+    # split is not bitwise -- but count/min/max are exact and the
+    # merged moments agree to float rounding.
+    assert (lm.count, lm.min, lm.max) == (wm.count, wm.min, wm.max)
+    assert lm.mean == pytest.approx(wm.mean, rel=1e-9, abs=1e-9)
+    assert lm.m2 == pytest.approx(wm.m2, rel=1e-6, abs=1e-6)
+
+
+# -- runner integration --------------------------------------------------------
+
+def test_runner_vector_mode_checkpoints_and_resumes(grid, table,
+                                                    tmp_path):
+    ck = str(tmp_path / "fleet-vector")
+    runner = FleetRunner(POP, runner=grid, mode="vector",
+                         checkpoint_dir=ck)
+    merged = runner.run()
+    first = _stats_dicts(merged)
+    summary = runner.run_summary()
+    assert summary["mode"] == "vector"
+    assert summary["shards_resumed"] == 0
+    # A fresh runner over the same spec resumes every shard from disk
+    # and merges to the byte-identical result.
+    resumed = FleetRunner(POP, runner=grid, mode="vector",
+                          checkpoint_dir=ck)
+    again = resumed.run()
+    assert _stats_dicts(again) == first
+    assert resumed.run_summary()["shards_resumed"] \
+        == POP.shard_count
+    for name in POP.mitigations:
+        assert merged[name].counters["vector_devices"] == POP.devices

@@ -139,7 +139,7 @@ def test_golden_fleet_report(tmp_path):
                          checkpoint_dir=str(tmp_path / "ck"))
     text = report_json(build_report(population, runner.run()))
     assert _digest(text) == (
-        "b1899f6868d7d5e44c2e87ff68a9a39f92886019909a4ecb50e5d368878f28bc")
+        "405ea6b7a807213228d2a18fe2549145ddcdc5c0424e8e5fbb72dd2c826f124d")
 
 
 def test_golden_chaos_case_fingerprint():
