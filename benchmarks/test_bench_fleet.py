@@ -81,6 +81,31 @@ def test_bench_fleet(results_path, artifact_writer, tmp_path):
     full = len(json.dumps(run_shard(population.to_json(), 0, SHARD_SIZE)))
     summary_ratio = full / one
 
+    # Telemetry overhead: the same shard with the event stream on vs
+    # off, paired and min-of-N so scheduler noise cancels. Telemetry
+    # folds one Moments observation per device-day and time-gates its
+    # progress snapshots, so throughput must stay within 3% of the
+    # no-telemetry baseline (the bar in docs/observability.md).
+    from repro.telemetry.emit import ENV_DIR, ENV_FP
+
+    spec_json = population.to_json()
+    run_shard(spec_json, 0, SHARD_SIZE)  # warm the kernel
+    base_times, telem_times = [], []
+    for __ in range(5):
+        start = time.perf_counter()
+        run_shard(spec_json, 0, SHARD_SIZE)
+        base_times.append(time.perf_counter() - start)
+        os.environ[ENV_DIR] = str(tmp_path / "telemetry")
+        os.environ[ENV_FP] = population.fingerprint()[:12]
+        try:
+            start = time.perf_counter()
+            run_shard(spec_json, 0, SHARD_SIZE)
+            telem_times.append(time.perf_counter() - start)
+        finally:
+            del os.environ[ENV_DIR]
+            del os.environ[ENV_FP]
+    telemetry_overhead = min(telem_times) / min(base_times)
+
     # Per-mitigation kernel throughput: where the device-day budget
     # actually goes (a mitigation's bookkeeping shows up here).
     per_mitigation = {}
@@ -110,11 +135,16 @@ def test_bench_fleet(results_path, artifact_writer, tmp_path):
         "shard_summary_bytes_1_device": one,
         "shard_summary_bytes_full_shard": full,
         "shard_summary_size_ratio": round(summary_ratio, 2),
+        "telemetry_shard_s": round(min(telem_times), 3),
+        "no_telemetry_shard_s": round(min(base_times), 3),
+        "telemetry_overhead_ratio": round(telemetry_overhead, 4),
         "cpu_count": os.cpu_count() or 1,
     }
     # A full shard's summary must be the same size class as a 1-device
     # shard's (accumulators, not per-device rows).
     assert summary_ratio < 2.0
+    # Telemetry must stay off the hot path: within 3% of baseline.
+    assert telemetry_overhead < 1.03
     with open(results_path("BENCH_fleet.json"), "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
 

@@ -268,9 +268,18 @@ def _cmd_fleet(args):
         minutes=args.minutes, shard_size=args.shard_size,
         buggy_prevalence=args.prevalence, chaos_rate=args.chaos_rate,
     )
+    telemetry_dir = args.telemetry_dir
+    if telemetry_dir is None and args.telemetry:
+        from repro.telemetry import default_telemetry_dir
+
+        telemetry_dir = default_telemetry_dir(population)
     fleet_runner = FleetRunner(population, runner=_grid_runner(args),
                                checkpoint_dir=args.checkpoint_dir,
-                               verbose=True, mode=args.mode)
+                               verbose=True, mode=args.mode,
+                               telemetry_dir=telemetry_dir)
+    if telemetry_dir is not None:
+        print("[telemetry stream: {}]".format(telemetry_dir),
+              file=sys.stderr)
     if fleet_runner.mode != fleet_runner.requested_mode:
         print("fleet: --mode auto resolved to {} for {} devices"
               .format(fleet_runner.mode, population.devices),
@@ -290,7 +299,11 @@ def _cmd_fleet(args):
     quarantined = set(fleet_runner.quarantined_shards)
     if pending and not quarantined.issuperset(pending):
         # Shards are left beyond any quarantine: --max-shards stopped
-        # the run early, the ordinary resume path.
+        # the run early, the ordinary resume path. The stream stays
+        # deliberately unterminated (no run_finished): a watcher sees
+        # the run as still in flight, which it is.
+        if fleet_runner.telemetry is not None:
+            fleet_runner.telemetry.close()
         return "fleet_partial.txt", (
             "fleet: stopped after {} shard(s) this invocation; {} of {} "
             "still pending.\nRe-run the same command to resume from the "
@@ -381,7 +394,61 @@ def _cmd_fleet(args):
             text += "\nfailure manifest: {}".format(manifest_path)
     path = write_report(report, path=args.report_json)
     print("[fleet report JSON: {}]".format(path), file=sys.stderr)
+    if fleet_runner.telemetry is not None:
+        # Terminal record: the canonical report's sha256 is the
+        # contract `repro watch --check-report` (and the telemetry-
+        # smoke CI job) verifies the aggregated stream against.
+        import hashlib
+
+        from repro.fleet.report import report_json
+
+        fleet_runner.telemetry.run_finished(
+            summary, population.devices, execution,
+            hashlib.sha256(
+                report_json(report).encode("utf-8")).hexdigest(),
+            degraded=report.get("degraded"))
+        fleet_runner.telemetry.close()
     return "fleet.txt", text + "\n\n" + summary_line
+
+
+def _cmd_watch(args):
+    from repro.telemetry import (
+        check_report,
+        follow,
+        load_view,
+        render_snapshot,
+        resolve_run,
+    )
+
+    try:
+        directory = resolve_run(args.run, root=args.telemetry_root)
+    except (FileNotFoundError, ValueError) as exc:
+        args.exit_code = 1
+        return "watch.txt", "watch: {}".format(exc)
+    if args.follow:
+        # Intermediate renders go to stderr; the final snapshot is the
+        # returned artifact (main prints it to stdout once).
+        view = follow(directory, interval=args.interval,
+                      timeout=args.timeout,
+                      render=lambda text: print(
+                          text + "\n", file=sys.stderr))
+        problems = []
+    else:
+        view, problems = load_view(directory)
+    for problem in problems:
+        print("watch: {}".format(problem), file=sys.stderr)
+    if problems:
+        args.exit_code = 1
+    text = render_snapshot(view, directory)
+    if args.check_report:
+        problem = check_report(view, args.check_report)
+        if problem is None:
+            text += ("\ncheck-report: telemetry aggregate agrees with "
+                     "{} to the byte".format(args.check_report))
+        else:
+            text += "\ncheck-report FAILED: {}".format(problem)
+            args.exit_code = 1
+    return "watch.txt", text
 
 
 COMMANDS = {
@@ -418,12 +485,16 @@ COMMANDS = {
     "fleet": (_cmd_fleet,
               "sharded population simulation: thousands of sampled "
               "device-days per mitigation, with checkpoint/resume"),
+    "watch": (_cmd_watch,
+              "aggregate a fleet telemetry stream into a live (or "
+              "final) fleet-level snapshot"),
 }
 
 #: Commands skipped by ``repro all``: chaos has its own seed/exit-code
 #: plumbing and is run by the dedicated CI job instead; fleet is a
-#: population-scale run with its own checkpoint/JSON artifacts.
-EXCLUDE_FROM_ALL = ("chaos", "fleet")
+#: population-scale run with its own checkpoint/JSON artifacts; watch
+#: only observes a stream another run emitted.
+EXCLUDE_FROM_ALL = ("chaos", "fleet", "watch")
 
 
 def build_parser():
@@ -561,6 +632,43 @@ def build_parser():
                                   "per-metric accuracy comparison in "
                                   "the report (non-zero exit on "
                                   "violation)")
+            sub.add_argument("--telemetry", action="store_true",
+                             help="emit a versioned JSONL telemetry "
+                                  "stream under results/.telemetry/"
+                                  "<fingerprint>/ (watch it live with "
+                                  "`repro watch`)")
+            sub.add_argument("--telemetry-dir", metavar="DIR",
+                             default=None,
+                             help="telemetry stream directory (implies "
+                                  "--telemetry)")
+        if name == "watch":
+            sub.add_argument("run", nargs="?", default=None,
+                             help="stream directory or run-fingerprint "
+                                  "prefix (default: the most recent run "
+                                  "under the telemetry root)")
+            sub.add_argument("--snapshot", action="store_true",
+                             help="render one aggregate snapshot and "
+                                  "exit (the default)")
+            sub.add_argument("--follow", action="store_true",
+                             help="re-render until the run finishes")
+            sub.add_argument("--interval", type=float, default=2.0,
+                             metavar="S",
+                             help="--follow refresh interval (default: "
+                                  "2s)")
+            sub.add_argument("--timeout", type=float, default=None,
+                             metavar="S",
+                             help="give up following after S seconds")
+            sub.add_argument("--check-report", metavar="PATH",
+                             default=None,
+                             help="verify the stream's aggregate equals "
+                                  "this canonical fleet report "
+                                  "byte-for-byte (non-zero exit on "
+                                  "disagreement)")
+            sub.add_argument("--telemetry-root", metavar="DIR",
+                             default=os.path.join("results",
+                                                  ".telemetry"),
+                             help="where per-run stream directories "
+                                  "live (default: results/.telemetry)")
     all_parser = subparsers.add_parser(
         "all", help="run every experiment in sequence")
     all_parser.add_argument("--minutes", type=float, default=30.0)

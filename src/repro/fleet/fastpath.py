@@ -786,7 +786,16 @@ def reset_fallback_warnings():
 
 
 def _log_fallback_once(reason, device_index):
-    if reason in _LOGGED_FALLBACKS:
+    first = reason not in _LOGGED_FALLBACKS
+    # The telemetry fallback event shares this one-time-per-reason
+    # gate: the stream stays O(reasons), while every occurrence still
+    # lands in the shard's fallback counter.
+    from repro.telemetry.emit import active_shard_telemetry
+
+    telem = active_shard_telemetry()
+    if telem is not None:
+        telem.fallback(reason, device_index, emit=first)
+    if not first:
         return
     _LOGGED_FALLBACKS.add(reason)
     print(json.dumps(
@@ -825,14 +834,15 @@ class _BatchFold:
 
 
 def replay_shard(population, start, stop, table,
-                 max_crash_records=None):
+                 max_crash_records=None, telemetry=None):
     """Replay devices [start, stop) from the table, kernel-fallback
     per device; returns ``({mitigation: FleetStats}, crashes)``.
 
     The same fold as the kernel path (:func:`repro.fleet.shard.
     _fold_device` drives a batched sink), plus two fast-path counters
     per mitigation: ``fastpath_devices`` and ``fastpath_fallbacks``.
-    No per-device record survives the loop.
+    No per-device record survives the loop. ``telemetry`` is the
+    shard's :class:`~repro.telemetry.emit.ShardTelemetry` (or None).
     """
     from repro.fleet.shard import (
         MAX_CRASH_RECORDS,
@@ -876,6 +886,10 @@ def replay_shard(population, start, stop, table,
             fold.count("fastpath_devices")
             if reason is not None:
                 fold.count("fastpath_fallbacks")
+            if telemetry is not None:
+                telemetry.observe(summary)
+        if telemetry is not None:
+            telemetry.device_done()
     return {name: fold.flush() for name, fold in folds.items()}, crashes
 
 

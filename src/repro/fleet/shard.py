@@ -215,57 +215,83 @@ def run_shard(population_json, start, stop, mode="kernel",
     them entirely, so its cache keys are byte-identical to what they
     always were.
     """
+    # Imported lazily: repro.telemetry imports repro.fleet.stats, so a
+    # module-level import here would be circular.
+    from repro.telemetry.emit import shard_telemetry
+
     population = PopulationSpec.from_json(population_json)
-    if mode in ("fast", "vector"):
-        from repro.fleet.fastpath import TransitionTable, replay_shard
+    # Telemetry rides in on environment variables, never kwargs: the
+    # shard's content-addressed cache key must not change when a run
+    # happens to be observed (shard_telemetry returns None when off).
+    shard_index = start // max(population.shard_size, 1)
+    telem = shard_telemetry(population, shard_index, start, stop, mode)
+    try:
+        if telem is not None:
+            telem.started()
+        if mode in ("fast", "vector"):
+            from repro.fleet.fastpath import TransitionTable, replay_shard
 
-        table = TransitionTable.from_json(table_json)
-        if mode == "vector":
-            from repro.fleet.vector import replay_shard_vector
+            table = TransitionTable.from_json(table_json)
+            if mode == "vector":
+                from repro.fleet.vector import replay_shard_vector
 
-            per_mitigation, crashes = replay_shard_vector(
-                population, start, stop, table)
-        else:
-            per_mitigation, crashes = replay_shard(
-                population, start, stop, table)
+                per_mitigation, crashes = replay_shard_vector(
+                    population, start, stop, table, telemetry=telem)
+            else:
+                per_mitigation, crashes = replay_shard(
+                    population, start, stop, table, telemetry=telem)
+            if telem is not None:
+                telem.finished()
+            return {
+                "schema": CHECKPOINT_SCHEMA,
+                "population": population.fingerprint(),
+                "start": start,
+                "stop": stop,
+                "mode": mode,
+                "table": table.fingerprint(),
+                "stats": {name: stats.to_dict()
+                          for name, stats
+                          in sorted(per_mitigation.items())},
+                "crashes": crashes,
+            }
+        per_mitigation = {name: FleetStats()
+                          for name in population.mitigations}
+        crashes = []
+        for device in population.devices_in(start, stop):
+            vanilla_summary = None
+            for mitigation in population.mitigations:
+                summary = simulate_device_day(
+                    device, mitigation, population.minutes)
+                if mitigation == "vanilla":
+                    vanilla_summary = summary
+                if summary["crashed"] and len(crashes) < MAX_CRASH_RECORDS:
+                    crashes.append({"device": device.index,
+                                    "mitigation": mitigation,
+                                    "error": summary["crash_error"]})
+                _fold_device(per_mitigation[mitigation], summary,
+                             vanilla_summary)
+                if telem is not None:
+                    telem.observe(summary)
+            if telem is not None:
+                telem.device_done()
+        if telem is not None:
+            telem.finished()
         return {
             "schema": CHECKPOINT_SCHEMA,
             "population": population.fingerprint(),
             "start": start,
             "stop": stop,
-            "mode": mode,
-            "table": table.fingerprint(),
+            "mode": "kernel",
             "stats": {name: stats.to_dict()
                       for name, stats in sorted(per_mitigation.items())},
+            # Structured per-device crash records (capped): the
+            # aggregate "crashed" counter says how many, these say
+            # which and why.
             "crashes": crashes,
         }
-    per_mitigation = {name: FleetStats() for name in population.mitigations}
-    crashes = []
-    for device in population.devices_in(start, stop):
-        vanilla_summary = None
-        for mitigation in population.mitigations:
-            summary = simulate_device_day(
-                device, mitigation, population.minutes)
-            if mitigation == "vanilla":
-                vanilla_summary = summary
-            if summary["crashed"] and len(crashes) < MAX_CRASH_RECORDS:
-                crashes.append({"device": device.index,
-                                "mitigation": mitigation,
-                                "error": summary["crash_error"]})
-            _fold_device(per_mitigation[mitigation], summary,
-                         vanilla_summary)
-    return {
-        "schema": CHECKPOINT_SCHEMA,
-        "population": population.fingerprint(),
-        "start": start,
-        "stop": stop,
-        "mode": "kernel",
-        "stats": {name: stats.to_dict()
-                  for name, stats in sorted(per_mitigation.items())},
-        # Structured per-device crash records (capped): the aggregate
-        # "crashed" counter says how many, these say which and why.
-        "crashes": crashes,
-    }
+    finally:
+        if telem is not None:
+            telem.close()
 
 
 # -- checkpointed dispatch ----------------------------------------------------
@@ -293,7 +319,7 @@ class FleetRunner:
     """
 
     def __init__(self, population, runner=None, checkpoint_dir=None,
-                 verbose=False, mode="kernel"):
+                 verbose=False, mode="kernel", telemetry_dir=None):
         if mode not in ("kernel", "fast", "vector", "auto"):
             raise ValueError("unknown fleet mode {!r}".format(mode))
         # New run: re-arm the warn-once logs so this run's first
@@ -305,6 +331,12 @@ class FleetRunner:
         reset_fallback_warnings()
         self.population = population
         self.runner = runner if runner is not None else GridRunner()
+        # Same per-run scoping for the supervisor: its stats and its
+        # serial-fallback warn-once are lifetime state, and a second
+        # FleetRunner sharing the supervisor must not inherit them.
+        supervisor = getattr(self.runner, "supervisor", None)
+        if supervisor is not None:
+            supervisor.begin_run()
         self.requested_mode = mode
         if mode == "auto":
             from repro.fleet.fastpath import AUTO_MIN_DEVICES
@@ -339,6 +371,10 @@ class FleetRunner:
         self.quarantined_shards = []
         #: Shard indices skipped by merged_stats(allow_missing=True).
         self.missing_shards = []
+        #: Run telemetry stream (``--telemetry``): created lazily by
+        #: the first ``run_shards`` call when ``telemetry_dir`` is set.
+        self.telemetry_dir = telemetry_dir
+        self.telemetry = None
 
     @property
     def checkpoints_rejected(self):
@@ -446,7 +482,9 @@ class FleetRunner:
         table_json = self._ensure_table() \
             if self.mode in ("fast", "vector") else None
         pending = self.pending_shards()
-        self.shards_resumed += self.population.shard_count - len(pending)
+        resumed = self.population.shard_count - len(pending)
+        self.shards_resumed += resumed
+        self._begin_telemetry(resumed)
         if limit is not None:
             pending = pending[:limit]
         population_json = self.population.to_json()
@@ -455,6 +493,8 @@ class FleetRunner:
                 == "":
             supervisor.manifest.run_fingerprint = \
                 self.population.fingerprint()[:12]
+        if supervisor is not None:
+            supervisor.telemetry = self.telemetry
         executed = [0]
 
         def dispatch(batch):
@@ -480,6 +520,10 @@ class FleetRunner:
                 shard_index = batch[index]
                 self._write_checkpoint(shard_index, summary)
                 executed[0] += 1
+                if self.telemetry is not None:
+                    # Runner-side, so cache hits and supervised retries
+                    # are announced exactly once each.
+                    self.telemetry.shard_finished(shard_index, summary)
                 if self.verbose:
                     print("fleet: shard {}/{} done".format(
                         shard_index + 1, self.population.shard_count),
@@ -491,6 +535,7 @@ class FleetRunner:
                 if summary is None:
                     self.quarantined_shards.append(shard_index)
 
+        saved_env = self._export_telemetry_env()
         try:
             if supervisor is not None:
                 if pending:
@@ -500,11 +545,49 @@ class FleetRunner:
                 for offset in range(0, len(pending), batch_size):
                     dispatch(pending[offset:offset + batch_size])
         finally:
+            self._restore_telemetry_env(saved_env)
             # An interrupt mid-dispatch keeps every checkpoint already
             # streamed out; the counter must reflect them for the
             # partial-run summary the CLI prints on the way down.
             self.shards_run += executed[0]
         return executed[0]
+
+    def _begin_telemetry(self, resumed):
+        """Open the run stream on the first ``run_shards`` call."""
+        if self.telemetry_dir is None or self.telemetry is not None:
+            return
+        from repro.telemetry.emit import RunTelemetry
+
+        self.telemetry = RunTelemetry(
+            self.telemetry_dir, self.population.fingerprint()[:12])
+        self.telemetry.run_started(self.population, self.mode,
+                                   self.requested_mode,
+                                   shards_resumed=resumed)
+
+    def _export_telemetry_env(self):
+        """Export the stream location for shard workers (forked per
+        batch/attempt, so they inherit it); returns the saved values.
+
+        Environment, not kwargs: a telemetry kwarg on ``run_shard``
+        would change every shard's content-addressed cache key."""
+        if self.telemetry is None:
+            return None
+        from repro.telemetry.emit import ENV_DIR, ENV_FP
+
+        saved = {key: os.environ.get(key) for key in (ENV_DIR, ENV_FP)}
+        os.environ[ENV_DIR] = self.telemetry.directory
+        os.environ[ENV_FP] = self.telemetry.fp
+        return saved
+
+    @staticmethod
+    def _restore_telemetry_env(saved):
+        if saved is None:
+            return
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
 
     def merged_stats(self, allow_missing=False):
         """Fold every shard checkpoint, in index order, into one

@@ -958,14 +958,18 @@ def _int_sum(values):
 
 
 def replay_shard_vector(population, start, stop, table,
-                        max_crash_records=None):
+                        max_crash_records=None, telemetry=None):
     """Columnar replay of devices [start, stop); kernel fallback per
     device. Returns ``({mitigation: FleetStats}, crashes)``.
 
     Same observation sequences and counters as
     :func:`fastpath.replay_shard` (bit-identical stats where both
     paths compose), plus a ``vector_devices`` counter saying how many
-    device-days went through the columnar engine.
+    device-days went through the columnar engine. ``telemetry`` is the
+    shard's :class:`~repro.telemetry.emit.ShardTelemetry` (or None);
+    the whole shard is folded into it in one batch per mitigation --
+    fallback rows are already overwritten into the columns, so the
+    batch counts every device-day exactly once.
     """
     from repro.fleet.shard import MAX_CRASH_RECORDS, simulate_device_day
 
@@ -999,6 +1003,8 @@ def replay_shard_vector(population, start, stop, table,
                 crashes.append({"device": device.index,
                                 "mitigation": m,
                                 "error": summary["crash_error"]})
+        if telemetry is not None:
+            telemetry.device_done()
 
     n_fallback = len(fallback_rows)
     n_vector = len(comp.vector_rows)
@@ -1057,6 +1063,11 @@ def replay_shard_vector(population, start, stop, table,
             fold.count("fastpath_fallbacks", n_fallback)
         fold.count("vector_devices", n_vector)
         stats[m] = fold
+        if telemetry is not None:
+            telemetry.observe_batch(d["system_power_mw"], n,
+                                    crashed_total[m])
+    if telemetry is not None and n_vector:
+        telemetry.device_done(n_vector)
     return stats, crashes
 
 

@@ -216,9 +216,35 @@ class Supervisor:
         self.verbose = verbose
         self.manifest = FailureManifest()
         self.stats = SupervisorStats()
+        #: Optional :class:`~repro.telemetry.emit.RunTelemetry`; when a
+        #: FleetRunner attaches one, every failed attempt / quarantine
+        #: / budget abort also lands in the run's telemetry stream.
+        self.telemetry = None
         self._sleep = sleep
         self._serial_reason = None
+        self._serial_logged = False
+        self._run_base = self.stats.as_dict()
         self._mp_context = None
+
+    def begin_run(self):
+        """Re-scope per-run state at the start of a new run.
+
+        A supervisor outlives individual runs (lifetime ``stats`` are
+        deliberately cumulative), but warn-once gates and the run
+        summary must not leak between runs: without this, a second
+        :class:`~repro.fleet.shard.FleetRunner` sharing the supervisor
+        in one process never re-prints the serial-fallback warning and
+        ``run_stats`` would report the first run's counters too.
+        """
+        self._serial_logged = False
+        self._run_base = self.stats.as_dict()
+
+    def run_stats(self):
+        """Counters accrued since the last :meth:`begin_run` (the
+        current run), as a plain dict."""
+        current = self.stats.as_dict()
+        return {name: current[name] - self._run_base.get(name, 0)
+                for name in current}
 
     # -- public API --------------------------------------------------------
 
@@ -298,7 +324,10 @@ class Supervisor:
     def _note_serial_fallback(self, exc):
         self.stats.serial_fallbacks += 1
         reason = "{}: {}".format(type(exc).__name__, exc)
-        if self._serial_reason is None:
+        # Warn once *per run*, not per supervisor lifetime: begin_run
+        # re-arms the gate so a second run's operator sees it too.
+        if not self._serial_logged:
+            self._serial_logged = True
             print("supervisor: worker processes unavailable ({}); "
                   "running jobs in-process -- hung jobs cannot be "
                   "preempted, only budget-aborted".format(reason),
@@ -524,6 +553,12 @@ class Supervisor:
             error=failure.error, traceback=failure.traceback,
             elapsed_s=round(elapsed, 3))
         job.records.append(record)
+        if self.telemetry is not None:
+            self.telemetry.supervisor_attempt(
+                job.label, job.attempt, failure.outcome, failure.error)
+            if failure.outcome == "budget":
+                self.telemetry.budget(job.label, job.attempt,
+                                      failure.error)
         if job.attempt < self.retry_policy.max_attempts:
             delay = self.retry_policy.delay_s(job.label, job.attempt + 1)
             record.delay_s = round(delay, 6)
@@ -546,6 +581,9 @@ class Supervisor:
             label=job.label, spec=spec_token, seed=seed_of(spec_token),
             attempts=list(job.records), quarantined=True))
         self.stats.quarantined += 1
+        if self.telemetry is not None:
+            self.telemetry.supervisor_attempt(
+                job.label, job.attempt, "quarantined", failure.error)
         print("supervisor: {} quarantined after {} attempt(s); last "
               "error: {}".format(job.label, job.attempt, failure.error),
               file=sys.stderr)

@@ -293,3 +293,78 @@ def test_supervised_cache_hits_skip_the_supervisor():
     spec = FuncSpec.make("json:dumps", obj=42)
     assert runner.run([spec, spec]) == ["42", "42"]
     assert supervisor.stats.jobs == 1  # deduped before dispatch
+
+
+# -- per-run scoping ---------------------------------------------------------
+
+def test_serial_fallback_warns_once_per_run(capsys):
+    supervisor = Supervisor(mode="auto", harness_faults=HarnessFaults())
+    supervisor._note_serial_fallback(OSError("no semaphores"))
+    supervisor._note_serial_fallback(OSError("no semaphores"))
+    err = capsys.readouterr().err
+    assert err.count("worker processes unavailable") == 1
+    supervisor.begin_run()  # a new run re-arms the warning
+    supervisor._note_serial_fallback(OSError("no semaphores"))
+    err = capsys.readouterr().err
+    assert err.count("worker processes unavailable") == 1
+    assert supervisor.stats.serial_fallbacks == 3
+
+
+def test_run_stats_cover_only_the_current_run():
+    supervisor = Supervisor(mode="serial", harness_faults=HarnessFaults())
+    supervisor.execute(_jobs(3))
+    assert supervisor.run_stats()["succeeded"] == 3
+    supervisor.begin_run()
+    assert supervisor.run_stats()["succeeded"] == 0
+    supervisor.execute(_jobs(2))
+    assert supervisor.run_stats()["succeeded"] == 2
+    # Lifetime counters stay cumulative across runs.
+    assert supervisor.stats.succeeded == 5
+
+
+def test_fleet_runner_scopes_the_supervisor_per_run():
+    from repro.fleet.population import PopulationSpec
+    from repro.fleet.shard import FleetRunner
+
+    supervisor = Supervisor(mode="serial", harness_faults=HarnessFaults())
+    supervisor.execute(_jobs(2))  # counters left over from a prior run
+    runner = GridRunner(supervisor=supervisor)
+    FleetRunner(PopulationSpec(seed=1, devices=2, shard_size=2),
+                runner=runner)
+    assert supervisor.run_stats()["succeeded"] == 0
+    assert supervisor.stats.succeeded == 2
+
+
+# -- telemetry emission ------------------------------------------------------
+
+class _Recorder:
+    def __init__(self):
+        self.attempts = []
+        self.budgets = []
+
+    def supervisor_attempt(self, label, attempt, outcome, error):
+        self.attempts.append((attempt, outcome))
+
+    def budget(self, label, attempt, error):
+        self.budgets.append((label, attempt))
+
+
+def test_failed_attempts_land_in_the_telemetry_stream():
+    faults = HarnessFaults.from_json('{"fail": {"job:0001:*": []}}')
+    supervisor = Supervisor(mode="serial", harness_faults=faults,
+                            retry_policy=_fast_policy(2))
+    supervisor.telemetry = recorder = _Recorder()
+    supervisor.execute(_jobs(2))
+    assert recorder.attempts == [(1, "error"), (2, "error"),
+                                 (2, "quarantined")]
+    assert recorder.budgets == []
+
+
+def test_crash_directives_emit_crash_attempt_events():
+    faults = HarnessFaults.from_json('{"crash": {"job:0000:*": [1]}}')
+    supervisor = Supervisor(mode="serial", harness_faults=faults,
+                            retry_policy=_fast_policy(3))
+    supervisor.telemetry = recorder = _Recorder()
+    results = supervisor.execute(_jobs(1))
+    assert list(results.values()) == ["0"]
+    assert recorder.attempts == [(1, "crash")]

@@ -1,0 +1,188 @@
+"""The watch aggregator: bitwise report agreement and rendering."""
+
+import io
+import json
+import os
+
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+from repro.fleet.population import PopulationSpec
+from repro.fleet.report import report_json
+from repro.fleet.shard import FleetRunner
+from repro.telemetry.watch import (
+    RunView,
+    check_report,
+    follow,
+    load_view,
+    reconstruct_report,
+    render_snapshot,
+    resolve_run,
+)
+
+POP = PopulationSpec(seed=5, devices=6, shard_size=2, minutes=2.0,
+                     mitigations=("vanilla", "leaseos"))
+
+
+def _run_cli(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def finished_run(tmp_path_factory):
+    """One finished telemetry-enabled CLI fleet run."""
+    root = tmp_path_factory.mktemp("watch")
+    stream = str(root / "stream")
+    report = str(root / "fleet.json")
+    code, __ = _run_cli([
+        "fleet", "--devices", "6", "--shard-size", "2", "--minutes",
+        "2", "--seed", "5", "--no-cache",
+        "--checkpoint-dir", str(root / "ck"),
+        "--report-json", report, "--telemetry-dir", stream,
+    ])
+    assert code == 0
+    return stream, report, str(root / "ck")
+
+
+def test_merged_stats_match_the_runners_fold(finished_run):
+    stream, __, ck = finished_run
+    view, problems = load_view(stream)
+    assert problems == []
+    merged, missing = view.merged_stats()
+    assert missing == []
+    runner = FleetRunner(POP, checkpoint_dir=ck)
+    expected = runner.merged_stats()
+    assert set(merged) == set(expected)
+    for name in expected:
+        assert merged[name].to_dict() == expected[name].to_dict()
+
+
+def test_reconstructed_report_equals_the_artifact_bytes(finished_run):
+    stream, report_path, __ = finished_run
+    view, __ = load_view(stream)
+    with open(report_path) as handle:
+        on_disk = handle.read().rstrip("\n")
+    assert report_json(reconstruct_report(view)) == on_disk
+    assert check_report(view, report_path) is None
+
+
+def test_check_report_catches_a_tampered_artifact(finished_run,
+                                                  tmp_path):
+    stream, report_path, __ = finished_run
+    view, __ = load_view(stream)
+    tampered = json.loads(open(report_path).read())
+    tampered["devices"] += 1
+    other = tmp_path / "tampered.json"
+    other.write_text(json.dumps(tampered, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+    problem = check_report(view, str(other))
+    assert problem is not None and "disagrees" in problem
+
+
+def test_render_snapshot_shows_the_fleet_table(finished_run):
+    stream, __, ___ = finished_run
+    view, __ = load_view(stream)
+    text = render_snapshot(view, stream)
+    assert "[finished]" in text
+    assert "vanilla" in text and "leaseos" in text
+    assert "run_finished: 3 executed" in text
+
+
+def test_render_snapshot_before_any_run_record(tmp_path):
+    assert "no run_started" in render_snapshot(RunView([]),
+                                               str(tmp_path))
+
+
+def test_partial_totals_from_progress_snapshots():
+    progress = {"v": 1, "event": "shard_progress", "stream":
+                "shard-000001", "seq": 1, "fp": "ab" * 6, "t_wall": 1.0,
+                "shard": 1, "devices_done": 2, "devices_total": 4,
+                "device_days": 4, "fallbacks": 1, "crashed": 0,
+                "energy_mw": {"count": 4, "mean": 700.0, "m2": 10.0,
+                              "min": 650.0, "max": 750.0}}
+    view = RunView([progress])
+    devices, days, fallbacks, crashed, energy = view.partial_totals()
+    assert (devices, days, fallbacks, crashed) == (2, 4, 1, 0)
+    assert energy.count == 4 and energy.mean == 700.0
+    # Retries restart from zero: an older, further snapshot wins.
+    earlier = dict(progress, seq=0, devices_done=1, device_days=2)
+    view = RunView([progress, earlier])
+    assert view.progress[1]["devices_done"] == 2
+
+
+def test_resolve_run_by_prefix_and_recency(finished_run, tmp_path):
+    stream, __, ___ = finished_run
+    # A directory path resolves to itself.
+    assert resolve_run(stream) == stream
+    # Prefix match under a root.
+    root = tmp_path / "root"
+    os.makedirs(str(root / "abc123"))
+    os.makedirs(str(root / "abd456"))
+    assert resolve_run("abc", root=str(root)).endswith("abc123")
+    with pytest.raises(ValueError):
+        resolve_run("ab", root=str(root))
+    with pytest.raises(FileNotFoundError):
+        resolve_run("zzz", root=str(root))
+    # No argument: the most recently modified run wins.
+    os.utime(str(root / "abc123"), (1, 1))
+    assert resolve_run(root=str(root)).endswith("abd456")
+    with pytest.raises(FileNotFoundError):
+        resolve_run(root=str(tmp_path / "absent"))
+
+
+def test_follow_returns_once_the_run_finishes(finished_run):
+    stream, __, ___ = finished_run
+    renders = []
+    view = follow(stream, interval=0.0, render=renders.append,
+                  sleep=lambda s: None)
+    assert view.run_finished is not None
+    assert len(renders) == 1 and "[finished]" in renders[0]
+
+
+def test_watch_cli_snapshot_and_check_report(finished_run, tmp_path):
+    stream, report_path, __ = finished_run
+    code, text = _run_cli(["watch", stream, "--snapshot",
+                           "--check-report", report_path])
+    assert code == 0
+    assert "agrees with" in text
+    # Tampered report: non-zero exit.
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}\n")
+    code, text = _run_cli(["watch", stream, "--check-report",
+                           str(bad)])
+    assert code == 1
+    assert "check-report FAILED" in text
+    # Unresolvable run: non-zero exit, no traceback.
+    code, text = _run_cli(["watch", "--telemetry-root",
+                           str(tmp_path / "nothing")])
+    assert code == 1 and "watch:" in text
+
+
+def test_watch_merges_partials_for_an_unfinished_run(tmp_path):
+    # A run stopped early still renders fleet-level numbers from the
+    # finished shards, and reconstruct_report refuses (no terminal
+    # record yet).
+    root = tmp_path
+    stream = str(root / "stream")
+    code, __ = _run_cli([
+        "fleet", "--devices", "6", "--shard-size", "2", "--minutes",
+        "2", "--seed", "5", "--no-cache", "--max-shards", "2",
+        "--checkpoint-dir", str(root / "ck"),
+        "--report-json", str(root / "fleet.json"),
+        "--telemetry-dir", stream,
+    ])
+    assert code == 0
+    view, problems = load_view(stream)
+    assert problems == []
+    merged, missing = view.merged_stats()
+    assert missing == [2]
+    assert merged["vanilla"].counters["devices"] == 4
+    text = render_snapshot(view, stream)
+    assert "[running]" in text and "shards 2/3 done" in text
+    with pytest.raises(ValueError):
+        reconstruct_report(view)

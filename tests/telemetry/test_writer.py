@@ -1,0 +1,69 @@
+"""The crash-safe append-only stream writer."""
+
+import json
+
+from repro.telemetry.schema import validate_stream_file
+from repro.telemetry.writer import TelemetryWriter
+
+
+def _records(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle]
+
+
+def test_records_carry_the_envelope_and_gapless_seq(tmp_path):
+    with TelemetryWriter(str(tmp_path), "run", "ab" * 6) as writer:
+        writer.emit("run_started", population="{}", mode="kernel",
+                    requested_mode="kernel", devices=4, shards=1)
+        writer.emit("run_finished", shards_total=1, shards_run=1,
+                    shards_resumed=0, shards_quarantined=0, devices=4,
+                    execution={}, report_sha256="")
+        path = writer.path
+    records = _records(path)
+    assert [r["seq"] for r in records] == [0, 1]
+    assert all(r["stream"] == "run" and r["fp"] == "ab" * 6
+               for r in records)
+    assert validate_stream_file(path, require_finished=True) == []
+
+
+def test_each_record_is_one_sorted_compact_line(tmp_path):
+    writer = TelemetryWriter(str(tmp_path), "run", "ab" * 6)
+    writer.emit("fallback", shard=0, reason="x", device=3)
+    writer.close()
+    with open(writer.path) as handle:
+        lines = handle.read().splitlines()
+    assert len(lines) == 1
+    record = json.loads(lines[0])
+    assert lines[0] == json.dumps(record, sort_keys=True,
+                                  separators=(",", ":"))
+
+
+def test_two_writers_for_one_stream_never_share_a_file(tmp_path):
+    # Two runs in one process (same pid): the per-process counter in
+    # the file name keeps their seq spaces disjoint.
+    first = TelemetryWriter(str(tmp_path), "run", "ab" * 6)
+    second = TelemetryWriter(str(tmp_path), "run", "ab" * 6)
+    assert first.path != second.path
+    first.emit("budget", label="a", attempt=1, error="")
+    second.emit("budget", label="b", attempt=1, error="")
+    first.close()
+    second.close()
+    assert _records(first.path)[0]["seq"] == 0
+    assert _records(second.path)[0]["seq"] == 0
+
+
+def test_emit_after_close_is_a_noop(tmp_path):
+    writer = TelemetryWriter(str(tmp_path), "run", "ab" * 6)
+    writer.emit("budget", label="a", attempt=1, error="")
+    writer.close()
+    writer.emit("budget", label="b", attempt=2, error="")
+    writer.close()  # idempotent
+    assert len(_records(writer.path)) == 1
+
+
+def test_records_are_flushed_per_emit_without_close(tmp_path):
+    # Line buffering: a crash (never calling close) loses nothing
+    # already emitted.
+    writer = TelemetryWriter(str(tmp_path), "run", "ab" * 6)
+    writer.emit("budget", label="a", attempt=1, error="")
+    assert len(_records(writer.path)) == 1

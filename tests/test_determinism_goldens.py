@@ -139,7 +139,7 @@ def test_golden_fleet_report(tmp_path):
                          checkpoint_dir=str(tmp_path / "ck"))
     text = report_json(build_report(population, runner.run()))
     assert _digest(text) == (
-        "405ea6b7a807213228d2a18fe2549145ddcdc5c0424e8e5fbb72dd2c826f124d")
+        "6c0ed3f4f98a7fdb33c9cdcb6a4b5744b525ac256a4731394dbc707e43ce5776")
 
 
 def test_golden_chaos_case_fingerprint():

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Lint telemetry streams against the versioned event schema.
+
+    python tools/check_telemetry_schema.py tests/data/telemetry_example.jsonl
+    python tools/check_telemetry_schema.py --require-finished results/.telemetry/<fp>/
+
+Accepts stream *files* (one JSONL stream file each) and run
+*directories* (every ``*.jsonl`` inside, plus the directory-level
+checks). Exits non-zero and prints one line per problem when any
+stream violates the schema: unparsable lines, unknown event types,
+missing required fields, sequence gaps, or mixed run fingerprints.
+``--require-finished`` additionally demands the shape of a completed
+run (a ``run_started``/``run_resumed`` record and a terminal
+``run_finished``). Shared verbatim with the telemetry-smoke CI job and
+the lint job's committed-example check.
+"""
+
+import argparse
+import os
+import sys
+
+
+def _import_schema():
+    try:
+        from repro.telemetry import schema
+    except ImportError:
+        # Ran from a checkout without the package installed: the tool
+        # lives in tools/, the package in ../src.
+        sys.path.insert(0, os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+        from repro.telemetry import schema
+    return schema
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="validate telemetry JSONL streams against the "
+                    "event schema")
+    parser.add_argument("paths", nargs="+",
+                        help="stream files (.jsonl) or run directories")
+    parser.add_argument("--require-finished", action="store_true",
+                        help="also require the shape of a completed "
+                             "run (run_started/run_resumed plus a "
+                             "terminal run_finished)")
+    args = parser.parse_args(argv)
+    schema = _import_schema()
+
+    problems = []
+    for path in args.paths:
+        if os.path.isdir(path):
+            problems.extend(schema.validate_stream_dir(
+                path, require_finished=args.require_finished))
+        elif os.path.exists(path):
+            problems.extend(schema.validate_stream_file(
+                path, require_finished=args.require_finished))
+        else:
+            problems.append("{}: no such file or directory".format(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print("check_telemetry_schema: {} problem(s) in {} path(s)"
+              .format(len(problems), len(args.paths)), file=sys.stderr)
+        return 1
+    print("check_telemetry_schema: OK ({} path(s), schema v{})".format(
+        len(args.paths), schema.SCHEMA_VERSION))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
