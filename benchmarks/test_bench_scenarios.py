@@ -1,0 +1,104 @@
+"""Scenario generator benchmark: catalog cost and evaluation throughput.
+
+Records ``results/BENCH_scenarios.json`` (uploaded by the CI bench-smoke
+artifact step):
+
+- catalog materialisation: parse + parameter-draw + registration cost
+  for the full 41-entry default catalog (must stay trivially cheap --
+  workers re-materialise catalogs per process);
+- per-family kernel cost: simulated-seconds-per-wall-second for one
+  scenario-day of each bug family, the number that decides how much
+  catalog a fleet run can afford;
+- full-catalog evaluation throughput: the complete `repro scenarios`
+  pipeline (default catalog x vanilla+leaseos) in scenario-days per
+  wall-second, plus a warm grid-cache re-run that must execute nothing
+  and reproduce the report byte-for-byte.
+
+It also regenerates ``results/scenarios_default.json``, the committed
+default-catalog evaluation artifact.
+"""
+
+import json
+import os
+import time
+
+from repro.experiments.grid import GridRunner
+from repro.scenarios.catalog import default_catalog
+from repro.scenarios.evaluate import (
+    evaluate_catalog,
+    render_report,
+    report_json,
+    scenario_day,
+)
+
+MINUTES = 10.0
+SEED = 7
+
+
+def test_bench_scenarios(results_path, artifact_writer, tmp_path):
+    # Catalog materialisation: JSON -> params -> registered CaseSpecs.
+    build_start = time.perf_counter()
+    catalog = default_catalog()
+    catalog_json = catalog.to_json()
+    cases = catalog.instantiate()
+    build_s = time.perf_counter() - build_start
+    assert len(cases) == 41
+
+    # Per-family single-day kernel cost (vanilla, one representative
+    # entry per family: the first catalog index carrying it).
+    first_entry = {}
+    for index, entry in enumerate(catalog.entries):
+        first_entry.setdefault(entry["family"], index)
+    per_family = {}
+    for family, index in sorted(first_entry.items()):
+        start = time.perf_counter()
+        scenario_day(catalog_json, index, "vanilla", minutes=MINUTES,
+                     seed=SEED)
+        wall = time.perf_counter() - start
+        per_family[family] = round((MINUTES * 60.0) / wall, 1)
+
+    # Full-catalog evaluation, cold then warm through the grid cache.
+    cache_dir = str(tmp_path / "grid-cache")
+    cold_runner = GridRunner(jobs=1, cache=cache_dir)
+    start = time.perf_counter()
+    report = evaluate_catalog(catalog, mitigations=("leaseos",),
+                              minutes=MINUTES, seed=SEED,
+                              runner=cold_runner)
+    cold_s = time.perf_counter() - start
+    scenario_days = len(cases) * 2  # vanilla + leaseos
+    assert cold_runner.stats.executed == scenario_days
+
+    warm_runner = GridRunner(jobs=1, cache=cache_dir)
+    start = time.perf_counter()
+    warm = evaluate_catalog(catalog, mitigations=("leaseos",),
+                            minutes=MINUTES, seed=SEED,
+                            runner=warm_runner)
+    warm_s = time.perf_counter() - start
+    assert warm_runner.stats.executed == 0
+    assert report_json(warm) == report_json(report)
+
+    payload = {
+        "catalog": catalog.name,
+        "catalog_fingerprint": catalog.fingerprint(),
+        "entries": len(cases),
+        "minutes_per_day": MINUTES,
+        "catalog_build_s": round(build_s, 4),
+        "kernel_sim_s_per_wall_s_by_family": per_family,
+        "evaluation_days": scenario_days,
+        "evaluation_cold_s": round(cold_s, 3),
+        "evaluation_days_per_s": round(scenario_days / cold_s, 2),
+        "evaluation_warm_s": round(warm_s, 3),
+        "cache_speedup": round(cold_s / warm_s, 2),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    # Materialising a catalog must stay negligible next to one day.
+    assert build_s < cold_s
+    # The kernel must beat real time comfortably on every family.
+    assert all(rate > 10.0 for rate in per_family.values()), per_family
+    with open(results_path("BENCH_scenarios.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    # Regenerate the committed default-catalog artifacts.
+    with open(results_path("scenarios_default.json"), "w") as handle:
+        handle.write(report_json(report) + "\n")
+    artifact_writer("scenarios_default.txt", render_report(report))

@@ -5,16 +5,51 @@ studies and the issue links in its bibliography) as app logic on the
 :mod:`repro.droid` framework; each :class:`~repro.apps.spec.CaseSpec`
 in :data:`BUGGY_CASES` carries the environment that triggers the bug and
 the paper's measured powers for comparison.
+
+Registration is centralised in :mod:`repro.apps.buggy.registry`: the
+per-resource modules below register their cases at import time (Table 5
+tier in the paper's order, audio/bluetooth as extension tier), and the
+scenario generator (:mod:`repro.scenarios`) registers generated cases
+into the same registry at catalog-instantiation time. Every key lookup
+goes through :func:`resolve_case`.
 """
 
-from repro.apps.buggy.cpu_apps import CPU_CASES
-from repro.apps.buggy.gps_apps import GPS_CASES
-from repro.apps.buggy.screen_apps import SCREEN_CASES
-from repro.apps.buggy.sensor_apps import SENSOR_CASES
+from repro.apps.buggy.registry import (  # noqa: F401 (re-exports)
+    BUGGY_CASES,
+    CASES_BY_KEY,
+    EXTENSION_CASES_BY_KEY,
+    SCENARIO_CASES_BY_KEY,
+    SCENARIO_PREFIX,
+    is_scenario_key,
+    register_case,
+    register_cases,
+    register_scenario_cases,
+    resolve_case,
+    scenario_families,
+)
 
-#: All Table 5 rows, in the paper's order.
-BUGGY_CASES = CPU_CASES + SCREEN_CASES + GPS_CASES + SENSOR_CASES
+# Table 5 tier: import order *is* registration order, so this block
+# pins BUGGY_CASES to the paper's row order (cpu, screen, gps, sensor).
+from repro.apps.buggy import cpu_apps as _cpu_apps  # noqa: E402,F401
+from repro.apps.buggy import screen_apps as _screen_apps  # noqa: E402,F401
+from repro.apps.buggy import gps_apps as _gps_apps  # noqa: E402,F401
+from repro.apps.buggy import sensor_apps as _sensor_apps  # noqa: E402,F401
 
-CASES_BY_KEY = {case.key: case for case in BUGGY_CASES}
+# Extension tier: resolvable by key, never in CASES_BY_KEY (the fleet
+# sampling pool is sorted(CASES_BY_KEY) and must stay byte-stable).
+from repro.apps.buggy import audio_apps as _audio_apps  # noqa: E402,F401
+from repro.apps.buggy import bluetooth_apps as _bt_apps  # noqa: E402,F401
 
-__all__ = ["BUGGY_CASES", "CASES_BY_KEY"]
+__all__ = [
+    "BUGGY_CASES",
+    "CASES_BY_KEY",
+    "EXTENSION_CASES_BY_KEY",
+    "SCENARIO_CASES_BY_KEY",
+    "SCENARIO_PREFIX",
+    "is_scenario_key",
+    "register_case",
+    "register_cases",
+    "register_scenario_cases",
+    "resolve_case",
+    "scenario_families",
+]

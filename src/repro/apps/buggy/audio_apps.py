@@ -13,6 +13,7 @@ this exercises the audio lease proxy end to end.
 """
 
 from repro.apps.spec import CaseSpec
+from repro.apps.buggy.registry import register_cases
 from repro.core.behavior import BehaviorType
 from repro.droid.app import App
 from repro.droid.exceptions import NetworkException
@@ -46,7 +47,7 @@ class FacebookAudioLeak(App):
             yield self.sleep(2.0)
 
 
-AUDIO_EXTRA_CASES = [
+AUDIO_EXTRA_CASES = register_cases([
     CaseSpec(
         key="facebook-audio",
         app_factory=FacebookAudioLeak,
@@ -58,4 +59,4 @@ AUDIO_EXTRA_CASES = [
         servers={"facebook-av": "error"},
         paper_power={},
     ),
-]
+], extension=True)

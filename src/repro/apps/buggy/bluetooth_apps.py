@@ -9,6 +9,7 @@ discovery scan (the expensive Bluetooth mode) is never cancelled.
 """
 
 from repro.apps.spec import CaseSpec
+from repro.apps.buggy.registry import register_cases
 from repro.core.behavior import BehaviorType
 from repro.droid.app import App
 from repro.droid.resources import ResourceType
@@ -42,7 +43,7 @@ class WatchCompanion(App):
         self.session.set_consumer_active(False)
 
 
-EXTRA_CASES = [
+EXTRA_CASES = register_cases([
     CaseSpec(
         key="watchcompanion-bt",
         app_factory=WatchCompanion,
@@ -53,4 +54,4 @@ EXTRA_CASES = [
                     "timeout (extension case, not in the paper's Table 5)",
         paper_power={},
     ),
-]
+], extension=True)

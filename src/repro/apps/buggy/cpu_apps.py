@@ -15,6 +15,7 @@
 """
 
 from repro.apps.spec import CaseSpec
+from repro.apps.buggy.registry import register_cases
 from repro.core.behavior import BehaviorType
 from repro.droid.app import App
 from repro.droid.exceptions import NetworkException
@@ -201,7 +202,7 @@ class TextSecure(App):
             yield self.sleep(self.RETRY_INTERVAL_S)
 
 
-CPU_CASES = [
+CPU_CASES = register_cases([
     CaseSpec(
         key="facebook",
         app_factory=Facebook,
@@ -268,4 +269,4 @@ CPU_CASES = [
         paper_power=dict(vanilla=81.62, leaseos=1.198, doze=18.78,
                          defdroid=16.78),
     ),
-]
+])

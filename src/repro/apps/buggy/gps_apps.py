@@ -22,6 +22,7 @@ the user is stationary and nothing visible comes out of it):
 """
 
 from repro.apps.spec import CaseSpec
+from repro.apps.buggy.registry import register_cases
 from repro.core.behavior import BehaviorType
 from repro.droid.app import App
 from repro.droid.resources import ResourceType
@@ -201,7 +202,7 @@ def _stationary():
     return dict(gps_quality=0.95, movement_mps=0.0)
 
 
-GPS_CASES = [
+GPS_CASES = register_cases([
     CaseSpec(
         key="betterweather",
         app_factory=BetterWeather,
@@ -301,4 +302,4 @@ GPS_CASES = [
         paper_power=dict(vanilla=360.25, leaseos=1.32, doze=19.91,
                          defdroid=237.41),
     ),
-]
+])

@@ -10,6 +10,7 @@
 """
 
 from repro.apps.spec import CaseSpec
+from repro.apps.buggy.registry import register_cases
 from repro.core.behavior import BehaviorType
 from repro.droid.app import App
 from repro.droid.power_manager import WakeLockLevel
@@ -61,7 +62,7 @@ class ConnectBotWifi(App):
             yield self.sleep(300.0)
 
 
-SCREEN_CASES = [
+SCREEN_CASES = register_cases([
     CaseSpec(
         key="connectbot-screen",
         app_factory=ConnectBotScreen,
@@ -93,4 +94,4 @@ SCREEN_CASES = [
         paper_power=dict(vanilla=17.08, leaseos=0.78, doze=3.21,
                          defdroid=2.57),
     ),
-]
+])

@@ -9,6 +9,7 @@
 """
 
 from repro.apps.spec import CaseSpec
+from repro.apps.buggy.registry import register_cases
 from repro.core.behavior import BehaviorType
 from repro.core.utility import UtilityCounter
 from repro.droid.app import App
@@ -94,7 +95,7 @@ class Riot(App):
         pass
 
 
-SENSOR_CASES = [
+SENSOR_CASES = register_cases([
     CaseSpec(
         key="tapandturn",
         app_factory=TapAndTurn,
@@ -115,4 +116,4 @@ SENSOR_CASES = [
         paper_power=dict(vanilla=19.17, leaseos=1.43, doze=6.64,
                          defdroid=3.93),
     ),
-]
+])

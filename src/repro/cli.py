@@ -263,10 +263,17 @@ def _cmd_fleet(args):
 
     mitigations = tuple(
         name.strip() for name in args.mitigations.split(",") if name.strip())
+    catalog_json = ""
+    if args.catalog:
+        from repro.scenarios.catalog import ScenarioCatalog
+
+        catalog_json = ScenarioCatalog.from_file(args.catalog).to_json()
     population = PopulationSpec(
         seed=args.seed, devices=args.devices, mitigations=mitigations,
         minutes=args.minutes, shard_size=args.shard_size,
         buggy_prevalence=args.prevalence, chaos_rate=args.chaos_rate,
+        catalog_json=catalog_json,
+        scenario_prevalence=args.scenario_prevalence,
     )
     telemetry_dir = args.telemetry_dir
     if telemetry_dir is None and args.telemetry:
@@ -411,6 +418,40 @@ def _cmd_fleet(args):
     return "fleet.txt", text + "\n\n" + summary_line
 
 
+def _cmd_scenarios(args):
+    import hashlib
+
+    from repro.scenarios.catalog import ScenarioCatalog, default_catalog
+    from repro.scenarios.evaluate import (
+        evaluate_catalog,
+        render_report,
+        report_json,
+    )
+
+    if args.catalog:
+        catalog = ScenarioCatalog.from_file(args.catalog)
+    else:
+        catalog = default_catalog(seed=args.seed)
+    mitigations = tuple(
+        name.strip() for name in args.mitigations.split(",") if name.strip())
+    report = evaluate_catalog(catalog, mitigations=mitigations,
+                              minutes=args.minutes, seed=args.day_seed,
+                              runner=_grid_runner(args))
+    text = render_report(report)
+    payload = report_json(report)
+    path = args.report_json
+    if path is None:
+        os.makedirs("results", exist_ok=True)
+        path = os.path.join("results", "scenarios_{}.json".format(
+            catalog.fingerprint()[:12]))
+    with open(path, "w") as handle:
+        handle.write(payload + "\n")
+    print("[scenario report JSON: {} (sha256 {})]".format(
+        path, hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]),
+        file=sys.stderr)
+    return "scenarios.txt", text
+
+
 def _cmd_watch(args):
     from repro.telemetry import (
         check_report,
@@ -485,6 +526,10 @@ COMMANDS = {
     "fleet": (_cmd_fleet,
               "sharded population simulation: thousands of sampled "
               "device-days per mitigation, with checkpoint/resume"),
+    "scenarios": (_cmd_scenarios,
+                  "DroidLeaks-grounded scenario catalog: generated "
+                  "family x resource compositions scored for "
+                  "containment and classifier quality"),
     "watch": (_cmd_watch,
               "aggregate a fleet telemetry stream into a live (or "
               "final) fleet-level snapshot"),
@@ -493,8 +538,9 @@ COMMANDS = {
 #: Commands skipped by ``repro all``: chaos has its own seed/exit-code
 #: plumbing and is run by the dedicated CI job instead; fleet is a
 #: population-scale run with its own checkpoint/JSON artifacts; watch
-#: only observes a stream another run emitted.
-EXCLUDE_FROM_ALL = ("chaos", "fleet", "watch")
+#: only observes a stream another run emitted; scenarios is a
+#: catalog-scale sweep with its own JSON artifact and CI job.
+EXCLUDE_FROM_ALL = ("chaos", "fleet", "watch", "scenarios")
 
 
 def build_parser():
@@ -555,7 +601,8 @@ def build_parser():
 
     for name, (__, help_text) in COMMANDS.items():
         sub = subparsers.add_parser(name, help=help_text)
-        minutes_default = {"chaos": 10.0, "fleet": 15.0}.get(name, 30.0)
+        minutes_default = {"chaos": 10.0, "fleet": 15.0,
+                           "scenarios": 15.0}.get(name, 30.0)
         sub.add_argument("--minutes", type=float, default=minutes_default,
                          help="simulated minutes per run where applicable")
         # SUPPRESS keeps a top-level "--out DIR" (before the subcommand)
@@ -641,6 +688,37 @@ def build_parser():
                              default=None,
                              help="telemetry stream directory (implies "
                                   "--telemetry)")
+            sub.add_argument("--catalog", metavar="PATH", default=None,
+                             help="scenario catalog JSON whose generated "
+                                  "apps join the sampling pool (see "
+                                  "`repro scenarios`)")
+            sub.add_argument("--scenario-prevalence", type=float,
+                             default=0.0, metavar="P",
+                             help="probability an app slot hosts a "
+                                  "generated scenario app (requires "
+                                  "--catalog)")
+        if name == "scenarios":
+            sub.add_argument("--catalog", metavar="PATH", default=None,
+                             help="catalog JSON to evaluate (default: "
+                                  "the built-in droidleaks-default "
+                                  "catalog)")
+            sub.add_argument("--seed", type=int, default=2019,
+                             metavar="S",
+                             help="built-in catalog seed (ignored with "
+                                  "--catalog)")
+            sub.add_argument("--day-seed", type=int, default=7,
+                             metavar="S",
+                             help="per-day simulation seed")
+            sub.add_argument("--mitigations",
+                             default="leaseos,doze,defdroid",
+                             metavar="A,B,...",
+                             help="comma-separated mitigations compared "
+                                  "(vanilla is always the baseline)")
+            sub.add_argument("--report-json", metavar="PATH",
+                             default=None,
+                             help="where to write the canonical report "
+                                  "JSON (default: results/"
+                                  "scenarios_<fingerprint>.json)")
         if name == "watch":
             sub.add_argument("run", nargs="?", default=None,
                              help="stream directory or run-fingerprint "

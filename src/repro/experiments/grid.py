@@ -87,10 +87,15 @@ MITIGATION_NAMES = (
 
 
 def resolve_case(key):
-    """Look a case key up in the Table 5 registry (worker-side)."""
-    from repro.apps.buggy import CASES_BY_KEY
+    """Look a case key up in the shared case registry (worker-side).
 
-    return CASES_BY_KEY[key]
+    Covers all three tiers -- Table 5, extensions, and generated
+    scenario cases (the latter require the catalog to have been
+    instantiated in this process first).
+    """
+    from repro.apps.buggy import resolve_case as registry_resolve
+
+    return registry_resolve(key)
 
 
 def resolve_mitigation_factory(name):

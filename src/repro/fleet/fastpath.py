@@ -251,11 +251,11 @@ def _case_env(buggy_apps):
     """``(merged env dict, canonical JSON)`` for one buggy-app tuple."""
     cached = _ENV_CACHE.get(buggy_apps)
     if cached is None:
-        from repro.apps.buggy import CASES_BY_KEY
+        from repro.apps.buggy import resolve_case
 
         env = {}
         for key in buggy_apps:
-            env.update(CASES_BY_KEY[key].phone_kwargs)
+            env.update(resolve_case(key).phone_kwargs)
         cached = (env, json.dumps(env, sort_keys=True,
                                   separators=(",", ":")))
         _ENV_CACHE[buggy_apps] = cached
@@ -438,8 +438,12 @@ def needed_probes(population):
     """
     probes = set()
     for index in range(min(population.devices, PROBE_SCAN_CAP)):
-        probes.update(device_probes(population.device(index),
-                                    population.mitigations))
+        device = population.device(index)
+        # Scenario devices replay on the kernel (see _scenario_guard);
+        # probing their classes would simulate days nothing reads.
+        if _scenario_guard(device.buggy_apps) is not None:
+            continue
+        probes.update(device_probes(device, population.mitigations))
     return sorted(probes)
 
 
@@ -506,16 +510,35 @@ def _capacity_mj(profile):
     return _CAPACITY_CACHE[profile]
 
 
+def _scenario_guard(buggy_apps):
+    """Fallback reason when a device hosts generated scenario apps.
+
+    Scenario cases carry per-case environment traces and family
+    behaviours the transition-table composition was never validated
+    against, so their device-days always run on the event kernel.
+    """
+    from repro.apps.buggy import is_scenario_key
+
+    for key in buggy_apps:
+        if is_scenario_key(key):
+            return "scenario-app"
+    return None
+
+
 def _device_guard(device, mitigations, table):
     """Why this device cannot be replayed from the table, or None.
 
     A non-None reason routes the device to the kernel (per-device
     fallback): armed fault plans perturb the day in ways no canonical
-    probe captured, and a missing or crashed probe means the class was
-    never (successfully) characterised.
+    probe captured, scenario apps are kernel-only by design, and a
+    missing or crashed probe means the class was never (successfully)
+    characterised.
     """
     if device.fault_plan_json:
         return "fault-plan-armed"
+    reason = _scenario_guard(device.buggy_apps)
+    if reason is not None:
+        return reason
     for probe in device_probes(device, mitigations):
         entry = table.entries.get(TransitionTable.entry_key(*probe))
         if entry is None:
@@ -844,6 +867,7 @@ def replay_shard(population, start, stop, table,
     No per-device record survives the loop. ``telemetry`` is the
     shard's :class:`~repro.telemetry.emit.ShardTelemetry` (or None).
     """
+    from repro.apps.buggy import scenario_families
     from repro.fleet.shard import (
         MAX_CRASH_RECORDS,
         _fold_device,
@@ -856,6 +880,7 @@ def replay_shard(population, start, stop, table,
     crashes = []
     for index in range(start, stop):
         device = population.device(index)
+        families = scenario_families(device.buggy_apps)
         reason = _device_guard(device, population.mitigations, table)
         summaries = {}
         if reason is None:
@@ -886,8 +911,12 @@ def replay_shard(population, start, stop, table,
             fold.count("fastpath_devices")
             if reason is not None:
                 fold.count("fastpath_fallbacks")
+            for family in families:
+                fold.count("scenario:" + family)
             if telemetry is not None:
                 telemetry.observe(summary)
+                if families:
+                    telemetry.observe_families(families)
         if telemetry is not None:
             telemetry.device_done()
     return {name: fold.flush() for name, fold in folds.items()}, crashes

@@ -41,6 +41,55 @@ from repro.apps.buggy import CASES_BY_KEY  # noqa: E402  (registry is data)
 
 BUGGY_POOL = tuple(sorted(CASES_BY_KEY))
 
+#: Per-catalog scenario pool memo: catalog canonical JSON + family
+#: weights -> (entry keys, cumulative weights, total). Instantiating a
+#: catalog registers its cases process-wide, so workers that receive a
+#: spec with ``catalog_json`` can resolve scenario keys like any other
+#: case key.
+_SCENARIO_POOLS = {}
+
+
+def scenario_pool(catalog_json, family_weights=()):
+    """(keys, cumulative_weights, total) for weighted scenario draws.
+
+    Families absent from ``family_weights`` keep weight 1.0, so an
+    empty mapping is a uniform draw over catalog entries. Instantiates
+    (and registers) the catalog on first use per process.
+    """
+    memo_key = (catalog_json, tuple(family_weights))
+    pool = _SCENARIO_POOLS.get(memo_key)
+    if pool is None:
+        from repro.scenarios.catalog import ScenarioCatalog
+
+        catalog = ScenarioCatalog.from_json(catalog_json)
+        catalog.instantiate()
+        weights = dict(family_weights)
+        keys, cumulative = [], []
+        total = 0.0
+        for index, entry in enumerate(catalog.entries):
+            weight = float(weights.get(entry["family"], 1.0))
+            if weight < 0:
+                raise ValueError("negative weight for family {!r}".format(
+                    entry["family"]))
+            total += weight
+            keys.append(catalog.entry_key(index))
+            cumulative.append(total)
+        if total <= 0:
+            raise ValueError("scenario family weights sum to zero")
+        pool = (tuple(keys), tuple(cumulative), total)
+        _SCENARIO_POOLS[memo_key] = pool
+    return pool
+
+
+def _draw_scenario(u, pool):
+    """Map one uniform draw ``u`` in [0, 1) to a scenario key."""
+    keys, cumulative, total = pool
+    target = u * total
+    for key, bound in zip(keys, cumulative):
+        if target < bound:
+            return key
+    return keys[-1]
+
 
 def normal_app_factory(name):
     """Materialise one normal archetype by name (worker-side)."""
@@ -131,6 +180,18 @@ class PopulationSpec:
     chaos_rate: float = 0.0
     #: FaultPlan.sample events-per-hour when chaos is armed.
     chaos_events_per_hour: float = 6.0
+    #: Canonical JSON of a :class:`~repro.scenarios.catalog.
+    #: ScenarioCatalog` whose generated cases join the sampling pool
+    #: ("" = none). Kept as the canonical string so the spec stays pure
+    #: data and the catalog fingerprint is part of the population
+    #: fingerprint.
+    catalog_json: str = ""
+    #: Probability that each app slot hosts a generated scenario app
+    #: (drawn before the buggy-pool draw; requires ``catalog_json``).
+    scenario_prevalence: float = 0.0
+    #: Per-family draw weights, ``(("family", weight), ...)``; families
+    #: not listed keep weight 1.0, so () draws entries uniformly.
+    family_weights: tuple = ()
 
     def __post_init__(self):
         if not self.profiles:
@@ -146,14 +207,38 @@ class PopulationSpec:
             raise ValueError("need 1 <= min_apps <= max_apps")
         if self.shard_size < 1:
             raise ValueError("shard_size must be >= 1")
+        if self.scenario_prevalence and not self.catalog_json:
+            raise ValueError(
+                "scenario_prevalence requires a catalog_json")
+        if self.family_weights:
+            object.__setattr__(self, "family_weights", tuple(
+                (str(name), float(weight))
+                for name, weight in self.family_weights))
+        if self.catalog_json:
+            # Validates the catalog and registers its cases eagerly so
+            # sampling never races imports inside worker threads.
+            scenario_pool(self.catalog_json, self.family_weights)
 
     # -- serialisation -----------------------------------------------------
 
     def to_json(self):
-        """Canonical JSON: key-sorted, compact -- the fingerprint input."""
+        """Canonical JSON: key-sorted, compact -- the fingerprint input.
+
+        Catalog-free specs omit the scenario fields entirely, so their
+        canonical bytes (and therefore fingerprints, checkpoint
+        directories and cache keys) are identical to those of builds
+        that predate scenario support.
+        """
         data = asdict(self)
         for name in ("mitigations", "profiles", "buggy_pool"):
             data[name] = list(data[name])
+        if self.catalog_json:
+            data["family_weights"] = [
+                list(pair) for pair in self.family_weights]
+        else:
+            del data["catalog_json"]
+            del data["scenario_prevalence"]
+            del data["family_weights"]
         return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
     @classmethod
@@ -161,6 +246,9 @@ class PopulationSpec:
         data = json.loads(text)
         for name in ("mitigations", "profiles", "buggy_pool"):
             data[name] = tuple(data[name])
+        if "family_weights" in data:
+            data["family_weights"] = tuple(
+                tuple(pair) for pair in data["family_weights"])
         return cls(**data)
 
     def fingerprint(self):
@@ -196,9 +284,16 @@ class PopulationSpec:
         rng = random.Random(sub_seed)
         profile = rng.choice(list(self.profiles))
         slots = rng.randint(self.min_apps, self.max_apps)
+        # Catalog-free specs take zero scenario draws, keeping their
+        # device streams byte-identical to pre-scenario builds.
+        pool = scenario_pool(self.catalog_json, self.family_weights) \
+            if self.catalog_json else None
         normal, buggy = [], []
         for __ in range(slots):
-            if self.buggy_pool and rng.random() < self.buggy_prevalence:
+            if pool is not None \
+                    and rng.random() < self.scenario_prevalence:
+                buggy.append(_draw_scenario(rng.random(), pool))
+            elif self.buggy_pool and rng.random() < self.buggy_prevalence:
                 buggy.append(rng.choice(list(self.buggy_pool)))
             else:
                 normal.append(rng.choice(list(NORMAL_ARCHETYPES)))
@@ -275,6 +370,9 @@ class PopulationSpec:
         touch_span = 45.0 - 6.0
         prevalence = self.buggy_prevalence
         chaos = self.chaos_rate
+        scen_pool = scenario_pool(self.catalog_json, self.family_weights) \
+            if self.catalog_json else None
+        scen_prevalence = self.scenario_prevalence
         seed = self.seed
         min_apps = self.min_apps
         app_width = self.max_apps - self.min_apps + 1
@@ -315,7 +413,9 @@ class PopulationSpec:
             slots = min_apps + r
             normal, buggy = [], []
             for __ in range(slots):
-                if n_bug and uniform() < prevalence:
+                if scen_pool is not None and uniform() < scen_prevalence:
+                    buggy.append(_draw_scenario(uniform(), scen_pool))
+                elif n_bug and uniform() < prevalence:
                     r = grb(k_bug)
                     while r >= n_bug:
                         r = grb(k_bug)

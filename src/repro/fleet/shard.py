@@ -73,7 +73,7 @@ def build_device_phone(device, mitigation, extra_overrides=None):
     multi-case device (a later case's triggering environment overrides
     an earlier one's, which changes whether the earlier bug fires).
     """
-    from repro.apps.buggy import CASES_BY_KEY
+    from repro.apps.buggy import resolve_case
     from repro.device.profiles import PROFILES
     from repro.droid.phone import Phone
     from repro.env.network import ServerMode
@@ -81,7 +81,7 @@ def build_device_phone(device, mitigation, extra_overrides=None):
 
     factory = resolve_mitigation_factory(mitigation)
     mit = factory() if factory else None
-    cases = [CASES_BY_KEY[key] for key in device.buggy_apps]
+    cases = [resolve_case(key) for key in device.buggy_apps]
     overrides = dict(
         gps_quality=device.gps_quality,
         movement_mps=device.movement_mps,
@@ -254,11 +254,14 @@ def run_shard(population_json, start, stop, mode="kernel",
                           in sorted(per_mitigation.items())},
                 "crashes": crashes,
             }
+        from repro.apps.buggy import scenario_families
+
         per_mitigation = {name: FleetStats()
                           for name in population.mitigations}
         crashes = []
         for device in population.devices_in(start, stop):
             vanilla_summary = None
+            families = scenario_families(device.buggy_apps)
             for mitigation in population.mitigations:
                 summary = simulate_device_day(
                     device, mitigation, population.minutes)
@@ -270,8 +273,13 @@ def run_shard(population_json, start, stop, mode="kernel",
                                     "error": summary["crash_error"]})
                 _fold_device(per_mitigation[mitigation], summary,
                              vanilla_summary)
+                for family in families:
+                    per_mitigation[mitigation].count(
+                        "scenario:" + family)
                 if telem is not None:
                     telem.observe(summary)
+                    if families:
+                        telem.observe_families(families)
             if telem is not None:
                 telem.device_done()
         if telem is not None:

@@ -64,6 +64,7 @@ from repro.fleet.fastpath import (
     _capacity_mj,
     _JITTER_SALT,
     _log_fallback_once,
+    _scenario_guard,
     active_seconds,
     build_table,
     case_env_json,
@@ -358,6 +359,9 @@ class _ShardClasses:
                     for rail in RAIL_ORDER]})
 
     def resolve(self, profile, normal_apps, buggy_apps):
+        reason = _scenario_guard(buggy_apps)
+        if reason is not None:
+            return reason
         env = case_env_json(buggy_apps)
         per_mit = []
         # Walk probes in _device_guard's order so the first-failure
@@ -431,6 +435,9 @@ class _ShardClasses:
         order -- name-major caching never has to reason about failure
         priority across mitigations.
         """
+        reason = _scenario_guard(buggy_apps)
+        if reason is not None:
+            return reason
         env = case_env_json(buggy_apps)
         key = (profile, env)
         row = self._rows.get(key)
@@ -971,6 +978,7 @@ def replay_shard_vector(population, start, stop, table,
     fallback rows are already overwritten into the columns, so the
     batch counts every device-day exactly once.
     """
+    from repro.apps.buggy import scenario_families
     from repro.fleet.shard import MAX_CRASH_RECORDS, simulate_device_day
 
     if max_crash_records is None:
@@ -992,6 +1000,11 @@ def replay_shard_vector(population, start, stop, table,
     for row in fallback_rows:
         _log_fallback_once(comp.fallback[row], columns.index[row])
         device = columns.spec(row, population)
+        families = scenario_families(device.buggy_apps)
+        if telemetry is not None and families:
+            # One attribution per device-day, matching replay_shard's
+            # per-mitigation observe_families calls.
+            telemetry.observe_families(families, count=len(mitigations))
         for m in mitigations:
             summary = simulate_device_day(device, m,
                                           population.minutes)
@@ -1008,6 +1021,13 @@ def replay_shard_vector(population, start, stop, table,
 
     n_fallback = len(fallback_rows)
     n_vector = len(comp.vector_rows)
+    # Scenario devices are always fallback rows (see _scenario_guard),
+    # so scanning every row reproduces replay_shard's per-mitigation
+    # family counters exactly.
+    family_counts = {}
+    for row in range(n):
+        for family in scenario_families(columns.buggy_apps[row]):
+            family_counts[family] = family_counts.get(family, 0) + 1
     normal_installed = [len(apps) for apps in columns.normal_apps]
     buggy_installed = [len(apps) for apps in columns.buggy_apps]
     vanilla_pos = mitigations.index("vanilla")
@@ -1061,6 +1081,8 @@ def replay_shard_vector(population, start, stop, table,
         fold.count("fastpath_devices", n)
         if n_fallback:
             fold.count("fastpath_fallbacks", n_fallback)
+        for family, count in sorted(family_counts.items()):
+            fold.count("scenario:" + family, count)
         fold.count("vector_devices", n_vector)
         stats[m] = fold
         if telemetry is not None:

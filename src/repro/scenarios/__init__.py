@@ -1,0 +1,39 @@
+"""Seeded, DroidLeaks-grounded scenario generation.
+
+The paper evaluates LeaseOS on 20 hand-built apps (Table 5); DroidLeaks
+(PAPERS.md) shows the underlying defects cluster into a small number of
+*bug families* -- missed release on an exception path, lost references,
+early/late release, API-misuse loops -- each of which composes with any
+leasable resource kind. This package turns that observation into a
+generator:
+
+- :mod:`repro.scenarios.families` -- parametric family templates that
+  compose with any resource driver into app classes on the
+  :mod:`repro.droid` framework;
+- :mod:`repro.scenarios.traces` -- seeded environment traces (diurnal
+  interaction, network outages, weak-GPS episodes) layered on
+  :mod:`repro.env`;
+- :mod:`repro.scenarios.catalog` -- the versioned, sha256-fingerprinted
+  :class:`~repro.scenarios.catalog.ScenarioCatalog` (JSON spec ->
+  deterministic :class:`~repro.apps.spec.CaseSpec` instantiation);
+- :mod:`repro.scenarios.evaluate` -- runs a catalog through the kernel
+  across mitigations and scores per-family containment and classifier
+  precision/recall/F1 (the `repro scenarios` CLI).
+"""
+
+from repro.scenarios.catalog import (  # noqa: F401
+    CATALOG_SCHEMA_VERSION,
+    ScenarioCatalog,
+    default_catalog,
+    scenario_key,
+)
+from repro.scenarios.families import FAMILIES, RESOURCE_DRIVERS  # noqa: F401
+
+__all__ = [
+    "CATALOG_SCHEMA_VERSION",
+    "FAMILIES",
+    "RESOURCE_DRIVERS",
+    "ScenarioCatalog",
+    "default_catalog",
+    "scenario_key",
+]

@@ -1,0 +1,657 @@
+"""Parametric leak-bug family templates (DroidLeaks taxonomy).
+
+DroidLeaks (PAPERS.md) catalogs how real Android resource leaks happen:
+a release skipped on an exception path, a reference overwritten or
+dropped before release, a release that runs too early (and a retry storm
+after it) or too late (the consumer is long gone), and API-misuse loops
+that churn acquire/use cycles for work nobody consumes. Each of those
+*families* is independent of which resource is leaked -- so this module
+factors the two axes apart:
+
+- a :class:`ResourceDriver` per resource kind (wakelock / CPU / screen /
+  GPS / sensor / Wi-Fi / audio / Bluetooth) encapsulating acquire,
+  release, *abandon* (the consumer vanishes without a release) and
+  genuine attributable *use* through the real :mod:`repro.droid` APIs;
+- a :class:`Family` per bug pattern, a small generator loop written once
+  against the driver interface.
+
+``family x driver`` composition yields an app class compatible with the
+Table 5 cases (:class:`~repro.apps.spec.CaseSpec` app factories); the
+catalog (:mod:`repro.scenarios.catalog`) instantiates the grid with
+seeded parameters. The sixth family, ``misleading-burst``, is *clean*
+(bursty-but-useful) and exists to probe classifier false positives.
+
+Ground-truth behaviour labels per composition are pinned by
+``Family.behavior`` and verified empirically by the mutation tests in
+``tests/scenarios/test_families.py``: every leak family must actually
+trip the LeaseOS classifier, the misleading family must not.
+"""
+
+from repro.core.behavior import BehaviorType
+from repro.core.utility import UtilityCounter
+from repro.droid.app import App
+from repro.droid.exceptions import NetworkException
+from repro.droid.power_manager import WakeLockLevel
+from repro.droid.resources import ResourceType
+from repro.droid.sensors import SensorType
+
+#: Server every scenario phone registers in ERROR mode: the exception
+#: path trigger for the missed-release family (K9Mail idiom).
+FLAKY_SERVER = "scenario-flaky"
+#: Healthy server for transfer-style use (Wi-Fi lock utilization).
+SYNC_SERVER = "scenario-sync"
+
+
+# ---------------------------------------------------------------------------
+# Resource drivers
+
+
+class ResourceDriver:
+    """Acquire/use/release one resource kind through the real APIs.
+
+    ``fresh_record`` distinguishes listener-style APIs (every acquire
+    creates a new kernel record: GPS, sensor, Bluetooth, audio) from
+    lock-style APIs (one app-side descriptor is re-acquired, so hold
+    time accrues on a single lease: wakelocks, Wi-Fi locks).
+    """
+
+    kind = None
+    resource = None
+    fresh_record = True
+
+    def acquire(self, app):
+        """Acquire (reusing the app's cached descriptor when lock-style)."""
+        raise NotImplementedError
+
+    def acquire_fresh(self, app):
+        """Acquire a brand-new kernel record (lost-reference stacking)."""
+        return self.acquire(app)
+
+    def release(self, app, handle):
+        raise NotImplementedError
+
+    def abandon(self, app, handle):
+        """The consumer vanishes without a release.
+
+        For listener-style resources this marks the bound Activity dead
+        (``set_consumer_active(False)``), which is what drives their
+        utilization metric to zero; lock-style resources have no
+        consumer signal -- the leak shows up as use simply stopping.
+        """
+
+    def use(self, app, handle, work_s):
+        """Generator: ``work_s`` seconds of genuine, attributable use."""
+        yield app.sleep(work_s)
+
+    def ambient(self):
+        """Phone kwargs for a healthy environment for this resource."""
+        return {}
+
+    def stressed(self):
+        """Phone kwargs for the environment exposing ask-side bugs."""
+        return self.ambient()
+
+
+class WakelockDriver(ResourceDriver):
+    kind = "wakelock"
+    resource = ResourceType.WAKELOCK
+    fresh_record = False
+    level = WakeLockLevel.PARTIAL
+    #: Fraction of the use window spent computing (wakelock utilization
+    #: is CPU time over honoured time).
+    duty = 0.5
+    cores = 1.0
+
+    def acquire(self, app):
+        lock = app.scenario_handles.get(self.kind)
+        if lock is None:
+            lock = self._new_lock(app, "{}.lock".format(app.name))
+            app.scenario_handles[self.kind] = lock
+        lock.acquire()
+        return lock
+
+    def acquire_fresh(self, app):
+        lock = self._new_lock(
+            app, "{}.lock{}".format(app.name, len(app.leaked)))
+        lock.acquire()
+        return lock
+
+    def _new_lock(self, app, name):
+        return app.ctx.power.new_wakelock(app, name, level=self.level)
+
+    def release(self, app, handle):
+        handle.release()
+
+    def use(self, app, handle, work_s):
+        busy = self.duty * work_s
+        yield from app.compute(busy, cores=self.cores)
+        if work_s > busy:
+            yield app.sleep(work_s - busy)
+
+
+class CpuDriver(WakelockDriver):
+    """A partial wakelock backing sustained multi-core computation."""
+
+    kind = "cpu"
+    duty = 1.0
+    cores = 2.0
+
+
+class ScreenDriver(WakelockDriver):
+    kind = "screen"
+    resource = ResourceType.SCREEN
+    level = WakeLockLevel.SCREEN_BRIGHT
+
+    def use(self, app, handle, work_s):
+        # Screen utilization is interaction/UI-update credit; refresh
+        # live content every ~4 s (credit is 5 s per update).
+        ticks = max(1, int(work_s / 4.0))
+        for __ in range(ticks):
+            app.post_ui_update()
+            yield app.sleep(work_s / ticks)
+
+
+class GpsDriver(ResourceDriver):
+    kind = "gps"
+    resource = ResourceType.GPS
+
+    def acquire(self, app):
+        return app.ctx.location.request_location_updates(
+            app, app.scenario_feed,
+            interval=app.params.get("interval_s", 8.0))
+
+    def release(self, app, handle):
+        handle.remove()
+
+    def abandon(self, app, handle):
+        handle.set_consumer_active(False)
+
+    def ambient(self):
+        # Stationary user, clear sky: fixes lock fast, holding without a
+        # consumer is pure waste.
+        return {"gps_quality": 0.95, "movement_mps": 0.0}
+
+    def stressed(self):
+        # Deep-indoors signal: searching dominates, asks rarely succeed
+        # -- the environment that exposes FAB (BetterWeather idiom).
+        return {"gps_quality": 0.12, "movement_mps": 0.0}
+
+
+class SensorDriver(ResourceDriver):
+    kind = "sensor"
+    resource = ResourceType.SENSOR
+
+    def acquire(self, app):
+        return app.ctx.sensors.register_listener(
+            app, SensorType.ACCELEROMETER, app.scenario_feed,
+            rate_hz=app.params.get("rate_hz", 5.0))
+
+    def release(self, app, handle):
+        handle.unregister()
+
+    def abandon(self, app, handle):
+        handle.set_consumer_active(False)
+
+
+class WifiDriver(ResourceDriver):
+    kind = "wifi"
+    resource = ResourceType.WIFI
+    fresh_record = False
+
+    def acquire(self, app):
+        lock = app.scenario_handles.get(self.kind)
+        if lock is None:
+            lock = app.ctx.wifi.new_lock(app, "{}.wifilock".format(app.name))
+            app.scenario_handles[self.kind] = lock
+        lock.acquire()
+        return lock
+
+    def acquire_fresh(self, app):
+        lock = app.ctx.wifi.new_lock(
+            app, "{}.wifilock{}".format(app.name, len(app.leaked)))
+        lock.acquire()
+        return lock
+
+    def release(self, app, handle):
+        handle.release()
+
+    def use(self, app, handle, work_s):
+        # Wi-Fi lock utilization is transfer duty while held.
+        transfer = min(3.0, max(0.5, 0.2 * work_s))
+        yield from app.http(SYNC_SERVER, payload_s=transfer)
+        if work_s > transfer:
+            yield app.sleep(work_s - transfer)
+
+
+class AudioDriver(ResourceDriver):
+    kind = "audio"
+    resource = ResourceType.AUDIO
+
+    def acquire(self, app):
+        return app.ctx.audio.open_session(
+            app, "{}.audio{}".format(app.name, len(app.leaked)))
+
+    def release(self, app, handle):
+        handle.close()
+
+    def abandon(self, app, handle):
+        # Playback stops (the player UI is gone) but the session stays
+        # open -- the honoured record accrues with zero playback.
+        handle.stop_playback()
+
+    def use(self, app, handle, work_s):
+        handle.start_playback()
+        yield app.sleep(work_s)
+        handle.stop_playback()
+
+
+class BluetoothDriver(ResourceDriver):
+    kind = "bluetooth"
+    resource = ResourceType.BLUETOOTH
+
+    def acquire(self, app):
+        return app.ctx.bluetooth.start_discovery(app, app.scenario_feed)
+
+    def release(self, app, handle):
+        handle.close()
+
+    def abandon(self, app, handle):
+        handle.set_consumer_active(False)
+
+
+#: kind -> driver instance (drivers are stateless; per-app descriptors
+#: are cached on the app).
+RESOURCE_DRIVERS = {
+    driver.kind: driver
+    for driver in (
+        WakelockDriver(), CpuDriver(), ScreenDriver(), GpsDriver(),
+        SensorDriver(), WifiDriver(), AudioDriver(), BluetoothDriver(),
+    )
+}
+
+
+# ---------------------------------------------------------------------------
+# Scenario app base
+
+
+class ScenarioApp(App):
+    """Base for generated apps: one driver, seeded params, leak state."""
+
+    category = "scenario"
+
+    def __init__(self, key, driver, params):
+        App.__init__(self, name=key)
+        self.driver = driver
+        self.params = dict(params)
+        #: While True, delivered readings/fixes/results are persisted
+        #: (``note_data_write``) -- the generic utility signal.
+        self.consuming = True
+        #: Lock-style descriptor cache (see ``ResourceDriver``).
+        self.scenario_handles = {}
+        #: Handles leaked so far (held/open with no live reference).
+        self.leaked = []
+
+    def scenario_feed(self, *args):
+        """Listener for fixes / sensor readings / discovery results.
+
+        While a live consumer exists, every delivery is persisted and
+        surfaced (the generic utility signals); a leaked registration
+        has ``consuming`` off and its deliveries vanish.
+        """
+        if self.consuming:
+            self.note_data_write()
+            self.post_ui_update()
+
+    def on_touch(self):
+        self.post_ui_update()
+
+
+# ---------------------------------------------------------------------------
+# Families
+
+
+class Family:
+    """One DroidLeaks bug pattern, composable with any supported driver."""
+
+    name = None
+    #: DroidLeaks defect category this family reproduces.
+    droidleaks = None
+    description = None
+    #: Resource kinds this family composes with (catalog validation);
+    #: compositions outside this set would not express the defect in the
+    #: classifier's metrics (e.g. early release of a listener-style
+    #: resource wastes nothing).
+    supported = ()
+    #: Families probing the ask side run in the driver's stressed
+    #: environment (weak GPS) instead of the ambient one.
+    stress_environment = False
+    app_cls = None
+
+    def sample_params(self, rng, driver):
+        """Draw this family's parameters from the entry's seeded rng.
+
+        Every draw is rounded so catalog fingerprints stay readable and
+        platform-stable; the draw *sequence* is part of the catalog's
+        determinism contract (tests/scenarios goldens).
+        """
+        params = self._sample(rng)
+        if driver.kind == "gps":
+            params["interval_s"] = round(rng.uniform(6.0, 12.0), 1)
+        elif driver.kind == "sensor":
+            params["rate_hz"] = round(rng.uniform(5.0, 10.0), 1)
+        return params
+
+    def _sample(self, rng):
+        raise NotImplementedError
+
+    def behavior(self, driver):
+        """Ground-truth LeaseOS behaviour class for this composition."""
+        raise NotImplementedError
+
+    def phone_kwargs(self, driver):
+        if self.stress_environment:
+            return dict(driver.stressed())
+        return dict(driver.ambient())
+
+    def servers(self):
+        return {FLAKY_SERVER: "error", SYNC_SERVER: "ok"}
+
+    def build(self, key, driver, params):
+        return self.app_cls(key, driver, params)
+
+
+class MissedReleaseApp(ScenarioApp):
+    """Sync loop whose release sits below a throwing network call."""
+
+    def run(self):
+        p = self.params
+        while True:
+            handle = self.driver.acquire(self)
+            try:
+                yield from self.driver.use(self, handle, p["use_s"])
+                yield from self.http(FLAKY_SERVER, payload_s=0.2)
+            except NetworkException as exc:
+                # The early-exit path skips the release; the component
+                # that consumed the resource errors out and dies.
+                self.note_exception(exc)
+                self.consuming = False
+                self.driver.abandon(self, handle)
+                self.leaked.append(handle)
+                break
+            self.driver.release(self, handle)
+            yield self.sleep(p["period_s"])
+        while True:
+            yield self.sleep(600.0)
+
+
+class MissedReleaseFamily(Family):
+    name = "missed-release-exception"
+    droidleaks = "missed release on exception path"
+    description = ("release() sits after a network call that throws; the "
+                   "catch block forgets it and the service goes quiescent "
+                   "with the resource held")
+    supported = ("wakelock", "cpu", "screen", "gps", "sensor", "wifi",
+                 "audio", "bluetooth")
+    app_cls = MissedReleaseApp
+
+    def _sample(self, rng):
+        return {
+            "use_s": round(rng.uniform(6.0, 12.0), 1),
+            "period_s": round(rng.uniform(30.0, 60.0), 1),
+        }
+
+    def behavior(self, driver):
+        return BehaviorType.LHB
+
+
+class LostReferenceApp(ScenarioApp):
+    """Overwrites its only reference on every restart; holds pile up."""
+
+    def run(self):
+        p = self.params
+        handle = None
+        for __ in range(p["leak_cap"]):
+            if handle is not None:
+                # The component restarts: the field is overwritten, the
+                # old consumer is destroyed, the old hold remains.
+                self.driver.abandon(self, handle)
+                self.leaked.append(handle)
+            handle = self.driver.acquire_fresh(self)
+            try:
+                yield from self.driver.use(self, handle, p["use_s"])
+            except NetworkException as exc:
+                self.note_exception(exc)
+            yield self.sleep(p["period_s"])
+        # Final teardown has no reference left to release either.
+        self.driver.abandon(self, handle)
+        self.leaked.append(handle)
+        self.consuming = False
+        while True:
+            yield self.sleep(600.0)
+
+
+class LostReferenceFamily(Family):
+    name = "lost-reference"
+    droidleaks = "reference lost before release"
+    description = ("every restart re-acquires into the same field, "
+                   "orphaning the previous hold; teardown has nothing "
+                   "left to release")
+    supported = ("wakelock", "cpu", "screen", "gps", "sensor", "wifi",
+                 "audio", "bluetooth")
+    app_cls = LostReferenceApp
+
+    def _sample(self, rng):
+        return {
+            "use_s": round(rng.uniform(4.0, 8.0), 1),
+            "period_s": round(rng.uniform(20.0, 45.0), 1),
+            "leak_cap": rng.randint(3, 6),
+        }
+
+    def behavior(self, driver):
+        return BehaviorType.LHB
+
+
+class EarlyReleaseApp(ScenarioApp):
+    """Gives the resource up before the task finishes, then retries."""
+
+    def run(self):
+        p = self.params
+        while True:
+            handle = self.driver.acquire(self)
+            # Waits a fixed beat instead of driving the task, concludes
+            # the task failed, and releases long before completion...
+            yield self.sleep(p["hold_s"])
+            self.driver.release(self, handle)
+            self.record_disruption(
+                "{}: task aborted, resource released early".format(self.name))
+            # ...then immediately retries the whole cycle.
+            yield self.sleep(p["retry_s"])
+
+
+class EarlyReleaseFamily(Family):
+    name = "early-release"
+    droidleaks = "released too early (retry storm)"
+    description = ("holds for less time than the task needs, aborts, and "
+                   "retries forever: idle holds for lock-style resources, "
+                   "an ask storm for GPS under weak signal")
+    # Listener-style resources with a live consumer waste nothing when
+    # released early, so the family only composes where the churn shows:
+    # idle lock holds, or GPS searching that never locks.
+    supported = ("wakelock", "cpu", "screen", "gps", "wifi")
+    stress_environment = True
+    app_cls = EarlyReleaseApp
+
+    def _sample(self, rng):
+        # Holds must outlive the 5 s initial lease term or every cycle
+        # ends in an unclassifiable partial term.
+        return {
+            "hold_s": round(rng.uniform(6.0, 14.0), 1),
+            "retry_s": round(rng.uniform(2.0, 5.0), 1),
+        }
+
+    def behavior(self, driver):
+        if driver.kind == "gps":
+            return BehaviorType.FAB
+        return BehaviorType.LHB
+
+
+class LateReleaseApp(ScenarioApp):
+    """Works honestly, then leaves the release to a teardown that never
+    runs (onDestroy is not called when the user just navigates away)."""
+
+    def on_start(self):
+        self.scenario_handles["main"] = self.driver.acquire(self)
+
+    def run(self):
+        p = self.params
+        handle = self.scenario_handles["main"]
+        elapsed = 0.0
+        while elapsed < p["work_s"]:
+            try:
+                yield from self.driver.use(self, handle, p["tick_s"])
+            except NetworkException as exc:
+                self.note_exception(exc)
+                yield self.sleep(p["tick_s"])
+            self.note_data_write()
+            elapsed += p["tick_s"]
+        # The user moves on; the consumer is gone, the hold is not.
+        self.consuming = False
+        self.driver.abandon(self, handle)
+        self.leaked.append(handle)
+        while True:
+            yield self.sleep(600.0)
+
+
+class LateReleaseFamily(Family):
+    name = "late-release"
+    droidleaks = "released too late / never on exit path"
+    description = ("a genuinely useful session whose release lives in a "
+                   "teardown hook that never fires; the consumer "
+                   "disappears and the hold persists")
+    supported = ("wakelock", "cpu", "screen", "gps", "sensor", "wifi",
+                 "audio", "bluetooth")
+    app_cls = LateReleaseApp
+
+    def _sample(self, rng):
+        # The useful phase runs only while the device is awake (the app
+        # process freezes across suspensions), so it must fit inside the
+        # day's interaction windows for the leak to begin in-horizon.
+        return {
+            "work_s": round(rng.uniform(45.0, 90.0), 1),
+            "tick_s": round(rng.uniform(4.0, 8.0), 1),
+        }
+
+    def behavior(self, driver):
+        return BehaviorType.LHB
+
+
+class _DiscardedResultsCounter(UtilityCounter):
+    """Fig. 6 custom counter: consumed results over produced results.
+
+    The acquire-loop app *is* honest about its utility (TapAndTurn
+    idiom) -- it just never has any: everything it polls is discarded,
+    so the counter reports 0 and the generic neutral base cannot mask
+    the misuse.
+    """
+
+    def get_score(self):
+        return 0.0
+
+
+class AcquireLoopApp(ScenarioApp):
+    """API-misuse polling loop: churns acquire/use cycles for results
+    nobody consumes."""
+
+    def __init__(self, key, driver, params):
+        ScenarioApp.__init__(self, key, driver, params)
+        self.consuming = False  # results are computed and discarded
+
+    def on_start(self):
+        self.set_utility_counter(self.driver.resource,
+                                 _DiscardedResultsCounter())
+
+    def run(self):
+        p = self.params
+        while True:
+            handle = self.driver.acquire(self)
+            try:
+                yield from self.driver.use(self, handle, p["work_s"])
+            except NetworkException as exc:
+                self.note_exception(exc)
+            self.driver.release(self, handle)
+            yield self.sleep(p["loop_s"])
+
+
+class AcquireLoopFamily(Family):
+    name = "acquire-loop"
+    droidleaks = "API-misuse acquire/release loop"
+    description = ("an aggressive polling loop re-acquires and works "
+                   "every few seconds but discards the results: low "
+                   "utility despite healthy utilization (LUB), an ask "
+                   "storm for GPS under weak signal (FAB)")
+    # Listener churn on sensor/audio/Bluetooth produces short-lived
+    # normal-looking leases; the misuse only shows where work or asking
+    # accrues: compute loops, transfer polling, GPS re-requests.
+    supported = ("wakelock", "cpu", "gps", "wifi")
+    stress_environment = True
+    app_cls = AcquireLoopApp
+
+    def _sample(self, rng):
+        # Work spans the 5 s lease term so every poll cycle completes
+        # at least one classifiable term.
+        return {
+            "work_s": round(rng.uniform(6.0, 10.0), 1),
+            "loop_s": round(rng.uniform(4.0, 9.0), 1),
+        }
+
+    def behavior(self, driver):
+        if driver.kind == "gps":
+            return BehaviorType.FAB
+        return BehaviorType.LUB
+
+
+class MisleadingBurstApp(ScenarioApp):
+    """Clean control: short useful bursts separated by long idles."""
+
+    def run(self):
+        p = self.params
+        while True:
+            handle = self.driver.acquire(self)
+            try:
+                yield from self.driver.use(self, handle, p["burst_s"])
+            except NetworkException as exc:
+                self.note_exception(exc)
+            self.note_data_write()
+            self.post_ui_update()
+            self.driver.release(self, handle)
+            yield self.sleep(p["idle_s"])
+
+
+class MisleadingBurstFamily(Family):
+    name = "misleading-burst"
+    droidleaks = "no defect (false-positive probe)"
+    description = ("acquires in short, genuinely useful bursts with long "
+                   "idle gaps -- the duty-cycled-but-healthy pattern a "
+                   "utilitarian classifier must not condemn")
+    supported = ("wakelock", "cpu", "screen", "gps", "sensor", "wifi",
+                 "audio", "bluetooth")
+    app_cls = MisleadingBurstApp
+
+    def _sample(self, rng):
+        return {
+            "burst_s": round(rng.uniform(10.0, 18.0), 1),
+            "idle_s": round(rng.uniform(180.0, 360.0), 1),
+        }
+
+    def behavior(self, driver):
+        return BehaviorType.NORMAL
+
+
+#: name -> family instance, in taxonomy order.
+FAMILIES = {
+    family.name: family
+    for family in (
+        MissedReleaseFamily(), LostReferenceFamily(), EarlyReleaseFamily(),
+        LateReleaseFamily(), AcquireLoopFamily(), MisleadingBurstFamily(),
+    )
+}

@@ -1,0 +1,153 @@
+"""Seeded environment traces layered on :mod:`repro.env`.
+
+A scenario is an app *and* the world it runs in: DroidLeaks bugs fire on
+exception paths (network outages), ask-side storms need weak GPS
+episodes, and the classifier's false-positive behaviour depends on when
+the user actually interacts. Each :class:`EnvTrace` is a deterministic,
+JSON-serialisable event list built from a sub-seed (same discipline as
+:class:`~repro.fleet.population.PopulationSpec`): build it twice from
+the same seed and the bytes match (the determinism goldens assert this).
+
+Three kinds:
+
+- ``diurnal`` -- user-interaction session windows scaled into the
+  simulated horizon (morning / midday / evening activity peaks);
+- ``network-outage`` -- connectivity drop/restore windows via
+  :meth:`~repro.env.environment.Environment.schedule_network_change`;
+- ``weak-gps`` -- signal-quality dips via
+  :meth:`~repro.env.environment.Environment.schedule_gps_quality`.
+
+``apply`` schedules a trace onto a built phone; user windows are not
+events (the fleet's user is a process, not the environment) and are
+driven by :func:`user_script`.
+"""
+
+import random
+
+TRACE_KINDS = ("diurnal", "network-outage", "weak-gps")
+
+#: Activity peaks as fractions of the simulated horizon (a compressed
+#: morning / midday / evening pattern).
+_DIURNAL_PEAKS = (0.08, 0.45, 0.80)
+
+
+class EnvTrace:
+    """One deterministic environment trace.
+
+    ``events`` is a tuple of scalar tuples -- ``("network", t_s,
+    connected, kind)`` or ``("gps", t_s, quality)`` -- and
+    ``session_windows`` a tuple of ``(start_s, duration_s,
+    touch_interval_s)`` user-interaction windows. Both are plain data:
+    fingerprintable, process-portable.
+    """
+
+    def __init__(self, kind, events=(), session_windows=()):
+        self.kind = kind
+        self.events = tuple(tuple(event) for event in events)
+        self.session_windows = tuple(
+            tuple(window) for window in session_windows)
+
+    def to_jsonable(self):
+        return {
+            "kind": self.kind,
+            "events": [list(event) for event in self.events],
+            "sessions": [list(window) for window in self.session_windows],
+        }
+
+    def apply(self, phone):
+        """Schedule this trace's environment events on ``phone``."""
+        for event in self.events:
+            tag = event[0]
+            if tag == "network":
+                phone.env.schedule_network_change(
+                    event[1], bool(event[2]), event[3])
+            elif tag == "gps":
+                phone.env.schedule_gps_quality(event[1], event[2])
+            else:
+                raise ValueError("unknown trace event {!r}".format(tag))
+
+
+def build_trace(kind, seed, day_s):
+    """Build one trace kind deterministically from ``seed``.
+
+    ``day_s`` is the simulated horizon the trace is scaled into; the
+    given (kind, seed, day_s) triple always yields identical bytes.
+    """
+    rng = random.Random(seed)
+    if kind == "diurnal":
+        return _diurnal(rng, day_s)
+    if kind == "network-outage":
+        return _network_outage(rng, day_s)
+    if kind == "weak-gps":
+        return _weak_gps(rng, day_s)
+    raise ValueError(
+        "unknown trace kind {!r} (expected one of {})".format(
+            kind, ", ".join(TRACE_KINDS)))
+
+
+def _diurnal(rng, day_s):
+    windows = []
+    touch = round(rng.uniform(5.0, 20.0), 1)
+    for peak in _DIURNAL_PEAKS:
+        if rng.random() < 0.25:  # the user skips some peaks
+            continue
+        start = round(day_s * (peak + rng.uniform(-0.04, 0.04)), 1)
+        duration = round(day_s * rng.uniform(0.06, 0.12), 1)
+        windows.append((max(0.0, start), duration, touch))
+    if not windows:  # never a fully absent user
+        windows.append((round(0.1 * day_s, 1), round(0.1 * day_s, 1), touch))
+    return EnvTrace("diurnal", session_windows=sorted(windows))
+
+
+def _network_outage(rng, day_s):
+    events = []
+    for __ in range(rng.randint(1, 3)):
+        start = round(rng.uniform(0.05, 0.8) * day_s, 1)
+        duration = round(rng.uniform(0.05, 0.12) * day_s, 1)
+        events.append(("network", start, 0, "wifi"))
+        events.append(("network", round(start + duration, 1), 1, "wifi"))
+    return EnvTrace("network-outage", events=sorted(events,
+                                                    key=lambda e: e[1]))
+
+
+def _weak_gps(rng, day_s):
+    events = []
+    for __ in range(rng.randint(1, 3)):
+        start = round(rng.uniform(0.05, 0.8) * day_s, 1)
+        duration = round(rng.uniform(0.08, 0.18) * day_s, 1)
+        dip = round(rng.uniform(0.08, 0.25), 3)
+        restore = round(rng.uniform(0.85, 0.97), 3)
+        events.append(("gps", start, dip))
+        events.append(("gps", round(start + duration, 1), restore))
+    return EnvTrace("weak-gps", events=sorted(events, key=lambda e: e[1]))
+
+
+def merged_session_windows(traces, day_s):
+    """All user windows across ``traces``, or a canonical default.
+
+    A scenario with no diurnal trace still needs *some* interaction
+    (Doze exits, screen sessions); the default is one early session.
+    """
+    windows = []
+    for trace in traces:
+        windows.extend(trace.session_windows)
+    if not windows:
+        windows.append((round(0.05 * day_s, 1), round(0.15 * day_s, 1), 10.0))
+    return sorted(windows)
+
+
+def user_script(phone, uids, windows):
+    """Generator driving ``phone.user`` through interaction ``windows``.
+
+    Mirrors the fleet's scripted day (idle between active sessions);
+    overlapping windows degrade to back-to-back sessions.
+    """
+    now = 0.0
+    for start, duration, touch in windows:
+        if start > now:
+            yield from phone.user.idle_session(start - now)
+            now = start
+        yield from phone.user.active_session(
+            uids, duration, touch_interval=touch)
+        now += duration
+    phone.screen_off()

@@ -92,6 +92,9 @@ class ShardTelemetry:
         self.device_days = 0
         self.fallbacks = 0
         self.crashed = 0
+        #: Scenario family -> device-day count; stays empty (and off
+        #: the wire) for catalog-free populations.
+        self.families = {}
         self.energy = Moments()
         self._t0 = time.monotonic()
         self._last_progress = None
@@ -113,6 +116,11 @@ class ShardTelemetry:
             self.energy.add_many(power_values)
         self.device_days += device_days
         self.crashed += crashed
+
+    def observe_families(self, families, count=1):
+        """Attribute ``count`` device-days to each scenario family."""
+        for name in families:
+            self.families[name] = self.families.get(name, 0) + count
 
     def device_done(self, count=1):
         self.devices_done += count
@@ -137,6 +145,12 @@ class ShardTelemetry:
         self._last_progress = now
         elapsed = now - self._t0
         rate = self.device_days / elapsed if elapsed > 0 else 0.0
+        fields = {}
+        if self.families:
+            # Conditional so catalog-free streams keep their exact
+            # historical record bytes (the stream goldens pin them).
+            fields["scenario_families"] = dict(
+                sorted(self.families.items()))
         self.writer.emit(
             "shard_progress", shard=self.shard,
             devices_done=self.devices_done,
@@ -144,7 +158,8 @@ class ShardTelemetry:
             device_days=self.device_days, fallbacks=self.fallbacks,
             crashed=self.crashed, energy_mw=self.energy.to_dict(),
             # Wall-clock-derived fields, stripped by stream goldens.
-            elapsed_s=round(elapsed, 3), rate_dd_s=round(rate, 3))
+            elapsed_s=round(elapsed, 3), rate_dd_s=round(rate, 3),
+            **fields)
 
     def finished(self):
         """Final snapshot so the stream's last partial is complete."""

@@ -1,0 +1,1 @@
+"""Scenario generator subsystem tests (see docs/scenarios.md)."""

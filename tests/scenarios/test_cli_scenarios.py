@@ -1,0 +1,58 @@
+"""The `repro scenarios` subcommand end to end."""
+
+import hashlib
+import io
+import json
+import os
+
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLE_PATH = os.path.abspath("tests/data/scenario_catalog_example.json")
+
+
+def _run_cli(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+def _argv(tmp_path, extra=()):
+    return [
+        "scenarios", "--catalog", EXAMPLE_PATH, "--minutes", "5",
+        "--mitigations", "leaseos", "--no-cache",
+        "--report-json", str(tmp_path / "scen.json"),
+    ] + list(extra)
+
+
+def test_scenarios_cli_end_to_end(tmp_path):
+    code, text = _run_cli(_argv(tmp_path))
+    assert code == 0
+    assert "scenario catalog 'example'" in text
+    assert "misleading-burst" in text
+    report = json.loads((tmp_path / "scen.json").read_text())
+    assert report["kind"] == "scenario_report"
+    assert report["catalog"]["entries"] == 3
+    assert set(report["mitigations"]) == {"vanilla", "leaseos"}
+    for block in report["mitigations"]["leaseos"]["families"].values():
+        assert "containment" in block or block["counters"]["days"] == 0
+
+
+def test_scenarios_cli_report_is_canonical_and_stable(tmp_path):
+    _run_cli(_argv(tmp_path))
+    first = (tmp_path / "scen.json").read_bytes()
+    _run_cli(_argv(tmp_path))
+    assert (tmp_path / "scen.json").read_bytes() == first
+    payload = json.loads(first)
+    assert first == (json.dumps(payload, sort_keys=True,
+                                separators=(",", ":")) + "\n").encode()
+    assert hashlib.sha256(first).hexdigest()  # parseable, hashable
+
+
+def test_scenarios_cli_rejects_unknown_mitigation(tmp_path):
+    with pytest.raises(KeyError):
+        _run_cli(_argv(tmp_path, ["--mitigations", "leashos"]))

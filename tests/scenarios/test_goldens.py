@@ -1,0 +1,83 @@
+"""Scenario determinism goldens.
+
+Pinned sha256 values, same discipline as tests/test_determinism_goldens
+.py: a mismatch means generated scenarios changed behaviour, which
+invalidates every downstream artifact (catalog fingerprints name report
+files, populations embed catalog JSON in their own fingerprints). Bump
+``CATALOG_SCHEMA_VERSION`` and re-pin deliberately; never let these
+drift silently.
+"""
+
+import hashlib
+import json
+
+from repro.scenarios.catalog import ScenarioCatalog, default_catalog
+from repro.scenarios.evaluate import evaluate_catalog, report_json
+from repro.scenarios.traces import build_trace
+
+#: sha256 of the default catalog's canonical JSON (its identity).
+DEFAULT_CATALOG_FINGERPRINT = (
+    "3052668aa4ff164c33c1718ab14f2f9e3145f483b1c86e0c42c69796faf98314")
+
+#: sha256 of the committed example catalog's canonical JSON.
+EXAMPLE_CATALOG_FINGERPRINT = (
+    "a63e90f751434ef50995094369e7090e1e1c78daa0941161c0aec90a0dd32338")
+
+#: sha256 prefixes of each trace kind at (seed=12345, day_s=900).
+TRACE_GOLDENS = {
+    "diurnal": "7fc8c1bd31291eea",
+    "network-outage": "0b96a75c29d08152",
+    "weak-gps": "c18b7221d6fa930b",
+}
+
+#: sha256 of the canonical report JSON for the committed example
+#: catalog evaluated under vanilla+leaseos, 5 sim-minutes, day seed 7.
+EXAMPLE_REPORT_SHA256 = (
+    "2f45199d923c8f87e1e76ec0830421f0eccb1bf04ee854412edaaadaea600ee3")
+
+EXAMPLE_PATH = "tests/data/scenario_catalog_example.json"
+
+
+def _sha(text):
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def test_default_catalog_fingerprint_golden():
+    assert default_catalog().fingerprint() == DEFAULT_CATALOG_FINGERPRINT
+
+
+def test_example_catalog_fingerprint_golden():
+    cat = ScenarioCatalog.from_file(EXAMPLE_PATH)
+    assert cat.fingerprint() == EXAMPLE_CATALOG_FINGERPRINT
+
+
+def test_trace_bytes_goldens():
+    for kind, prefix in TRACE_GOLDENS.items():
+        trace = build_trace(kind, 12345, 900.0)
+        blob = json.dumps(trace.to_jsonable(), sort_keys=True,
+                          separators=(",", ":"))
+        assert _sha(blob).startswith(prefix), kind
+
+
+def test_example_report_golden():
+    cat = ScenarioCatalog.from_file(EXAMPLE_PATH)
+    report = evaluate_catalog(cat, mitigations=("leaseos",), minutes=5.0,
+                              seed=7)
+    payload = report_json(report)
+    assert _sha(payload) == EXAMPLE_REPORT_SHA256
+    # The golden pins real content, not an empty shell: the example's
+    # two leak entries are flagged, its clean control is not.
+    classifier = report["mitigations"]["leaseos"]["overall"]["classifier"]
+    assert (classifier["tp"], classifier["fp"],
+            classifier["fn"], classifier["tn"]) == (2, 0, 0, 1)
+
+
+def test_entry_params_stable_across_processes_shape():
+    # Param draws depend only on (seed, index), never on process state:
+    # materialising entry 5 alone equals materialising it after 0..4.
+    cat = default_catalog()
+    direct = cat.entry_params(5)
+    fresh = default_catalog()
+    for index in range(5):
+        fresh.entry_params(index)
+    assert fresh.entry_params(5) == direct

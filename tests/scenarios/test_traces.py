@@ -1,0 +1,54 @@
+"""Environment traces: determinism, horizon scaling, window merging."""
+
+import pytest
+
+from repro.scenarios.traces import (
+    TRACE_KINDS,
+    build_trace,
+    merged_session_windows,
+)
+
+
+@pytest.mark.parametrize("kind", TRACE_KINDS)
+def test_same_seed_same_trace_bytes(kind):
+    a = build_trace(kind, 12345, 900.0)
+    b = build_trace(kind, 12345, 900.0)
+    assert a.to_jsonable() == b.to_jsonable()
+    c = build_trace(kind, 12346, 900.0)
+    assert c.to_jsonable() != a.to_jsonable()
+
+
+@pytest.mark.parametrize("kind", TRACE_KINDS)
+@pytest.mark.parametrize("day_s", [300.0, 900.0, 3600.0])
+def test_traces_fit_the_horizon(kind, day_s):
+    trace = build_trace(kind, 7, day_s)
+    for event in trace.events:
+        assert 0.0 <= event[1] <= day_s * 1.2
+    for start, duration, touch in trace.session_windows:
+        assert 0.0 <= start <= day_s
+        assert duration > 0.0
+        assert touch > 0.0
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown trace kind"):
+        build_trace("solar-flare", 1, 900.0)
+
+
+def test_network_outage_pairs_drop_with_restore():
+    trace = build_trace("network-outage", 99, 900.0)
+    drops = [e for e in trace.events if e[2] == 0]
+    restores = [e for e in trace.events if e[2] == 1]
+    assert len(drops) == len(restores) >= 1
+    assert all(e[0] == "network" for e in trace.events)
+
+
+def test_merged_windows_sorted_with_default_fallback():
+    diurnal = build_trace("diurnal", 3, 900.0)
+    outage = build_trace("network-outage", 3, 900.0)
+    merged = merged_session_windows([diurnal, outage], 900.0)
+    assert merged == sorted(merged)
+    assert merged == sorted(diurnal.session_windows)
+    # No diurnal trace: a canonical default keeps the user present.
+    fallback = merged_session_windows([outage], 900.0)
+    assert fallback == [(45.0, 135.0, 10.0)]

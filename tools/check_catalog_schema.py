@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Validate scenario-catalog JSON files against the catalog schema.
+
+    python tools/check_catalog_schema.py tests/data/scenario_catalog_example.json
+    python tools/check_catalog_schema.py --instantiate my_catalog.json
+
+Each path must parse as a ``scenario_catalog`` document at the schema
+version this build reads, with every entry naming a known family, a
+known resource the family composes with, known trace kinds, and numeric
+parameter overrides. On success prints one line per catalog with its
+fingerprint and entry count; any invalid catalog is reported and the
+exit status is non-zero. ``--instantiate`` additionally materialises
+every entry (parameter draws, app factories, registry registration) so
+a catalog that validates here is known to run. Shared verbatim with the
+scenario-smoke CI job.
+"""
+
+import argparse
+import os
+import sys
+
+
+def _import_catalog():
+    try:
+        from repro.scenarios import catalog
+    except ImportError:
+        # Ran from a checkout without the package installed: the tool
+        # lives in tools/, the package in ../src.
+        sys.path.insert(0, os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+        from repro.scenarios import catalog
+    return catalog
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="validate scenario catalog JSON files")
+    parser.add_argument("paths", nargs="+", help="catalog JSON files")
+    parser.add_argument("--instantiate", action="store_true",
+                        help="also materialise every entry (draws "
+                             "parameters and builds app factories)")
+    args = parser.parse_args(argv)
+    catalog_mod = _import_catalog()
+
+    problems = 0
+    for path in args.paths:
+        try:
+            cat = catalog_mod.ScenarioCatalog.from_file(path)
+            if args.instantiate:
+                cat.instantiate()
+        except (OSError, ValueError) as exc:
+            print("{}: {}".format(path, exc), file=sys.stderr)
+            problems += 1
+            continue
+        families = sorted({entry["family"] for entry in cat.entries})
+        print("{}: OK  name={} schema={} entries={} families={} "
+              "fingerprint={}".format(
+                  path, cat.name, cat.schema, len(cat.entries),
+                  len(families), cat.fingerprint()[:12]))
+    if problems:
+        print("check_catalog_schema: {} invalid catalog(s) out of {}"
+              .format(problems, len(args.paths)), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
