@@ -280,12 +280,21 @@ def _cmd_fleet(args):
         from repro.telemetry import default_telemetry_dir
 
         telemetry_dir = default_telemetry_dir(population)
+    service_journal = args.service_journal
+    if service_journal == "auto":
+        from repro.service.wiring import default_service_dir
+
+        service_journal = default_service_dir(population.fingerprint())
     fleet_runner = FleetRunner(population, runner=_grid_runner(args),
                                checkpoint_dir=args.checkpoint_dir,
                                verbose=True, mode=args.mode,
-                               telemetry_dir=telemetry_dir)
+                               telemetry_dir=telemetry_dir,
+                               service_journal=service_journal)
     if telemetry_dir is not None:
         print("[telemetry stream: {}]".format(telemetry_dir),
+              file=sys.stderr)
+    if service_journal is not None:
+        print("[service journal: {}]".format(service_journal),
               file=sys.stderr)
     if fleet_runner.mode != fleet_runner.requested_mode:
         print("fleet: --mode auto resolved to {} for {} devices"
@@ -452,6 +461,119 @@ def _cmd_scenarios(args):
     return "scenarios.txt", text
 
 
+def _cmd_service(args):
+    from repro.service import (
+        JournalRecoveryError,
+        JournalStorage,
+        LeaseService,
+        ServiceError,
+    )
+    from repro.service.scripted import run_scripted_day
+    from repro.service.storage import JOURNAL_NAME
+
+    journal = args.journal
+    if journal is None:
+        if args.action != "run":
+            args.exit_code = 2
+            return "service.txt", ("service {}: --journal DIR is "
+                                   "required".format(args.action))
+        journal = os.path.join("results", ".service",
+                               "scripted-s{}".format(args.seed))
+    if args.action == "run":
+        journal_file = os.path.join(journal, JOURNAL_NAME)
+        has_journal = os.path.exists(journal_file) \
+            and os.path.getsize(journal_file) > 0
+        if has_journal and not args.resume:
+            args.exit_code = 2
+            return "service.txt", (
+                "service run: {} already holds a journal; pass "
+                "--resume to recover and continue it, or point "
+                "--journal at a fresh directory".format(journal))
+        storage = JournalStorage(journal)
+        try:
+            service = LeaseService.recover(storage, seed=args.seed) \
+                if args.resume else LeaseService(storage, seed=args.seed)
+        except (ServiceError, JournalRecoveryError) as exc:
+            args.exit_code = 1
+            return "service.txt", "service run: {}".format(exc)
+        summary = run_scripted_day(service, seed=args.seed,
+                                   apps=args.apps, ops=args.ops)
+        service.close()
+        lines = ["service run: scripted day (seed {}, {} apps, {} ops) "
+                 "-> {}".format(args.seed, summary["apps"],
+                                summary["ops"], journal),
+                 "steps run this invocation: {}".format(
+                     summary["steps_run"]),
+                 "ops applied: {} ({} leases active, {} swept)".format(
+                     summary["op_seq"], summary["active"],
+                     summary["swept"]),
+                 "state fingerprint: {}".format(summary["fingerprint"])]
+        if service.recovery is not None:
+            lines.insert(1, _service_recovery_line(service.recovery))
+            if service.recovery.degraded:
+                args.exit_code = EXIT_DEGRADED
+        return "service.txt", "\n".join(lines)
+
+    # inspect / verify / compact all begin with a recovery. Only
+    # `verify` treats an invariant violation as fatal up front;
+    # `inspect` reports what it can see.
+    if not os.path.isdir(journal):
+        args.exit_code = 1
+        return "service.txt", ("service {}: no journal directory at "
+                               "{}".format(args.action, journal))
+    try:
+        service = LeaseService.recover(JournalStorage(journal),
+                                       seed=args.seed,
+                                       strict=args.action != "inspect")
+    except JournalRecoveryError as exc:
+        args.exit_code = 1
+        return "service.txt", "service {}: {}".format(args.action, exc)
+    except ServiceError as exc:
+        args.exit_code = 1
+        return "service.txt", ("service {}: FAILED: {}".format(
+            args.action, exc))
+    info = service.recovery
+    state = service.state
+    lines = ["service {}: {}".format(args.action, journal),
+             _service_recovery_line(info),
+             "state fingerprint: {}".format(service.fingerprint()),
+             "consumers: {}; leases: {} total, {} active; "
+             "sweeps: {} scheduled, {} leases swept".format(
+                 len(state.consumers), len(state.leases),
+                 len(state.active_leases()), state.sweep_index,
+                 state.swept_total)]
+    for violation in service.violations:
+        lines.append("INVARIANT VIOLATION [{}]: {}".format(
+            violation.invariant, violation.detail))
+    if service.violations:
+        args.exit_code = 1
+    elif info.degraded:
+        # Degraded-but-consistent: same convention as a degraded fleet
+        # run -- partial results, exit 75, operator decides.
+        args.exit_code = EXIT_DEGRADED
+    if args.action == "compact" and not service.violations:
+        snapshot_path = service.compact()
+        lines.append("compacted: snapshot {} written, journal "
+                     "truncated to {} record(s)".format(
+                         os.path.basename(snapshot_path),
+                         service.storage.appended))
+    if args.action == "verify" and not service.violations:
+        lines.append("verify: recovery invariants hold{}".format(
+            " (DEGRADED: {})".format(info.reason)
+            if info.degraded else ""))
+    service.close()
+    return "service.txt", "\n".join(lines)
+
+
+def _service_recovery_line(info):
+    line = ("recovery: snapshot seq {}, {} record(s) replayed, {} "
+            "dropped".format(info.snapshot_seq, info.records_replayed,
+                             info.records_dropped))
+    if info.degraded:
+        line += " -- DEGRADED ({})".format(info.reason or "unknown")
+    return line
+
+
 def _cmd_watch(args):
     from repro.telemetry import (
         check_report,
@@ -533,14 +655,19 @@ COMMANDS = {
     "watch": (_cmd_watch,
               "aggregate a fleet telemetry stream into a live (or "
               "final) fleet-level snapshot"),
+    "service": (_cmd_service,
+                "the crash-safe lease authority: run a scripted "
+                "journaled day, or inspect/verify/compact an existing "
+                "journal (exit 75 on degraded recovery)"),
 }
 
 #: Commands skipped by ``repro all``: chaos has its own seed/exit-code
 #: plumbing and is run by the dedicated CI job instead; fleet is a
 #: population-scale run with its own checkpoint/JSON artifacts; watch
 #: only observes a stream another run emitted; scenarios is a
-#: catalog-scale sweep with its own JSON artifact and CI job.
-EXCLUDE_FROM_ALL = ("chaos", "fleet", "watch", "scenarios")
+#: catalog-scale sweep with its own JSON artifact and CI job; service
+#: operates on a persistent journal directory with its own smoke job.
+EXCLUDE_FROM_ALL = ("chaos", "fleet", "watch", "scenarios", "service")
 
 
 def build_parser():
@@ -697,6 +824,14 @@ def build_parser():
                              help="probability an app slot hosts a "
                                   "generated scenario app (requires "
                                   "--catalog)")
+            sub.add_argument("--service-journal", metavar="DIR",
+                             nargs="?", const="auto", default=None,
+                             help="journal every shard's lease "
+                                  "lifecycle into the crash-safe lease "
+                                  "authority under DIR (bare flag: "
+                                  "results/.service/<fingerprint>); "
+                                  "off by default, plumbed by env so "
+                                  "cache keys are unchanged")
         if name == "scenarios":
             sub.add_argument("--catalog", metavar="PATH", default=None,
                              help="catalog JSON to evaluate (default: "
@@ -719,6 +854,32 @@ def build_parser():
                              help="where to write the canonical report "
                                   "JSON (default: results/"
                                   "scenarios_<fingerprint>.json)")
+        if name == "service":
+            sub.add_argument("action", nargs="?", default="run",
+                             choices=("run", "inspect", "verify",
+                                      "compact"),
+                             help="run a seeded scripted journaled "
+                                  "day (the default), or inspect/"
+                                  "verify/compact an existing journal "
+                                  "directory")
+            sub.add_argument("--journal", metavar="DIR", default=None,
+                             help="journal directory (default for "
+                                  "`run`: results/.service/"
+                                  "scripted-s<seed>; required "
+                                  "otherwise)")
+            sub.add_argument("--seed", type=int, default=7, metavar="S",
+                             help="scripted-day / sweep-cadence seed "
+                                  "(default: 7)")
+            sub.add_argument("--apps", type=int, default=3, metavar="N",
+                             help="scripted consumers (default: 3)")
+            sub.add_argument("--ops", type=int, default=120,
+                             metavar="N",
+                             help="scripted steps in the day "
+                                  "(default: 120)")
+            sub.add_argument("--resume", action="store_true",
+                             help="recover the journal first, then "
+                                  "finish the remainder of the "
+                                  "scripted day")
         if name == "watch":
             sub.add_argument("run", nargs="?", default=None,
                              help="stream directory or run-fingerprint "

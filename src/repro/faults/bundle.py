@@ -16,13 +16,21 @@ import hashlib
 import json
 import os
 
+from contextlib import contextmanager
+
+from repro.resilience.hooks import ENV_VAR as FAULTS_ENV_VAR
+
 
 def write_bundle(directory, kwargs, result):
     """Write a repro bundle; returns its path.
 
     ``kwargs`` must be the exact keyword arguments of
     :func:`repro.experiments.chaos.run_chaos_case`; ``result`` is that
-    function's return value for the failing run.
+    function's return value for the failing run. If harness faults
+    (``REPRO_HARNESS_FAULTS``) were armed when the failure happened,
+    the spec is captured in the bundle and re-armed on replay -- a
+    storage-fault repro must be one command, not one command plus an
+    environment variable nobody remembers.
     """
     payload = {
         "kwargs": dict(kwargs),
@@ -30,6 +38,9 @@ def write_bundle(directory, kwargs, result):
         "fingerprint": result.get("fingerprint", ""),
         "replay": "python -m repro chaos --replay <this file>",
     }
+    harness_faults = os.environ.get(FAULTS_ENV_VAR, "").strip()
+    if harness_faults:
+        payload["harness_faults"] = harness_faults
     token = hashlib.sha256(json.dumps(
         payload["kwargs"], sort_keys=True).encode()).hexdigest()[:10]
     name = "chaos_{}_{}_s{}_{}.json".format(
@@ -47,24 +58,52 @@ def load_bundle(path):
         return json.load(handle)
 
 
+@contextmanager
+def _restored_faults(spec):
+    """Arm a bundle's recorded harness-fault spec for the replay.
+
+    The caller's own environment is restored afterwards either way; a
+    bundle with no recorded spec explicitly *clears* the variable so a
+    stray spec in the operator's shell cannot contaminate the replay.
+    """
+    before = os.environ.get(FAULTS_ENV_VAR)
+    if spec:
+        os.environ[FAULTS_ENV_VAR] = spec
+    else:
+        os.environ.pop(FAULTS_ENV_VAR, None)
+    try:
+        yield
+    finally:
+        if before is None:
+            os.environ.pop(FAULTS_ENV_VAR, None)
+        else:
+            os.environ[FAULTS_ENV_VAR] = before
+
+
 def replay_bundle(path):
     """Re-run a bundle's case. Returns ``(result, report_text)``.
 
     The report states whether the original violations reproduced and
-    whether the output fingerprint matched bit-for-bit. A *failure
-    manifest* (``results/failures_<fp>.json``, written by a supervised
-    run that quarantined jobs) is also accepted: every chaos job it
-    records is re-run in-process, and ``result`` aggregates their
-    violations (``fingerprint`` is empty -- quarantined jobs never
-    produced one to compare against).
+    whether the output fingerprint matched bit-for-bit. Harness faults
+    recorded in the bundle (``harness_faults``) are re-armed for the
+    duration of the replay. A *failure manifest*
+    (``results/failures_<fp>.json``, written by a supervised run that
+    quarantined jobs) is also accepted: every chaos job it records is
+    re-run in-process, and ``result`` aggregates their violations
+    (``fingerprint`` is empty -- quarantined jobs never produced one to
+    compare against).
     """
     from repro.experiments.chaos import run_chaos_case
 
     payload = load_bundle(path)
     if payload.get("kind") == "failure_manifest":
         return _replay_manifest(path, payload)
-    result = run_chaos_case(**payload["kwargs"])
+    with _restored_faults(payload.get("harness_faults", "")):
+        result = run_chaos_case(**payload["kwargs"])
     lines = ["replaying {}".format(os.path.basename(path))]
+    if payload.get("harness_faults"):
+        lines.append("harness faults re-armed: {}".format(
+            payload["harness_faults"]))
     expected = payload.get("fingerprint", "")
     if expected:
         match = result["fingerprint"] == expected

@@ -219,3 +219,153 @@ class InvariantChecker:
                     "wakelock {!r} of dead uid {} is still honoured".format(
                         record.name, record.uid),
                     uid=record.uid, name=record.name)
+
+
+# -- service-recovery invariants ---------------------------------------------
+#
+# The crash-safe lease authority (repro.service) runs these after every
+# recovery; they operate on plain canonical-state dicts (and the replayed
+# journal records) so this module needs no service import. What "wrong"
+# means for a recovery, independent of any storage backend:
+#
+# - no_resurrected_lease  -- a lease the snapshot saw RELEASED/EXPIRED
+#   can never come back ACTIVE;
+# - no_lost_active_lease  -- a lease the snapshot saw at all can never
+#   vanish from the recovered table;
+# - monotonic_lease_ids   -- ids only grow: next_lease_id covers every
+#   lease in the table and never regresses from the snapshot;
+# - stats_moments_merge   -- rebuilding the per-key utility moments by
+#   replaying the journal's folds over the snapshot's moments must be
+#   *bitwise* identical to the recovered stats (same reducer, same float
+#   order), and merging the per-key moments must agree with the
+#   independent global accumulator (exact count, near-exact moments --
+#   the merge itself is float-order sensitive, hence the tolerance).
+
+#: Relative tolerance for the per-key-merge vs global-fold comparison.
+STATS_MERGE_REL_TOL = 1e-9
+
+
+def _moments_close(a, b, rel=STATS_MERGE_REL_TOL):
+    if a["count"] != b["count"]:
+        return False
+    for field_name in ("mean", "m2"):
+        x, y = a[field_name], b[field_name]
+        if x != y and abs(x - y) > rel * max(abs(x), abs(y), 1.0):
+            return False
+    return True
+
+
+def _shadow_stats(snapshot, records):
+    """Per-key Moments rebuilt from the snapshot + journal folds.
+
+    Mirrors (without importing) the fold in
+    ``repro.service.state.ServiceState``: release-with-utility and
+    note_utility each Welford-add one value to the lease's
+    ``consumer|resource`` key. An independent re-derivation, so a
+    reducer bug that corrupts stats is caught instead of replayed.
+    """
+    from repro.fleet.stats import Moments
+
+    stats = {key: Moments.from_dict(entry)
+             for key, entry in snapshot.get("stats", {}).items()}
+    leases = {key: dict(lease)
+              for key, lease in snapshot.get("leases", {}).items()}
+    next_id = snapshot.get("next_lease_id", 1)
+    for record in records:
+        op, data = record["op"], record["data"]
+        if op == "acquire":
+            leases["{:08d}".format(next_id)] = {
+                "consumer": data["consumer"],
+                "resource": data["resource"]}
+            next_id += 1
+            continue
+        value = None
+        if op == "release" and data.get("utility") is not None:
+            value = float(data["utility"])
+        elif op == "note_utility":
+            value = float(data["value"])
+        if value is None:
+            continue
+        lease = leases.get("{:08d}".format(int(data["lease"])))
+        if lease is None:
+            continue
+        key = "{}|{}".format(lease["consumer"], lease["resource"])
+        if key not in stats:
+            stats[key] = Moments()
+        stats[key].add(value)
+    return {key: moments.to_dict() for key, moments in stats.items()}
+
+
+def check_service_recovery(snapshot, records, recovered):
+    """Validate one service recovery; returns InvariantViolations.
+
+    ``snapshot`` is the canonical state the recovery started from (the
+    genesis state when there was no snapshot), ``records`` the replayed
+    journal records, ``recovered`` the canonical state after replay.
+    """
+    from repro.fleet.stats import Moments
+
+    violations = []
+
+    def report(invariant, detail, **data):
+        violations.append(InvariantViolation(
+            invariant, 0.0, detail, data))
+
+    recovered_leases = recovered.get("leases", {})
+    for key, lease in snapshot.get("leases", {}).items():
+        after = recovered_leases.get(key)
+        if after is None:
+            report("no_lost_active_lease",
+                   "lease {} ({}) present in the snapshot is missing "
+                   "after recovery".format(key, lease["state"]),
+                   lease=key, state=lease["state"])
+            continue
+        if lease["state"] in ("released", "expired") \
+                and after["state"] == "active":
+            report("no_resurrected_lease",
+                   "lease {} was {} in the snapshot but recovered "
+                   "ACTIVE".format(key, lease["state"]),
+                   lease=key, before=lease["state"],
+                   after=after["state"])
+
+    next_id = recovered.get("next_lease_id", 1)
+    if next_id < snapshot.get("next_lease_id", 1):
+        report("monotonic_lease_ids",
+               "next_lease_id regressed from {} to {}".format(
+                   snapshot.get("next_lease_id", 1), next_id),
+               before=snapshot.get("next_lease_id", 1), after=next_id)
+    for key, lease in recovered_leases.items():
+        if lease["id"] >= next_id:
+            report("monotonic_lease_ids",
+                   "lease id {} is not below next_lease_id {}".format(
+                       lease["id"], next_id),
+                   lease=key, next_lease_id=next_id)
+        if "{:08d}".format(lease["id"]) != key:
+            report("monotonic_lease_ids",
+                   "lease table key {} does not match id {}".format(
+                       key, lease["id"]),
+                   lease=key)
+
+    shadow = _shadow_stats(snapshot, records)
+    recovered_stats = recovered.get("stats", {})
+    if shadow != recovered_stats:
+        differing = sorted(
+            set(shadow) ^ set(recovered_stats)
+            | {key for key in set(shadow) & set(recovered_stats)
+               if shadow[key] != recovered_stats[key]})
+        report("stats_moments_merge",
+               "replayed utility moments differ bitwise from the "
+               "recovered stats for key(s): {}".format(
+                   ", ".join(differing) or "?"),
+               keys=differing)
+    merged = Moments()
+    for key in sorted(recovered_stats):
+        merged = merged.merge(Moments.from_dict(recovered_stats[key]))
+    if not _moments_close(merged.to_dict(),
+                          recovered.get("stats_all", Moments().to_dict())):
+        report("stats_moments_merge",
+               "merging the per-key moments disagrees with the global "
+               "stats_all accumulator",
+               merged=merged.to_dict(),
+               stats_all=recovered.get("stats_all"))
+    return violations

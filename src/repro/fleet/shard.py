@@ -327,7 +327,8 @@ class FleetRunner:
     """
 
     def __init__(self, population, runner=None, checkpoint_dir=None,
-                 verbose=False, mode="kernel", telemetry_dir=None):
+                 verbose=False, mode="kernel", telemetry_dir=None,
+                 service_journal=None):
         if mode not in ("kernel", "fast", "vector", "auto"):
             raise ValueError("unknown fleet mode {!r}".format(mode))
         # New run: re-arm the warn-once logs so this run's first
@@ -383,6 +384,11 @@ class FleetRunner:
         #: the first ``run_shards`` call when ``telemetry_dir`` is set.
         self.telemetry_dir = telemetry_dir
         self.telemetry = None
+        #: Root directory for the crash-safe lease-authority journal
+        #: (``--service-journal``). Exported to shard workers by
+        #: environment variable only, exactly like telemetry, so the
+        #: content-addressed shard cache keys never see it.
+        self.service_journal = service_journal
 
     @property
     def checkpoints_rejected(self):
@@ -578,13 +584,18 @@ class FleetRunner:
 
         Environment, not kwargs: a telemetry kwarg on ``run_shard``
         would change every shard's content-addressed cache key."""
-        if self.telemetry is None:
+        if self.telemetry is None and self.service_journal is None:
             return None
+        from repro.service.storage import ENV_JOURNAL
         from repro.telemetry.emit import ENV_DIR, ENV_FP
 
-        saved = {key: os.environ.get(key) for key in (ENV_DIR, ENV_FP)}
-        os.environ[ENV_DIR] = self.telemetry.directory
-        os.environ[ENV_FP] = self.telemetry.fp
+        saved = {key: os.environ.get(key)
+                 for key in (ENV_DIR, ENV_FP, ENV_JOURNAL)}
+        if self.telemetry is not None:
+            os.environ[ENV_DIR] = self.telemetry.directory
+            os.environ[ENV_FP] = self.telemetry.fp
+        if self.service_journal is not None:
+            os.environ[ENV_JOURNAL] = self.service_journal
         return saved
 
     @staticmethod

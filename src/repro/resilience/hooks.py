@@ -28,6 +28,12 @@ CRASH_EXIT_CODE = 86
 
 _KINDS = ("crash", "hang", "fail")
 
+#: Storage-target fault kinds (see :meth:`HarnessFaults.storage_directive`):
+#: ``torn`` = die mid-write leaving a partial journal line, ``corrupt`` =
+#: write the record with a mangled crc and keep running, ``crash`` = die
+#: right after the record is durable.
+_STORAGE_KINDS = ("torn", "corrupt", "crash")
+
 
 @dataclass(frozen=True)
 class HarnessFaults:
@@ -43,6 +49,11 @@ class HarnessFaults:
     crash: tuple = ()
     hang: tuple = ()
     fail: tuple = ()
+    #: Storage-layer faults as ``(kind, seqs)`` pairs, where ``kind``
+    #: is one of :data:`_STORAGE_KINDS` and ``seqs`` is a tuple of
+    #: journal record sequence numbers (empty = every record). JSON
+    #: form: ``{"storage": {"crash": [37], "torn": [12]}}``.
+    storage: tuple = ()
     #: How long an injected hang sleeps in a real worker; the watchdog
     #: is expected to kill it long before this elapses.
     hang_s: float = 3600.0
@@ -56,8 +67,18 @@ class HarnessFaults:
                     return kind
         return None
 
+    def storage_directive(self, seq):
+        """``"torn"``/``"corrupt"``/``"crash"`` for journal record
+        ``seq``, or None. Fires as a function of ``seq`` only, so a
+        storage-faulted run is exactly as reproducible as a clean one.
+        """
+        for kind, seqs in self.storage:
+            if not seqs or seq in seqs:
+                return kind
+        return None
+
     def __bool__(self):
-        return bool(self.crash or self.hang or self.fail)
+        return bool(self.crash or self.hang or self.fail or self.storage)
 
     # -- serialisation -----------------------------------------------------
 
@@ -65,6 +86,9 @@ class HarnessFaults:
         data = {kind: {pattern: list(attempts)
                        for pattern, attempts in getattr(self, kind)}
                 for kind in _KINDS if getattr(self, kind)}
+        if self.storage:
+            data["storage"] = {kind: list(seqs)
+                               for kind, seqs in self.storage}
         if self.hang_s != 3600.0:
             data["hang_s"] = self.hang_s
         return json.dumps(data, sort_keys=True, separators=(",", ":"))
@@ -78,6 +102,14 @@ class HarnessFaults:
             kwargs[kind] = tuple(sorted(
                 (pattern, tuple(int(a) for a in attempts))
                 for pattern, attempts in entries.items()))
+        storage = data.get("storage", {})
+        for kind in storage:
+            if kind not in _STORAGE_KINDS:
+                raise ValueError(
+                    "unknown storage fault kind {!r}".format(kind))
+        kwargs["storage"] = tuple(sorted(
+            (kind, tuple(sorted(int(seq) for seq in seqs)))
+            for kind, seqs in storage.items()))
         if "hang_s" in data:
             kwargs["hang_s"] = float(data["hang_s"])
         return cls(**kwargs)

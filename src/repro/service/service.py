@@ -1,0 +1,315 @@
+"""The lease authority facade: narrow API over one journaled reducer.
+
+:class:`LeaseService` is the ``ProxyManager`` of the snippet-1 layering:
+callers see ``register`` / ``acquire`` / ``renew`` / ``release`` (plus
+the ``with service.lease(...)`` convenience) and never the storage
+underneath. Every mutation follows the same write-ahead discipline --
+journal the reducer inputs via :meth:`IStorage.append`, *then* apply
+them to :class:`~repro.service.state.ServiceState` -- so at any crash
+point the journal is either exactly the applied ops or one op ahead,
+and replay reconstructs the state byte-identically.
+
+Time is always an explicit simulation-clock argument; the service never
+reads the wall clock, which keeps journal bytes (and therefore state
+fingerprints) deterministic across runs and hosts.
+
+The expired-lease sweeper runs on a **seeded deterministic cadence**:
+the due time of scheduled sweep ``k`` is a pure function of
+``(seed, k)`` (base interval plus bounded jitter from a dedicated
+``random.Random``), so a recovered service knows from
+``state.sweep_index`` alone exactly when its next sweep is due -- O(1)
+fast-forward, no cadence state to persist beyond the index the reducer
+already tracks.
+
+:meth:`LeaseService.recover` is the headline: load whatever the
+backend salvaged (snapshot + journal suffix), replay it through the
+same reducer, run the always-on recovery invariants from
+:mod:`repro.faults.invariants`, and emit a ``service_recovered``
+telemetry event. Invariant violations raise by default (``strict``);
+degraded-but-consistent recoveries (torn tails, corrupt records) are
+reported via :class:`~repro.service.storage.RecoveryInfo` and mapped
+to exit code 75 by the CLI, matching the resilience conventions.
+"""
+
+import os
+
+from contextlib import contextmanager
+from random import Random
+
+from repro.service.state import ACTIVE, ServiceState, StateError
+from repro.service.storage import InMemoryStorage
+
+#: Default lease term, mirroring the paper's minutes-scale terms.
+DEFAULT_TERM_S = 300.0
+
+#: Base spacing of scheduled sweeps (jittered per sweep, see
+#: :meth:`LeaseService.sweep_due`).
+SWEEP_INTERVAL_S = 60.0
+
+#: Automatic snapshot cadence in ops; 0 disables auto-snapshots.
+SNAPSHOT_EVERY = 256
+
+
+class ServiceError(Exception):
+    """A facade-level failure (bad call, failed recovery invariant)."""
+
+
+class LeaseHandle:
+    """What ``with service.lease(...)`` yields: one lease, one clock.
+
+    The handle remembers the latest simulation time it was touched at,
+    so the context manager can release at the right moment without the
+    caller re-threading ``t`` through the exit path.
+    """
+
+    def __init__(self, service, lease_id, t):
+        self.service = service
+        self.id = lease_id
+        self.t = float(t)
+
+    @property
+    def record(self):
+        return self.service.state.lease(self.id)
+
+    @property
+    def active(self):
+        return self.record["state"] == ACTIVE
+
+    def _touch(self, t):
+        if t is not None:
+            self.t = float(t)
+        return self.t
+
+    def renew(self, t=None, term_s=None):
+        self.service.renew(self.id, t=self._touch(t), term_s=term_s)
+
+    def note(self, value, t=None, misbehavior=False):
+        self.service.note_utility(self.id, value, t=self._touch(t),
+                                  misbehavior=misbehavior)
+
+    def release(self, t=None, utility=None):
+        self.service.release(self.id, t=self._touch(t), utility=utility)
+
+
+class LeaseService:
+    """The facade. One state, one storage backend, one reducer path."""
+
+    def __init__(self, storage=None, seed=0,
+                 sweep_interval_s=SWEEP_INTERVAL_S,
+                 snapshot_every=SNAPSHOT_EVERY):
+        self.storage = storage if storage is not None else InMemoryStorage()
+        self.seed = int(seed)
+        self.sweep_interval_s = float(sweep_interval_s)
+        self.snapshot_every = int(snapshot_every)
+        self.state = ServiceState()
+        self.recovery = None     # RecoveryInfo when built via recover()
+        self.violations = []     # recovery invariant violations
+        self._telemetry = None
+
+    # -- the single mutation path ------------------------------------------
+
+    def _commit(self, op, t, data):
+        """Write-ahead: journal the reducer inputs, then apply them."""
+        seq = self.state.op_seq
+        self.storage.append(seq, op, float(t), data)
+        try:
+            self.state.apply(op, t, data)
+        except StateError as error:
+            raise ServiceError(str(error)) from error
+        if self.snapshot_every \
+                and self.state.op_seq % self.snapshot_every == 0:
+            self.storage.snapshot(self.state.to_canonical())
+        return seq
+
+    # -- consumer / lease API ----------------------------------------------
+
+    def register(self, name, t=0.0):
+        if name in self.state.consumers:
+            raise ServiceError(
+                "consumer {!r} already registered".format(name))
+        self._commit("register", t, {"name": name})
+
+    def ensure_registered(self, name, t=0.0):
+        if name not in self.state.consumers:
+            self.register(name, t=t)
+
+    def acquire(self, consumer, resource, t=0.0, term_s=DEFAULT_TERM_S):
+        """Grant a new lease; returns its (monotonic) id."""
+        if consumer not in self.state.consumers:
+            raise ServiceError("unknown consumer {!r}; register first"
+                               .format(consumer))
+        self._commit("acquire", t, {
+            "consumer": consumer, "resource": resource,
+            "term_s": float(term_s)})
+        return self.state.next_lease_id - 1
+
+    def renew(self, lease_id, t, term_s=None):
+        lease = self._require(lease_id)
+        if term_s is None:
+            term_s = lease["term_s"]
+        self._commit("renew", t, {"lease": int(lease_id),
+                                  "term_s": float(term_s)})
+
+    def release(self, lease_id, t, utility=None):
+        self._require(lease_id)
+        data = {"lease": int(lease_id)}
+        if utility is not None:
+            data["utility"] = float(utility)
+        self._commit("release", t, data)
+
+    def note_utility(self, lease_id, value, t, misbehavior=False):
+        self._require(lease_id)
+        data = {"lease": int(lease_id), "value": float(value)}
+        if misbehavior:
+            data["misbehavior"] = True
+        self._commit("note_utility", t, data)
+
+    def _require(self, lease_id):
+        lease = self.state.lease(lease_id)
+        if lease is None:
+            raise ServiceError("unknown lease {}".format(lease_id))
+        return lease
+
+    @contextmanager
+    def lease(self, consumer, resource, t=0.0, term_s=DEFAULT_TERM_S):
+        """Scoped lease: auto-registers, auto-releases on exit."""
+        self.ensure_registered(consumer, t=t)
+        handle = LeaseHandle(
+            self, self.acquire(consumer, resource, t=t, term_s=term_s),
+            t)
+        try:
+            yield handle
+        finally:
+            if handle.active:
+                handle.release()
+
+    # -- the sweeper --------------------------------------------------------
+
+    def sweep_due(self, index):
+        """When scheduled sweep ``index`` fires: pure in (seed, index).
+
+        Base cadence plus bounded jitter from a per-sweep
+        ``Random((seed << 16) ^ index)`` -- no RNG stream to persist,
+        so a recovered service fast-forwards from ``state.sweep_index``
+        in O(1).
+        """
+        jitter = Random((self.seed << 16) ^ index).uniform(
+            0.0, self.sweep_interval_s / 4.0)
+        return (index + 1) * self.sweep_interval_s + jitter
+
+    def maybe_sweep(self, now):
+        """Run every scheduled sweep due at or before ``now``."""
+        swept = 0
+        while True:
+            due = self.sweep_due(self.state.sweep_index)
+            if due > now:
+                return swept
+            swept += self._sweep_at(due, scheduled=True)
+
+    def force_sweep(self, now):
+        """An operator-forced sweep; does not advance the cadence."""
+        return self._sweep_at(float(now), scheduled=False)
+
+    def _sweep_at(self, t, scheduled):
+        expired = self.state.expired_by(t)
+        index = self.state.sweep_index
+        self._commit("sweep", t, {"expired": expired,
+                                  "scheduled": bool(scheduled)})
+        self._emit("service_sweep", swept=len(expired),
+                   active=len(self.state.active_leases()),
+                   sweep_index=index)
+        return len(expired)
+
+    # -- persistence --------------------------------------------------------
+
+    def checkpoint(self):
+        """Force a snapshot of the current state."""
+        return self.storage.snapshot(self.state.to_canonical())
+
+    def compact(self):
+        """Snapshot + drop covered journal records (journal backends)."""
+        compact = getattr(self.storage, "compact", None)
+        if compact is None:
+            return self.checkpoint()
+        return compact(self.state.to_canonical())
+
+    def fingerprint(self):
+        return self.state.fingerprint()
+
+    def flush(self):
+        self.storage.flush()
+
+    def close(self):
+        self.storage.flush()
+        self.storage.close()
+        if self._telemetry is not None:
+            self._telemetry.close()
+            self._telemetry = None
+
+    # -- recovery -----------------------------------------------------------
+
+    @classmethod
+    def recover(cls, storage, seed=0,
+                sweep_interval_s=SWEEP_INTERVAL_S,
+                snapshot_every=SNAPSHOT_EVERY, strict=True):
+        """Rebuild a service from whatever ``storage`` salvaged.
+
+        Replays the journal suffix over the latest valid snapshot
+        through the same reducer the live service used, then runs the
+        always-on recovery invariants. With ``strict`` (the default) an
+        invariant violation raises :class:`ServiceError`; storage-level
+        degradation (torn tail, corrupt record) never raises -- it is
+        reported in ``service.recovery`` for the caller (the CLI maps
+        it to exit 75).
+        """
+        from repro.faults.invariants import check_service_recovery
+
+        snapshot, records, info = storage.load()
+        state = ServiceState() if snapshot is None \
+            else ServiceState.from_canonical(snapshot)
+        snapshot_canonical = state.to_canonical()
+        for record in records:
+            try:
+                state.apply(record["op"], record["t"], record["data"])
+            except StateError as error:
+                raise ServiceError(
+                    "replay failed at seq {}: {}".format(
+                        record["seq"], error)) from error
+        service = cls(storage=storage, seed=seed,
+                      sweep_interval_s=sweep_interval_s,
+                      snapshot_every=snapshot_every)
+        service.state = state
+        service.recovery = info
+        service.violations = check_service_recovery(
+            snapshot_canonical, records, state.to_canonical())
+        service._emit(
+            "service_recovered", snapshot_seq=info.snapshot_seq,
+            records_replayed=info.records_replayed,
+            records_dropped=info.records_dropped,
+            leases=len(state.leases), state_fp=service.fingerprint(),
+            degraded=info.degraded)
+        if strict and service.violations:
+            raise ServiceError(
+                "recovery violated invariants: " + "; ".join(
+                    violation.invariant
+                    for violation in service.violations))
+        return service
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _emit(self, event, **fields):
+        writer = self._writer()
+        if writer is not None:
+            writer.emit(event, **fields)
+
+    def _writer(self):
+        if self._telemetry is None:
+            from repro.telemetry.emit import ENV_DIR, ENV_FP
+            from repro.telemetry.writer import TelemetryWriter
+
+            directory = os.environ.get(ENV_DIR)
+            if not directory:
+                return None
+            self._telemetry = TelemetryWriter(
+                directory, "service", os.environ.get(ENV_FP, ""))
+        return self._telemetry

@@ -1,0 +1,174 @@
+"""Wiring the lease authority into existing simulations.
+
+:class:`repro.core.manager.LeaseManager` stays the in-process policy
+engine it always was; when journaling is armed it additionally mirrors
+its lease lifecycle into a :class:`~repro.service.service.LeaseService`
+through the narrow :class:`ManagerPersistence` adapter. The mapping:
+
+- manager ``create``      -> service ``acquire`` (consumer
+  ``<ns>:uid:<uid>``, auto-registered; resource = the lease's type);
+- manager ``renew`` (INACTIVE -> ACTIVE) -> service ``renew`` -- or a
+  *fresh* ``acquire`` when the service-side lease already expired under
+  the sweeper, which is exactly how monotonic lease ids get exercised;
+- manager ``remove``      -> service ``release`` (skipped if the
+  sweeper got there first);
+- every end-of-term :class:`~repro.core.manager.Decision` with metrics
+  -> service ``note_utility`` (utility score + misbehaviour flag);
+- the service's seeded sweeper is driven from the same simulation
+  clock (``maybe_sweep(sim.now)`` before each mirrored op).
+
+Arming follows the telemetry precedent exactly: **environment
+variable, never kwargs**. ``run_shard`` dispatches as a
+content-addressed FuncSpec, so a ``service_journal`` kwarg would
+change every shard's cache key and orphan every warm cache; instead
+:data:`~repro.service.storage.ENV_JOURNAL` names the journal root and
+:func:`attach_from_env` (called from ``LeaseManager.__init__``) is a
+no-op when it is unset -- the acceptance bar that cache keys,
+checkpoints and report bytes are unchanged with the service off.
+
+Fork safety mirrors :class:`~repro.telemetry.writer.TelemetryWriter`:
+each worker process writes its own subdirectory
+(``w-p<pid>-<NN>/``) under the journal root, so forked fleet workers
+never interleave appends in one journal file.
+"""
+
+import atexit
+import math
+import os
+
+from repro.service.service import LeaseService
+from repro.service.storage import (
+    DEFAULT_SERVICE_ROOT,
+    ENV_JOURNAL,
+    JournalStorage,
+)
+
+#: Service-side lease terms must be finite (the journal is JSON); an
+#: infinite manager term maps to this stand-in (~30 years).
+MAX_TERM_S = 1e9
+
+
+def default_service_dir(fingerprint):
+    """``results/.service/<fp12>/`` for one run fingerprint."""
+    return os.path.join(DEFAULT_SERVICE_ROOT, fingerprint[:12])
+
+
+def _finite_term(term_s):
+    term_s = float(term_s)
+    return term_s if math.isfinite(term_s) else MAX_TERM_S
+
+
+# Per-process service registry: root -> (pid, LeaseService). A forked
+# worker inherits the dict but not the pid, so it transparently gets
+# its own service (and its own journal subdirectory).
+_SERVICES = {}
+_WORKER_SERIAL = 0
+_NAMESPACE_SERIAL = 0
+_ATEXIT_ARMED = False
+
+
+def _close_services():
+    for __, service in list(_SERVICES.values()):
+        try:
+            service.close()
+        except OSError:
+            pass
+    _SERVICES.clear()
+
+
+def process_service(root):
+    """This process's service for ``root``, creating it on first use."""
+    global _WORKER_SERIAL, _ATEXIT_ARMED
+    pid = os.getpid()
+    entry = _SERVICES.get(root)
+    if entry is not None and entry[0] == pid:
+        return entry[1]
+    subdir = os.path.join(root,
+                          "w-p{}-{:02d}".format(pid, _WORKER_SERIAL))
+    _WORKER_SERIAL += 1
+    service = LeaseService(JournalStorage(subdir))
+    _SERVICES[root] = (pid, service)
+    if not _ATEXIT_ARMED:
+        atexit.register(_close_services)
+        _ATEXIT_ARMED = True
+    return service
+
+
+def attach_from_env(manager):
+    """The manager's persistence hook, or None when journaling is off.
+
+    Reads :data:`~repro.service.storage.ENV_JOURNAL`; a single dict
+    lookup when unset, so the default path costs nothing.
+    """
+    root = os.environ.get(ENV_JOURNAL)
+    if not root:
+        return None
+    global _NAMESPACE_SERIAL
+    namespace = "m{}".format(_NAMESPACE_SERIAL)
+    _NAMESPACE_SERIAL += 1
+    persistence = ManagerPersistence(process_service(root), manager,
+                                     namespace)
+    manager.listeners.append(persistence.on_decision)
+    return persistence
+
+
+class ManagerPersistence:
+    """Mirrors one LeaseManager's lifecycle into a LeaseService."""
+
+    def __init__(self, service, manager, namespace):
+        self.service = service
+        self.manager = manager
+        self.namespace = namespace
+        self.lease_ids = {}  # manager descriptor -> service lease id
+
+    def _consumer(self, uid):
+        return "{}:uid:{}".format(self.namespace, uid)
+
+    def _sync(self):
+        now = self.manager.sim.now
+        self.service.maybe_sweep(now)
+        return now
+
+    def _service_lease(self, descriptor):
+        lease_id = self.lease_ids.get(descriptor)
+        if lease_id is None:
+            return None, None
+        return lease_id, self.service.state.lease(lease_id)
+
+    def on_create(self, lease):
+        t = self._sync()
+        consumer = self._consumer(lease.uid)
+        self.service.ensure_registered(consumer, t=t)
+        self.lease_ids[lease.descriptor] = self.service.acquire(
+            consumer, lease.rtype.value, t=t,
+            term_s=_finite_term(lease.term_length))
+
+    def on_renew(self, lease):
+        t = self._sync()
+        lease_id, record = self._service_lease(lease.descriptor)
+        if record is not None and record["state"] == "active":
+            self.service.renew(lease_id, t=t,
+                               term_s=_finite_term(lease.term_length))
+        else:
+            # The sweeper expired the old service lease while the
+            # manager-side lease idled INACTIVE: a renewal is a fresh
+            # grant with the next monotonic id, never a resurrection.
+            self.on_create(lease)
+
+    def on_remove(self, lease):
+        t = self._sync()
+        lease_id, record = self._service_lease(lease.descriptor)
+        self.lease_ids.pop(lease.descriptor, None)
+        if record is not None and record["state"] == "active":
+            self.service.release(lease_id, t=t)
+
+    def on_decision(self, decision):
+        t = self._sync()
+        if decision.metrics is None:
+            return
+        __, record = self._service_lease(decision.lease.descriptor)
+        if record is None:
+            return
+        self.service.note_utility(
+            record["id"], decision.metrics.utility_score, t=t,
+            misbehavior=decision.behavior.is_misbehavior)

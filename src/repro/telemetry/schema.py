@@ -72,6 +72,15 @@ EVENT_FIELDS = {
     "run_finished": ("shards_total", "shards_run", "shards_resumed",
                      "shards_quarantined", "devices", "execution",
                      "report_sha256"),
+    # One scheduled sweep of the crash-safe lease authority
+    # (repro.service): how many leases expired, what stayed active,
+    # and the cadence position (seeded-deterministic sweep index).
+    "service_sweep": ("swept", "active", "sweep_index"),
+    # One LeaseService.recover(): what the storage backend salvaged
+    # and the canonical-state fingerprint the replay reconstructed.
+    "service_recovered": ("snapshot_seq", "records_replayed",
+                          "records_dropped", "leases", "state_fp",
+                          "degraded"),
 }
 
 #: The only non-deterministic fields an event may carry. Everything

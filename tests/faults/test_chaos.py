@@ -115,3 +115,57 @@ def test_effective_threshold_is_the_documented_default():
     assert chaos.EFFECTIVE_THRESHOLD_PCT == pytest.approx(40.0)
     assert chaos.DEFAULT_SUBSET == ("torch", "k9", "connectbot-screen",
                                     "betterweather", "tapandturn")
+
+
+def test_bundle_records_armed_harness_faults(tmp_path, monkeypatch):
+    import os
+
+    from repro.faults.bundle import (_restored_faults, load_bundle,
+                                     write_bundle)
+    from repro.resilience.hooks import ENV_VAR
+
+    spec = '{"storage": {"corrupt": [3]}}'
+    monkeypatch.setenv(ENV_VAR, spec)
+    path = write_bundle(str(tmp_path),
+                        dict(case_key="torch", mitigation="vanilla",
+                             minutes=2.0, seed=7, plan_json=""),
+                        {"violations": [], "fingerprint": "f" * 8})
+    assert load_bundle(path)["harness_faults"] == spec
+    # A bundle written without faults armed records none at all.
+    monkeypatch.delenv(ENV_VAR)
+    clean = write_bundle(str(tmp_path / "clean"),
+                         dict(case_key="torch", mitigation="vanilla",
+                              minutes=2.0, seed=8, plan_json=""),
+                         {"violations": [], "fingerprint": "f" * 8})
+    assert "harness_faults" not in load_bundle(clean)
+    # The restore context re-arms a recorded spec and, for bundles with
+    # none, clears any stray spec from the operator's shell.
+    with _restored_faults(spec):
+        assert os.environ[ENV_VAR] == spec
+    assert ENV_VAR not in os.environ
+    monkeypatch.setenv(ENV_VAR, spec)
+    with _restored_faults(""):
+        assert ENV_VAR not in os.environ
+    assert os.environ[ENV_VAR] == spec
+
+
+def test_replay_rearms_recorded_harness_faults(tmp_path, monkeypatch,
+                                               capsys):
+    import os
+
+    from repro.experiments.chaos import run_chaos_case
+    from repro.faults.bundle import write_bundle
+    from repro.resilience.hooks import ENV_VAR
+
+    spec = '{"storage": {"corrupt": [999]}}'
+    monkeypatch.setenv(ENV_VAR, spec)
+    kwargs = dict(case_key="torch", mitigation="vanilla", minutes=2.0,
+                  seed=7, plan_json=FaultPlan.sample(1, 120.0).to_json())
+    path = write_bundle(str(tmp_path), kwargs, run_chaos_case(**kwargs))
+    monkeypatch.delenv(ENV_VAR)
+    code = cli.main(["chaos", "--replay", path])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "harness faults re-armed: " + spec in out
+    assert "matches the original run" in out
+    assert ENV_VAR not in os.environ

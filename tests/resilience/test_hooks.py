@@ -57,3 +57,29 @@ def test_apply_in_worker_hang_blocks_then_errors():
         '{"hang": {"j": []}, "hang_s": 0.05}')
     with pytest.raises(RuntimeError):
         apply_in_worker(faults, "j", 1)
+
+
+def test_storage_target_round_trips_and_counts_as_armed():
+    faults = HarnessFaults.from_json(
+        '{"storage": {"crash": [37], "torn": [12, 3]}}')
+    assert bool(faults)
+    again = HarnessFaults.from_json(faults.to_json())
+    assert again == faults
+    assert again.storage == (("crash", (37,)), ("torn", (3, 12)))
+
+
+def test_storage_directive_matches_sequence_numbers():
+    faults = HarnessFaults.from_json(
+        '{"storage": {"crash": [37], "corrupt": [5]}}')
+    assert faults.storage_directive(5) == "corrupt"
+    assert faults.storage_directive(37) == "crash"
+    assert faults.storage_directive(0) is None
+    # An empty seq list targets every append.
+    every = HarnessFaults.from_json('{"storage": {"torn": []}}')
+    assert every.storage_directive(123) == "torn"
+    assert not HarnessFaults().storage_directive(0)
+
+
+def test_storage_rejects_unknown_kinds():
+    with pytest.raises(ValueError):
+        HarnessFaults.from_json('{"storage": {"melt": [1]}}')

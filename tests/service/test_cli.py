@@ -1,0 +1,124 @@
+"""``repro service``: run / inspect / verify / compact round trips."""
+
+import os
+
+from repro import cli
+from repro.cli import EXIT_DEGRADED
+from repro.service import JournalStorage, LeaseService
+from repro.service.storage import JOURNAL_NAME
+
+
+def _run(tmp_path, capsys, *argv):
+    code = cli.main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def _journal(tmp_path):
+    return str(tmp_path / "journal")
+
+
+def _seed_day(tmp_path, capsys, ops=40):
+    journal = _journal(tmp_path)
+    code, out = _run(tmp_path, capsys, "service", "run",
+                     "--journal", journal, "--ops", str(ops))
+    assert code == 0
+    return journal, out
+
+
+def test_run_writes_a_recoverable_journal(tmp_path, capsys):
+    journal, out = _seed_day(tmp_path, capsys)
+    assert "state fingerprint: " in out
+    fingerprint = out.split("state fingerprint: ")[1].split()[0]
+    service = LeaseService.recover(JournalStorage(journal), seed=7)
+    assert service.fingerprint() == fingerprint
+
+
+def test_run_refuses_to_clobber_without_resume(tmp_path, capsys):
+    journal, __ = _seed_day(tmp_path, capsys)
+    code, out = _run(tmp_path, capsys, "service", "run",
+                     "--journal", journal)
+    assert code == 2
+    assert "--resume" in out
+
+
+def test_resume_continues_to_the_uninterrupted_fingerprint(tmp_path,
+                                                           capsys):
+    full_journal = str(tmp_path / "full")
+    __, full_out = _run(tmp_path, capsys, "service", "run",
+                        "--journal", full_journal, "--ops", "40")
+    expected = full_out.split("state fingerprint: ")[1].split()[0]
+
+    journal = _journal(tmp_path)
+    _run(tmp_path, capsys, "service", "run", "--journal", journal,
+         "--ops", "15")
+    code, out = _run(tmp_path, capsys, "service", "run", "--resume",
+                     "--journal", journal, "--ops", "40")
+    assert code == 0
+    assert out.split("state fingerprint: ")[1].split()[0] == expected
+
+
+def test_verify_reports_invariants_hold(tmp_path, capsys):
+    journal, __ = _seed_day(tmp_path, capsys)
+    code, out = _run(tmp_path, capsys, "service", "verify",
+                     "--journal", journal)
+    assert code == 0
+    assert "recovery invariants hold" in out
+    assert "DEGRADED" not in out
+
+
+def test_verify_exits_75_on_degraded_recovery(tmp_path, capsys):
+    journal, __ = _seed_day(tmp_path, capsys)
+    path = os.path.join(journal, JOURNAL_NAME)
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines[:-1]) + "\n" + lines[-1][:12])
+    code, out = _run(tmp_path, capsys, "service", "verify",
+                     "--journal", journal)
+    assert code == EXIT_DEGRADED
+    assert "DEGRADED (torn_tail)" in out
+    assert "recovery invariants hold (DEGRADED: torn_tail)" in out
+
+
+def test_inspect_summarises_the_lease_table(tmp_path, capsys):
+    journal, __ = _seed_day(tmp_path, capsys)
+    code, out = _run(tmp_path, capsys, "service", "inspect",
+                     "--journal", journal)
+    assert code == 0
+    assert "consumers: " in out
+    assert "sweeps: " in out
+
+
+def test_compact_then_verify_recovers_from_the_snapshot(tmp_path,
+                                                        capsys):
+    journal, run_out = _seed_day(tmp_path, capsys)
+    fingerprint = run_out.split("state fingerprint: ")[1].split()[0]
+    code, out = _run(tmp_path, capsys, "service", "compact",
+                     "--journal", journal)
+    assert code == 0
+    assert "compacted: snapshot " in out
+    code, out = _run(tmp_path, capsys, "service", "verify",
+                     "--journal", journal)
+    assert code == 0
+    # Everything now lives in the snapshot: nothing left to replay.
+    assert "0 record(s) replayed, 0 dropped" in out
+    assert fingerprint in out
+
+
+def test_actions_other_than_run_require_a_journal(tmp_path, capsys):
+    code, out = _run(tmp_path, capsys, "service", "verify")
+    assert code == 2
+    assert "--journal DIR is required" in out
+
+
+def test_verify_of_a_missing_journal_fails_cleanly(tmp_path, capsys):
+    code, out = _run(tmp_path, capsys, "service", "verify",
+                     "--journal", str(tmp_path / "nope"))
+    assert code == 1
+    assert "no journal directory" in out
+
+
+def test_service_is_excluded_from_all():
+    assert "service" in cli.COMMANDS
+    assert "service" in cli.EXCLUDE_FROM_ALL

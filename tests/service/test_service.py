@@ -1,0 +1,154 @@
+"""The LeaseService facade: API, sweeper cadence, recovery contract."""
+
+import os
+
+import pytest
+
+from repro.service import (
+    InMemoryStorage,
+    JournalStorage,
+    LeaseService,
+    ServiceError,
+)
+from repro.service.scripted import run_scripted_day
+
+
+def test_acquire_requires_registration():
+    service = LeaseService()
+    with pytest.raises(ServiceError):
+        service.acquire("ghost", "gps")
+
+
+def test_lease_lifecycle_through_the_facade():
+    service = LeaseService()
+    service.register("app0")
+    lease_id = service.acquire("app0", "gps", t=1.0, term_s=60.0)
+    assert lease_id == 1
+    service.renew(lease_id, t=30.0, term_s=120.0)
+    service.note_utility(lease_id, 0.8, t=40.0)
+    service.release(lease_id, t=50.0, utility=0.9)
+    lease = service.state.lease(lease_id)
+    assert lease["state"] == "released"
+    assert lease["renewals"] == 1
+    assert service.state.stats["app0|gps"].count == 2
+
+
+def test_context_manager_auto_registers_and_releases():
+    service = LeaseService()
+    with service.lease("app0", "wakelock", t=0.0, term_s=60.0) as handle:
+        assert handle.active
+        handle.note(0.5, t=10.0)
+    assert service.state.lease(handle.id)["state"] == "released"
+    # The handle's last-touched time is the release time.
+    assert service.state.lease(handle.id)["released_t"] == 10.0
+
+
+def test_context_manager_respects_explicit_release():
+    service = LeaseService()
+    with service.lease("app0", "gps", t=0.0) as handle:
+        handle.release(t=5.0, utility=1.0)
+    assert service.state.counts["release"] == 1
+
+
+def test_sweep_cadence_is_a_pure_function_of_seed_and_index():
+    a = LeaseService(seed=11)
+    b = LeaseService(seed=11)
+    c = LeaseService(seed=12)
+    dues_a = [a.sweep_due(k) for k in range(5)]
+    assert dues_a == [b.sweep_due(k) for k in range(5)]
+    assert dues_a != [c.sweep_due(k) for k in range(5)]
+    assert all(later > earlier
+               for earlier, later in zip(dues_a, dues_a[1:]))
+
+
+def test_maybe_sweep_expires_lapsed_leases_only():
+    service = LeaseService(seed=0)
+    service.register("app0")
+    short = service.acquire("app0", "gps", t=0.0, term_s=10.0)
+    long = service.acquire("app0", "net", t=0.0, term_s=10_000.0)
+    service.maybe_sweep(500.0)
+    assert service.state.lease(short)["state"] == "expired"
+    assert service.state.lease(long)["state"] == "active"
+    assert service.state.sweep_index > 0
+
+
+def test_force_sweep_does_not_advance_the_cadence():
+    service = LeaseService(seed=0)
+    service.register("app0")
+    service.acquire("app0", "gps", t=0.0, term_s=1.0)
+    swept = service.force_sweep(50.0)
+    assert swept == 1
+    assert service.state.sweep_index == 0
+
+
+def test_snapshot_every_writes_automatic_snapshots(tmp_path):
+    directory = str(tmp_path / "auto")
+    service = LeaseService(JournalStorage(directory), seed=7,
+                           snapshot_every=10)
+    run_scripted_day(service, seed=7, apps=2, ops=20)
+    service.close()
+    assert JournalStorage(directory).snapshot_files()
+    recovered = LeaseService.recover(JournalStorage(directory), seed=7)
+    assert recovered.fingerprint() == service.fingerprint()
+    assert recovered.recovery.snapshot_seq > 0
+
+
+def test_recover_is_byte_identical_and_emits_no_violations(tmp_path):
+    directory = str(tmp_path / "clean")
+    service = LeaseService(JournalStorage(directory), seed=7)
+    summary = run_scripted_day(service, seed=7, apps=3, ops=60)
+    service.close()
+    recovered = LeaseService.recover(JournalStorage(directory), seed=7)
+    assert recovered.fingerprint() == summary["fingerprint"]
+    assert recovered.violations == []
+    assert not recovered.recovery.degraded
+
+
+def test_recovered_service_continues_the_scripted_day(tmp_path):
+    reference = LeaseService(InMemoryStorage(), seed=7)
+    expected = run_scripted_day(reference, seed=7, apps=3, ops=60)
+
+    directory = str(tmp_path / "half")
+    service = LeaseService(JournalStorage(directory), seed=7)
+    run_scripted_day(service, seed=7, apps=3, ops=25)
+    service.close()
+    recovered = LeaseService.recover(JournalStorage(directory), seed=7)
+    resumed = run_scripted_day(recovered, seed=7, apps=3, ops=60)
+    recovered.close()
+    assert resumed["fingerprint"] == expected["fingerprint"]
+
+
+def test_journal_and_memory_backends_agree_bitwise(tmp_path):
+    memory = LeaseService(InMemoryStorage(), seed=7)
+    disk = LeaseService(JournalStorage(str(tmp_path / "disk")), seed=7)
+    a = run_scripted_day(memory, seed=7, apps=3, ops=60)
+    b = run_scripted_day(disk, seed=7, apps=3, ops=60)
+    disk.close()
+    assert a["fingerprint"] == b["fingerprint"]
+
+
+def test_recovery_emits_service_recovered_telemetry(tmp_path,
+                                                   monkeypatch):
+    from repro.telemetry.emit import ENV_DIR
+    from repro.telemetry.schema import validate_stream_file
+
+    directory = str(tmp_path / "tele")
+    service = LeaseService(JournalStorage(directory), seed=7)
+    run_scripted_day(service, seed=7, apps=2, ops=10)
+    service.close()
+    stream_dir = str(tmp_path / "stream")
+    os.makedirs(stream_dir)
+    monkeypatch.setenv(ENV_DIR, stream_dir)
+    recovered = LeaseService.recover(JournalStorage(directory), seed=7)
+    recovered.maybe_sweep(10_000.0)
+    recovered.close()
+    files = [name for name in os.listdir(stream_dir)
+             if name.endswith(".jsonl")]
+    assert files
+    path = os.path.join(stream_dir, files[0])
+    assert validate_stream_file(path) == []
+    with open(path) as handle:
+        kinds = [__import__("json").loads(line)["event"]
+                 for line in handle]
+    assert "service_recovered" in kinds
+    assert "service_sweep" in kinds

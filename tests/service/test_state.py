@@ -1,0 +1,116 @@
+"""The service state reducer: ops, queries, canonical form."""
+
+import pytest
+
+from repro.service.state import ServiceState, StateError
+
+
+def _basic_state():
+    state = ServiceState()
+    state.apply("register", 0.0, {"name": "app0"})
+    state.apply("acquire", 1.0, {"consumer": "app0", "resource": "gps",
+                                 "term_s": 60.0})
+    return state
+
+
+def test_acquire_assigns_monotonic_ids_from_one():
+    state = _basic_state()
+    state.apply("acquire", 2.0, {"consumer": "app0",
+                                 "resource": "wakelock", "term_s": 30.0})
+    ids = [lease["id"] for lease in state.active_leases()]
+    assert ids == [1, 2]
+    assert state.next_lease_id == 3
+
+
+def test_register_twice_is_an_error():
+    state = _basic_state()
+    with pytest.raises(StateError):
+        state.apply("register", 2.0, {"name": "app0"})
+
+
+def test_acquire_unknown_consumer_is_an_error():
+    state = _basic_state()
+    with pytest.raises(StateError):
+        state.apply("acquire", 2.0, {"consumer": "ghost",
+                                     "resource": "gps", "term_s": 1.0})
+
+
+def test_renew_extends_expiry_from_renew_time():
+    state = _basic_state()
+    state.apply("renew", 30.0, {"lease": 1, "term_s": 100.0})
+    lease = state.lease(1)
+    assert lease["expires_t"] == 130.0
+    assert lease["renewals"] == 1
+
+
+def test_release_folds_utility_into_stats():
+    state = _basic_state()
+    state.apply("release", 10.0, {"lease": 1, "utility": 0.75})
+    assert state.lease(1)["state"] == "released"
+    assert state.stats["app0|gps"].count == 1
+    assert state.stats["app0|gps"].mean == 0.75
+    assert state.stats_all.count == 1
+
+
+def test_release_twice_is_an_error():
+    state = _basic_state()
+    state.apply("release", 10.0, {"lease": 1})
+    with pytest.raises(StateError):
+        state.apply("release", 11.0, {"lease": 1})
+
+
+def test_note_utility_counts_misbehaviors():
+    state = _basic_state()
+    state.apply("note_utility", 5.0,
+                {"lease": 1, "value": 0.2, "misbehavior": True})
+    state.apply("note_utility", 6.0, {"lease": 1, "value": 0.9})
+    assert state.counts["misbehaviors"] == 1
+    assert state.stats_all.count == 2
+
+
+def test_sweep_expires_listed_leases_and_tracks_cadence():
+    state = _basic_state()
+    assert state.expired_by(61.0) == [1]
+    state.apply("sweep", 61.0, {"expired": [1], "scheduled": True})
+    assert state.lease(1)["state"] == "expired"
+    assert state.sweep_index == 1
+    assert state.swept_total == 1
+    # Forced sweeps never advance the scheduled cadence position.
+    state.apply("sweep", 62.0, {"expired": [], "scheduled": False})
+    assert state.sweep_index == 1
+
+
+def test_sweep_of_non_active_lease_is_an_error():
+    state = _basic_state()
+    state.apply("release", 5.0, {"lease": 1})
+    with pytest.raises(StateError):
+        state.apply("sweep", 61.0, {"expired": [1], "scheduled": True})
+
+
+def test_unknown_op_is_an_error():
+    state = _basic_state()
+    with pytest.raises(StateError):
+        state.apply("frobnicate", 1.0, {})
+
+
+def test_canonical_round_trip_is_byte_identical():
+    state = _basic_state()
+    state.apply("note_utility", 5.0, {"lease": 1, "value": 0.4})
+    state.apply("sweep", 61.0, {"expired": [1], "scheduled": True})
+    again = ServiceState.from_canonical(state.to_canonical())
+    assert again.to_json() == state.to_json()
+    assert again.fingerprint() == state.fingerprint()
+
+
+def test_from_canonical_rejects_wrong_schema():
+    payload = _basic_state().to_canonical()
+    payload["schema"] = 99
+    with pytest.raises(StateError):
+        ServiceState.from_canonical(payload)
+
+
+def test_fingerprint_changes_with_any_op():
+    state = _basic_state()
+    before = state.fingerprint()
+    state.apply("note_utility", 5.0, {"lease": 1, "value": 0.4})
+    assert state.fingerprint() != before

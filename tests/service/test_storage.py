@@ -1,0 +1,191 @@
+"""Storage backends: journal encoding, snapshots, salvage semantics."""
+
+import json
+import os
+
+import pytest
+
+from repro.service import (
+    InMemoryStorage,
+    JournalRecoveryError,
+    JournalStorage,
+    LeaseService,
+)
+from repro.service.scripted import run_scripted_day
+from repro.service.storage import (
+    JOURNAL_NAME,
+    decode_record,
+    encode_record,
+    record_crc,
+)
+
+
+def test_record_encoding_round_trips_with_valid_crc():
+    line = encode_record(3, "acquire", 1.5,
+                         {"consumer": "a", "resource": "gps",
+                          "term_s": 60.0})
+    record = decode_record(line)
+    assert record["seq"] == 3
+    assert record["op"] == "acquire"
+    assert record["crc"] == record_crc(3, "acquire", 1.5,
+                                       record["data"])
+
+
+def test_decode_rejects_bad_crc_and_missing_fields():
+    line = encode_record(0, "register", 0.0, {"name": "a"})
+    tampered = line.replace('"name":"a"', '"name":"b"')
+    with pytest.raises(ValueError):
+        decode_record(tampered)
+    with pytest.raises(ValueError):
+        decode_record('{"seq": 0, "op": "register"}')
+    with pytest.raises(ValueError):
+        decode_record("not json")
+
+
+def test_in_memory_storage_load_returns_clean_info():
+    storage = InMemoryStorage()
+    storage.append(0, "register", 0.0, {"name": "a"})
+    snapshot, records, info = storage.load()
+    assert snapshot is None
+    assert [r["seq"] for r in records] == [0]
+    assert not info.degraded
+
+
+def _journaled_day(tmp_path, name="day", ops=40):
+    directory = str(tmp_path / name)
+    service = LeaseService(JournalStorage(directory), seed=7)
+    summary = run_scripted_day(service, seed=7, apps=3, ops=ops)
+    service.close()
+    return directory, summary
+
+
+def test_journal_is_one_valid_record_per_line_with_gapless_seqs(tmp_path):
+    directory, summary = _journaled_day(tmp_path)
+    with open(os.path.join(directory, JOURNAL_NAME)) as handle:
+        records = [decode_record(line) for line in handle]
+    assert [r["seq"] for r in records] == list(range(len(records)))
+    assert len(records) == summary["op_seq"]
+
+
+def test_journal_bytes_are_deterministic(tmp_path):
+    d1, __ = _journaled_day(tmp_path, "one")
+    d2, __ = _journaled_day(tmp_path, "two")
+    with open(os.path.join(d1, JOURNAL_NAME), "rb") as handle:
+        first = handle.read()
+    with open(os.path.join(d2, JOURNAL_NAME), "rb") as handle:
+        second = handle.read()
+    assert first == second
+
+
+def test_load_replays_from_latest_valid_snapshot(tmp_path):
+    directory = str(tmp_path / "snap")
+    service = LeaseService(JournalStorage(directory), seed=7)
+    run_scripted_day(service, seed=7, apps=3, ops=30)
+    service.checkpoint()
+    fp = service.fingerprint()
+    seq = service.state.op_seq
+    service.close()
+    snapshot, records, info = JournalStorage(directory).load()
+    assert info.snapshot_seq == seq
+    assert records == []  # everything covered by the snapshot
+    recovered = LeaseService.recover(JournalStorage(directory), seed=7)
+    assert recovered.fingerprint() == fp
+
+
+def test_load_falls_back_past_an_invalid_snapshot(tmp_path):
+    directory = str(tmp_path / "snapfall")
+    service = LeaseService(JournalStorage(directory), seed=7)
+    run_scripted_day(service, seed=7, apps=3, ops=30)
+    fp = service.fingerprint()
+    service.checkpoint()
+    service.close()
+    # Corrupt the (only) snapshot: recovery must fall back to a full
+    # journal replay and flag the rot.
+    snapshots = JournalStorage(directory).snapshot_files()
+    with open(snapshots[0], "r+") as handle:
+        payload = json.load(handle)
+        payload["crc"] = "00000000"
+        handle.seek(0)
+        json.dump(payload, handle)
+        handle.truncate()
+    recovered = LeaseService.recover(JournalStorage(directory), seed=7)
+    assert recovered.fingerprint() == fp
+    assert recovered.recovery.snapshots_invalid == 1
+    assert recovered.recovery.degraded
+    assert recovered.recovery.reason == "invalid_snapshots"
+
+
+def test_compact_truncates_journal_but_preserves_state(tmp_path):
+    directory, summary = _journaled_day(tmp_path)
+    service = LeaseService.recover(JournalStorage(directory), seed=7)
+    service.compact()
+    service.close()
+    with open(os.path.join(directory, JOURNAL_NAME)) as handle:
+        assert handle.read() == ""
+    recovered = LeaseService.recover(JournalStorage(directory), seed=7)
+    assert recovered.fingerprint() == summary["fingerprint"]
+    assert recovered.recovery.snapshot_seq == summary["op_seq"]
+
+
+def test_torn_tail_is_dropped_and_degraded(tmp_path):
+    directory, __ = _journaled_day(tmp_path)
+    path = os.path.join(directory, JOURNAL_NAME)
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines[:10]) + "\n" + lines[10][:20])
+    snapshot, records, info = JournalStorage(directory).load()
+    assert len(records) == 10
+    assert info.degraded
+    assert info.reason == "torn_tail"
+    assert info.records_dropped == 1
+
+
+def test_corrupt_mid_journal_drops_everything_after(tmp_path):
+    directory, __ = _journaled_day(tmp_path)
+    path = os.path.join(directory, JOURNAL_NAME)
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    record = json.loads(lines[5])
+    record["crc"] = "00000000"
+    lines[5] = json.dumps(record, sort_keys=True,
+                          separators=(",", ":"))
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    __, records, info = JournalStorage(directory).load()
+    assert len(records) == 5
+    assert info.degraded
+    assert info.reason == "corrupt_record"
+    assert info.records_dropped == len(lines) - 5
+
+
+def test_sequence_gap_stops_replay_degraded(tmp_path):
+    directory, __ = _journaled_day(tmp_path)
+    path = os.path.join(directory, JOURNAL_NAME)
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    del lines[7]  # a missing middle record is a gap, not a tail
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    __, records, info = JournalStorage(directory).load()
+    assert len(records) == 7
+    assert info.degraded
+    assert info.reason == "sequence_gap"
+
+
+def test_missing_directory_raises_recovery_error(tmp_path):
+    storage = JournalStorage.__new__(JournalStorage)
+    storage.directory = str(tmp_path / "nope")
+    storage.path = os.path.join(storage.directory, JOURNAL_NAME)
+    with pytest.raises(JournalRecoveryError):
+        storage.load()
+
+
+def test_journal_without_genesis_and_no_snapshot_raises(tmp_path):
+    directory = str(tmp_path / "headless")
+    os.makedirs(directory)
+    line = encode_record(5, "register", 0.0, {"name": "a"})
+    with open(os.path.join(directory, JOURNAL_NAME), "w") as handle:
+        handle.write(line + "\n")
+    with pytest.raises(JournalRecoveryError):
+        JournalStorage(directory).load()

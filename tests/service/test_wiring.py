@@ -1,0 +1,87 @@
+"""Env-armed mirroring of the LeaseManager into a journaled service."""
+
+from repro.mitigation import LeaseOS
+from repro.service import JournalStorage, LeaseService
+from repro.service.storage import ENV_JOURNAL
+
+from tests.conftest import make_phone
+from tests.core.test_manager_proxy import BusyHolder, PoliteApp
+
+
+def _armed_phone(monkeypatch, root):
+    monkeypatch.setenv(ENV_JOURNAL, root)
+    mitigation = LeaseOS()
+    phone = make_phone(mitigation=mitigation)
+    return phone, mitigation.manager
+
+
+def test_persistence_is_off_by_default(monkeypatch):
+    monkeypatch.delenv(ENV_JOURNAL, raising=False)
+    mitigation = LeaseOS()
+    make_phone(mitigation=mitigation)
+    assert mitigation.manager.persistence is None
+
+
+def test_armed_manager_mirrors_lifecycle_and_recovers_bitwise(
+        monkeypatch, tmp_path):
+    phone, manager = _armed_phone(monkeypatch, str(tmp_path / "j"))
+    app = phone.install(BusyHolder())
+    phone.run_for(seconds=30.0)
+    persistence = manager.persistence
+    assert persistence is not None
+    service = persistence.service
+    assert service.state.counts["acquire"] >= 1
+    # End-of-term decisions carry metrics: utility lands in the stats
+    # moments under the namespaced consumer|resource key.
+    keys = [key for key in service.state.stats
+            if key.endswith(":uid:{}|wakelock".format(app.uid))]
+    assert keys
+    service.flush()
+    recovered = LeaseService.recover(
+        JournalStorage(service.storage.directory))
+    assert recovered.fingerprint() == service.fingerprint()
+    assert recovered.violations == []
+    assert not recovered.recovery.degraded
+
+
+def test_manager_remove_releases_the_mirrored_lease(monkeypatch,
+                                                    tmp_path):
+    phone, manager = _armed_phone(monkeypatch, str(tmp_path / "j"))
+    app = phone.install(PoliteApp())
+    phone.run_for(seconds=10.0)
+    persistence = manager.persistence
+    lease = manager.leases_for(app.uid)[0]
+    lease_id = persistence.lease_ids[lease.descriptor]
+    manager.remove(lease.descriptor)
+    assert lease.descriptor not in persistence.lease_ids
+    assert persistence.service.state.lease(lease_id)["state"] in (
+        "released", "expired")
+
+
+def test_swept_service_lease_renews_as_a_fresh_grant(monkeypatch,
+                                                     tmp_path):
+    phone, manager = _armed_phone(monkeypatch, str(tmp_path / "j"))
+    app = phone.install(BusyHolder())
+    phone.run_for(seconds=2.0)
+    persistence = manager.persistence
+    lease = manager.leases_for(app.uid)[0]
+    old_id = persistence.lease_ids[lease.descriptor]
+    # The service-side sweeper expires the mirror while the manager
+    # lease idles; the next renewal must be a *fresh* monotonic grant,
+    # never a resurrection of the expired record.
+    persistence.service.force_sweep(persistence.service.state.lease(
+        old_id)["expires_t"] + 1.0)
+    assert persistence.service.state.lease(old_id)["state"] == "expired"
+    persistence.on_renew(lease)
+    new_id = persistence.lease_ids[lease.descriptor]
+    assert new_id > old_id
+    assert persistence.service.state.lease(old_id)["state"] == "expired"
+    assert persistence.service.state.lease(new_id)["state"] == "active"
+
+
+def test_each_manager_gets_its_own_namespace(monkeypatch, tmp_path):
+    __, first = _armed_phone(monkeypatch, str(tmp_path / "j"))
+    __, second = _armed_phone(monkeypatch, str(tmp_path / "j"))
+    assert first.persistence.namespace != second.persistence.namespace
+    # Both managers in one process share the per-process service.
+    assert first.persistence.service is second.persistence.service

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Lint lease-service journals against the record schema.
+
+    python tools/check_journal_schema.py tests/data/service_journal_example.jsonl
+    python tools/check_journal_schema.py --replay results/.service/<fp>/journal.jsonl
+
+Validates every line of each journal file: JSON shape, crc32
+integrity, known op kinds, the per-op required data fields, and
+gapless sequence numbers. ``--replay`` additionally replays the
+records through the :class:`repro.service.state.ServiceState` reducer
+(journals starting at seq 0 only) and prints the recovered state
+fingerprint -- the same bytes ``repro service verify`` reports. Shared
+verbatim with the service-smoke CI job and the lint job's
+committed-example check.
+"""
+
+import argparse
+import os
+import sys
+
+
+def _import_service():
+    try:
+        from repro.service import state, storage
+    except ImportError:
+        # Ran from a checkout without the package installed: the tool
+        # lives in tools/, the package in ../src.
+        sys.path.insert(0, os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+        from repro.service import state, storage
+    return state, storage
+
+
+def check_journal(path, state_mod, storage_mod, replay=False):
+    problems = []
+    records = []
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                problems.append("{}:{}: blank line".format(path, number))
+                continue
+            try:
+                record = storage_mod.decode_record(line)
+            except ValueError as exc:
+                problems.append("{}:{}: {}".format(path, number, exc))
+                continue
+            if record["op"] not in state_mod.OP_KINDS:
+                problems.append("{}:{}: unknown op {!r}".format(
+                    path, number, record["op"]))
+                continue
+            missing = [field
+                       for field in state_mod.OP_FIELDS[record["op"]]
+                       if field not in record["data"]]
+            if missing:
+                problems.append("{}:{}: op {!r} missing field(s) "
+                                "{}".format(path, number, record["op"],
+                                            ", ".join(missing)))
+            records.append(record)
+    for previous, current in zip(records, records[1:]):
+        if current["seq"] != previous["seq"] + 1:
+            problems.append("{}: sequence gap: {} -> {}".format(
+                path, previous["seq"], current["seq"]))
+    if replay and not problems:
+        if records and records[0]["seq"] != 0:
+            problems.append("{}: cannot replay: journal starts at seq "
+                            "{} (compacted?)".format(
+                                path, records[0]["seq"]))
+        else:
+            service_state = state_mod.ServiceState()
+            try:
+                for record in records:
+                    service_state.apply(record["op"], record["t"],
+                                        record["data"])
+            except state_mod.StateError as exc:
+                problems.append("{}: replay failed at seq {}: "
+                                "{}".format(path, record["seq"], exc))
+            else:
+                print("{}: {} record(s), fingerprint {}".format(
+                    path, len(records), service_state.fingerprint()))
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="validate lease-service journal files against the "
+                    "record schema")
+    parser.add_argument("paths", nargs="+", help="journal .jsonl files")
+    parser.add_argument("--replay", action="store_true",
+                        help="also replay the records through the "
+                             "state reducer and print the recovered "
+                             "fingerprint")
+    args = parser.parse_args(argv)
+    state_mod, storage_mod = _import_service()
+
+    problems = []
+    for path in args.paths:
+        if os.path.exists(path):
+            problems.extend(check_journal(path, state_mod, storage_mod,
+                                          replay=args.replay))
+        else:
+            problems.append("{}: no such file".format(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    print("ok: {} journal file(s) valid".format(len(args.paths)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
