@@ -480,15 +480,25 @@ def _cmd_service(args):
         journal = os.path.join("results", ".service",
                                "scripted-s{}".format(args.seed))
     if args.action == "run":
+        # Occupied means *any* recoverable state, not just journal
+        # records: after `service compact` the journal is empty but a
+        # snapshot holds the whole state, and a fresh seq-0 run on top
+        # of it would be silently shadowed by that snapshot on the
+        # next recovery.
         journal_file = os.path.join(journal, JOURNAL_NAME)
         has_journal = os.path.exists(journal_file) \
             and os.path.getsize(journal_file) > 0
-        if has_journal and not args.resume:
+        has_snapshot = os.path.isdir(journal) and any(
+            name.startswith("snapshot-") and name.endswith(".json")
+            for name in os.listdir(journal))
+        if (has_journal or has_snapshot) and not args.resume:
             args.exit_code = 2
             return "service.txt", (
-                "service run: {} already holds a journal; pass "
+                "service run: {} already holds {}; pass "
                 "--resume to recover and continue it, or point "
-                "--journal at a fresh directory".format(journal))
+                "--journal at a fresh directory".format(
+                    journal, "a journal" if has_journal
+                    else "a compacted snapshot"))
         storage = JournalStorage(journal)
         try:
             service = LeaseService.recover(storage, seed=args.seed) \
@@ -556,7 +566,7 @@ def _cmd_service(args):
         lines.append("compacted: snapshot {} written, journal "
                      "truncated to {} record(s)".format(
                          os.path.basename(snapshot_path),
-                         service.storage.appended))
+                         getattr(service.storage, "compact_kept", 0)))
     if args.action == "verify" and not service.violations:
         lines.append("verify: recovery invariants hold{}".format(
             " (DEGRADED: {})".format(info.reason)

@@ -4,10 +4,12 @@
 callers see ``register`` / ``acquire`` / ``renew`` / ``release`` (plus
 the ``with service.lease(...)`` convenience) and never the storage
 underneath. Every mutation follows the same write-ahead discipline --
-journal the reducer inputs via :meth:`IStorage.append`, *then* apply
-them to :class:`~repro.service.state.ServiceState` -- so at any crash
-point the journal is either exactly the applied ops or one op ahead,
-and replay reconstructs the state byte-identically.
+precondition-check the op against the current state, journal the
+reducer inputs via :meth:`IStorage.append`, *then* apply them to
+:class:`~repro.service.state.ServiceState` -- so at any crash point
+the journal is either exactly the applied ops or one op ahead, every
+journaled record replays cleanly, and replay reconstructs the state
+byte-identically.
 
 Time is always an explicit simulation-clock argument; the service never
 reads the wall clock, which keeps journal bytes (and therefore state
@@ -109,13 +111,21 @@ class LeaseService:
     # -- the single mutation path ------------------------------------------
 
     def _commit(self, op, t, data):
-        """Write-ahead: journal the reducer inputs, then apply them."""
-        seq = self.state.op_seq
-        self.storage.append(seq, op, float(t), data)
+        """Validate, write-ahead journal, then apply.
+
+        The precondition check runs *before* the append: an op the
+        reducer would reject never reaches the journal, so every
+        journaled record replays cleanly -- seq N is on disk iff it
+        was (or was about to be) applied, never a dead record whose
+        seq the next op would reuse.
+        """
         try:
-            self.state.apply(op, t, data)
+            self.state.check(op, float(t), data)
         except StateError as error:
             raise ServiceError(str(error)) from error
+        seq = self.state.op_seq
+        self.storage.append(seq, op, float(t), data)
+        self.state.apply(op, t, data)
         if self.snapshot_every \
                 and self.state.op_seq % self.snapshot_every == 0:
             self.storage.snapshot(self.state.to_canonical())

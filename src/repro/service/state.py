@@ -83,25 +83,56 @@ class ServiceState:
 
     # -- the reducer -------------------------------------------------------
 
-    def apply(self, op, t, data):
-        """Apply one op. The only mutator, live and during replay."""
-        handler = getattr(self, "_op_" + op, None)
-        if handler is None:
+    def check(self, op, t, data):
+        """Precondition check for one op: raises StateError, never
+        mutates. ``apply`` runs it first, and the service's write-ahead
+        path runs it *before* journaling, so an op the reducer would
+        reject can never reach the journal and poison replay."""
+        if op not in OP_KINDS:
             raise StateError("unknown service op {!r}".format(op))
-        handler(float(t), data)
+        for field in OP_FIELDS[op]:
+            if field not in data:
+                raise StateError("op {!r} missing field {!r}".format(
+                    op, field))
+        if op == "register":
+            if data["name"] in self.consumers:
+                raise StateError("consumer {!r} already registered"
+                                 .format(data["name"]))
+        elif op == "acquire":
+            if data["consumer"] not in self.consumers:
+                raise StateError("unknown consumer {!r}".format(
+                    data["consumer"]))
+        elif op in ("renew", "release"):
+            lease = self._lease(data)
+            if lease["state"] != ACTIVE:
+                raise StateError("cannot {} {} lease {}".format(
+                    op, lease["state"], lease["id"]))
+        elif op == "note_utility":
+            self._lease(data)
+        elif op == "sweep":
+            for lease_id in data["expired"]:
+                lease = self._lease({"lease": lease_id})
+                if lease["state"] != ACTIVE:
+                    raise StateError("sweep expired {} lease {}".format(
+                        lease["state"], lease["id"]))
+
+    def apply(self, op, t, data):
+        """Apply one op. The only mutator, live and during replay.
+
+        ``check`` runs before any handler touches the state, so a
+        rejected op -- including a sweep listing one bad lease among
+        good ones -- leaves the state byte-identically unchanged.
+        """
+        self.check(op, t, data)
+        getattr(self, "_op_" + op)(float(t), data)
         self.op_seq += 1
         self.counts[op] = self.counts.get(op, 0) + 1
 
     def _op_register(self, t, data):
-        name = data["name"]
-        if name in self.consumers:
-            raise StateError("consumer {!r} already registered".format(name))
-        self.consumers[name] = {"registered_t": t}
+        self.consumers[data["name"]] = {"registered_t": t}
 
     def _op_acquire(self, t, data):
         consumer = data["consumer"]
-        if consumer not in self.consumers:
-            raise StateError("unknown consumer {!r}".format(consumer))
         lease_id = self.next_lease_id
         self.next_lease_id += 1
         term_s = float(data["term_s"])
@@ -125,9 +156,6 @@ class ServiceState:
 
     def _op_renew(self, t, data):
         lease = self._lease(data)
-        if lease["state"] != ACTIVE:
-            raise StateError("cannot renew {} lease {}".format(
-                lease["state"], lease["id"]))
         term_s = float(data["term_s"])
         lease["term_s"] = term_s
         lease["expires_t"] = t + term_s
@@ -135,9 +163,6 @@ class ServiceState:
 
     def _op_release(self, t, data):
         lease = self._lease(data)
-        if lease["state"] != ACTIVE:
-            raise StateError("cannot release {} lease {}".format(
-                lease["state"], lease["id"]))
         lease["state"] = RELEASED
         lease["released_t"] = t
         utility = data.get("utility")
@@ -154,9 +179,6 @@ class ServiceState:
     def _op_sweep(self, t, data):
         for lease_id in data["expired"]:
             lease = self._lease({"lease": lease_id})
-            if lease["state"] != ACTIVE:
-                raise StateError("sweep expired {} lease {}".format(
-                    lease["state"], lease["id"]))
             lease["state"] = EXPIRED
             lease["released_t"] = t
         self.swept_total += len(data["expired"])

@@ -200,6 +200,9 @@ class JournalStorage(IStorage):
         self._handle = None
         self._unsynced = 0
         self.appended = 0
+        #: Records the last :meth:`compact` kept in the rewritten
+        #: journal (those at/after the snapshot seq; normally 0).
+        self.compact_kept = 0
 
     def description(self):
         return "JournalStorage({})".format(self.directory)
@@ -313,6 +316,7 @@ class JournalStorage(IStorage):
                         continue  # compaction discards a bad tail
                     if record["seq"] >= seq:
                         kept.append(line.rstrip("\n"))
+        self.compact_kept = len(kept)
         handle = tempfile.NamedTemporaryFile(
             "w", dir=self.directory, suffix=".tmp", delete=False)
         try:
@@ -388,11 +392,23 @@ class JournalStorage(IStorage):
             try:
                 record = decode_record(line)
             except ValueError:
-                dropped = len(lines) - index
+                # Everything from the first bad record on is dropped;
+                # only non-blank lines count as records. A torn tail is
+                # a *partial write*: the last record on disk, not even
+                # parseable JSON. A record that parses but fails its
+                # crc (or one with valid records after it) is bitrot.
+                dropped = sum(1 for rest in lines[index:] if rest.strip())
                 info.records_dropped += dropped
                 info.records_total += dropped - 1
                 info.degraded = True
-                info.reason = "torn_tail" if index == len(lines) - 1 \
+                try:
+                    json.loads(line)
+                    parses = True
+                except ValueError:
+                    parses = False
+                last = not any(rest.strip()
+                               for rest in lines[index + 1:])
+                info.reason = "torn_tail" if last and not parses \
                     else "corrupt_record"
                 break
             if expected is not None and record["seq"] < expected:

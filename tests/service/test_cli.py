@@ -106,6 +106,34 @@ def test_compact_then_verify_recovers_from_the_snapshot(tmp_path,
     assert fingerprint in out
 
 
+def test_run_refuses_to_clobber_a_compacted_directory(tmp_path, capsys):
+    """After `compact` the journal file is empty but a snapshot holds
+    the whole state: a fresh seq-0 run on top of it would be silently
+    shadowed by that snapshot on the next recovery."""
+    journal, run_out = _seed_day(tmp_path, capsys)
+    fingerprint = run_out.split("state fingerprint: ")[1].split()[0]
+    code, __ = _run(tmp_path, capsys, "service", "compact",
+                    "--journal", journal)
+    assert code == 0
+    code, out = _run(tmp_path, capsys, "service", "run",
+                     "--journal", journal)
+    assert code == 2
+    assert "--resume" in out
+    # --resume recovers from the snapshot and continues cleanly.
+    code, out = _run(tmp_path, capsys, "service", "run", "--resume",
+                     "--journal", journal, "--ops", "40")
+    assert code == 0
+    assert out.split("state fingerprint: ")[1].split()[0] == fingerprint
+
+
+def test_compact_reports_the_kept_record_count(tmp_path, capsys):
+    journal, __ = _seed_day(tmp_path, capsys)
+    code, out = _run(tmp_path, capsys, "service", "compact",
+                     "--journal", journal)
+    assert code == 0
+    assert "journal truncated to 0 record(s)" in out
+
+
 def test_actions_other_than_run_require_a_journal(tmp_path, capsys):
     code, out = _run(tmp_path, capsys, "service", "verify")
     assert code == 2

@@ -50,6 +50,37 @@ def test_context_manager_respects_explicit_release():
     assert service.state.counts["release"] == 1
 
 
+def test_rejected_ops_never_reach_the_journal(tmp_path):
+    """A refused op must leave no journal record behind: a dead record
+    would poison replay (StateError at its seq) and its seq would be
+    reused by the next committed op."""
+    from repro.service.storage import JOURNAL_NAME, decode_record
+
+    directory = str(tmp_path / "reject")
+    service = LeaseService(JournalStorage(directory), seed=7)
+    service.register("app0")
+    lease_id = service.acquire("app0", "gps", t=0.0, term_s=60.0)
+    service.release(lease_id, t=1.0, utility=0.5)
+    with pytest.raises(ServiceError):
+        service.release(lease_id, t=2.0)   # double release
+    with pytest.raises(ServiceError):
+        service.renew(lease_id, t=2.0)     # renew of a RELEASED lease
+    service.acquire("app0", "net", t=3.0, term_s=60.0)
+    fingerprint = service.fingerprint()
+    service.close()
+
+    with open(os.path.join(directory, JOURNAL_NAME)) as handle:
+        records = [decode_record(line) for line in handle]
+    assert [r["op"] for r in records] == [
+        "register", "acquire", "release", "acquire"]
+    assert [r["seq"] for r in records] == list(range(len(records)))
+
+    recovered = LeaseService.recover(JournalStorage(directory), seed=7)
+    assert recovered.fingerprint() == fingerprint
+    assert recovered.violations == []
+    assert not recovered.recovery.degraded
+
+
 def test_sweep_cadence_is_a_pure_function_of_seed_and_index():
     a = LeaseService(seed=11)
     b = LeaseService(seed=11)

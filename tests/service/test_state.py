@@ -87,6 +87,33 @@ def test_sweep_of_non_active_lease_is_an_error():
         state.apply("sweep", 61.0, {"expired": [1], "scheduled": True})
 
 
+def test_rejected_op_leaves_the_state_untouched():
+    """`check` runs before any mutation: a sweep listing one bad lease
+    among good ones must not half-apply (no expired leases, no op_seq
+    bump)."""
+    state = _basic_state()
+    state.apply("acquire", 1.0, {"consumer": "app0", "resource": "net",
+                                 "term_s": 60.0})
+    state.apply("release", 5.0, {"lease": 2})
+    before = state.fingerprint()
+    with pytest.raises(StateError):
+        state.apply("sweep", 61.0, {"expired": [1, 2],
+                                    "scheduled": True})
+    assert state.fingerprint() == before
+    assert state.lease(1)["state"] == "active"
+
+
+def test_check_is_pure_and_matches_apply():
+    state = _basic_state()
+    before = state.fingerprint()
+    state.check("renew", 30.0, {"lease": 1, "term_s": 100.0})
+    with pytest.raises(StateError):
+        state.check("release", 1.0, {"lease": 99})
+    with pytest.raises(StateError):
+        state.check("renew", 1.0, {"lease": 1})  # missing term_s
+    assert state.fingerprint() == before
+
+
 def test_unknown_op_is_an_error():
     state = _basic_state()
     with pytest.raises(StateError):

@@ -159,6 +159,57 @@ def test_corrupt_mid_journal_drops_everything_after(tmp_path):
     assert info.records_dropped == len(lines) - 5
 
 
+def test_corrupt_crc_on_the_final_record_is_bitrot_not_a_tear(tmp_path):
+    """A fully-written record with a bad crc parses as JSON: that is
+    bitrot (`corrupt_record`) even on the last line -- `torn_tail` is
+    reserved for a genuine partial write."""
+    directory, __ = _journaled_day(tmp_path)
+    path = os.path.join(directory, JOURNAL_NAME)
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    record = json.loads(lines[-1])
+    record["crc"] = "00000000"
+    lines[-1] = json.dumps(record, sort_keys=True,
+                           separators=(",", ":"))
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    __, records, info = JournalStorage(directory).load()
+    assert len(records) == len(lines) - 1
+    assert info.degraded
+    assert info.reason == "corrupt_record"
+    assert info.records_dropped == 1
+    assert info.records_total == len(lines)
+
+
+def test_blank_tail_lines_are_not_counted_as_records(tmp_path):
+    directory, __ = _journaled_day(tmp_path)
+    path = os.path.join(directory, JOURNAL_NAME)
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    with open(path, "w") as handle:
+        # A torn half-record followed by stray blank lines.
+        handle.write("\n".join(lines[:10]) + "\n"
+                     + lines[10][:20] + "\n\n\n")
+    __, records, info = JournalStorage(directory).load()
+    assert len(records) == 10
+    assert info.degraded
+    assert info.reason == "torn_tail"
+    assert info.records_dropped == 1
+    assert info.records_total == 11
+
+
+def test_compact_reports_kept_records_not_appended(tmp_path):
+    """`compact_kept` is the records surviving compaction (normally 0),
+    independent of how many this process happened to append."""
+    directory, __ = _journaled_day(tmp_path)
+    service = LeaseService.recover(JournalStorage(directory), seed=7)
+    run_scripted_day(service, seed=7, apps=3, ops=50)
+    assert service.storage.appended > 0
+    service.compact()
+    assert service.storage.compact_kept == 0
+    service.close()
+
+
 def test_sequence_gap_stops_replay_degraded(tmp_path):
     directory, __ = _journaled_day(tmp_path)
     path = os.path.join(directory, JOURNAL_NAME)
